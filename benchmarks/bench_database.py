@@ -1,0 +1,100 @@
+"""Benchmark: the transactional instance store under load.
+
+Not a paper experiment — a systems-quality check that the satisfaction
+conditions of Section 2.3 are enforceable at interactive rates on realistic
+database sizes: bulk loads inside one transaction, per-transaction
+validation cost as the state grows, and the cost of full model checking.
+"""
+
+import pytest
+
+from benchlib import render_table, timed
+from repro.parser.parser import parse_schema
+from repro.semantics.database import Database
+
+
+def registrar_schema():
+    return parse_schema("""
+        class Person endclass
+        class Student isa Person and not Professor
+            participates in Enrollment[enrolls] : (0, 6)
+        endclass
+        class Professor isa Person endclass
+        class Course
+            isa not Person
+            attributes taught_by : (1, 1) Professor
+            participates in Enrollment[enrolled_in] : (0, 100)
+        endclass
+        relation Enrollment(enrolled_in, enrolls)
+            constraints (enrolled_in : Course); (enrolls : Student)
+        endrelation
+    """)
+
+
+def load(db: Database, n_students: int, n_courses: int) -> None:
+    with db.transaction():
+        for c in range(n_courses):
+            professor = f"prof{c}"
+            db.insert(professor, "Person", "Professor")
+            db.insert(f"course{c}", "Course")
+            db.set_attribute("taught_by", f"course{c}", professor)
+        for s in range(n_students):
+            name = f"student{s}"
+            db.insert(name, "Person", "Student")
+            db.add_tuple("Enrollment", enrolled_in=f"course{s % n_courses}",
+                         enrolls=name)
+
+
+@pytest.mark.experiment("database")
+def test_bulk_load_transaction(benchmark):
+    """One transaction loading a few hundred objects, validated on commit."""
+
+    def run():
+        db = Database(registrar_schema())
+        load(db, n_students=200, n_courses=20)
+        return db
+
+    db = benchmark(run)
+    assert db.is_consistent()
+    assert len(db) == 200 + 2 * 20
+
+
+@pytest.mark.experiment("database")
+def test_validation_cost_vs_size(benchmark):
+    """Full validation cost as the database grows."""
+
+    def measure():
+        rows = []
+        for n_students in (50, 100, 200, 400):
+            db = Database(registrar_schema())
+            load(db, n_students=n_students, n_courses=max(n_students // 10, 1))
+            seconds, violations = timed(db.violations)
+            assert not violations
+            rows.append((len(db), seconds))
+        return rows
+
+    rows = benchmark.pedantic(measure, rounds=1, iterations=1)
+    print()
+    print(render_table(
+        "Instance store — full validation vs database size",
+        ["objects", "seconds"], rows))
+
+
+@pytest.mark.experiment("database")
+def test_rejected_transaction_cost(benchmark):
+    """Rollback price: a violating transaction on a populated store."""
+    from repro.semantics.database import IntegrityError
+
+    db = Database(registrar_schema())
+    load(db, n_students=100, n_courses=10)
+
+    def run():
+        try:
+            with db.transaction():
+                db.insert("rogue", "Student")  # Student without Person
+        except IntegrityError:
+            return True
+        return False
+
+    assert benchmark(run)
+    assert "rogue" not in db

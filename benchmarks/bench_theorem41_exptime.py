@@ -1,0 +1,85 @@
+"""Experiment "Theorem 4.1": EXPTIME-hardness — expansion growth under the
+Turing machine reduction.
+
+The theorem's content, measured: as the simulated tape grows, the number of
+consistent compound classes (and reasoning time) grows exponentially —
+each extra tape cell multiplies the configuration space by the alphabet
+size.  The benchmark runs the parity machine on growing space bounds and
+asserts the exponential shape; the timed case is a fixed medium instance.
+"""
+
+import pytest
+
+from benchlib import growth_ratios, is_superlinear, render_table, timed
+from repro import Reasoner
+from repro.reductions import machine_to_schema, parity_machine, starts_with_one
+
+
+def decide(word: str, time_bound: int, space: int) -> bool:
+    machine = parity_machine()
+    reduction = machine_to_schema(machine, word, time_bound, space)
+    reasoner = Reasoner(reduction.schema)
+    return reasoner.is_satisfiable(reduction.target)
+
+
+@pytest.mark.experiment("theorem41")
+def test_reduction_correctness_small(benchmark):
+    """Timed: the smallest nontrivial accepting run."""
+    machine = starts_with_one()
+
+    def run():
+        reduction = machine_to_schema(machine, "1", 1, 1)
+        return Reasoner(reduction.schema).is_satisfiable(reduction.target)
+
+    assert benchmark(run)
+
+
+@pytest.mark.experiment("theorem41")
+def test_exponential_expansion_in_space(benchmark):
+    """The paper's shape: compound classes grow exponentially with the tape.
+
+    Rows: space bound S; classes in the schema (polynomial in S); compound
+    classes in the expansion (exponential in S).
+    """
+    machine = parity_machine()
+
+    def measure():
+        rows = []
+        for space in (1, 2, 3):
+            word = "1" * (space - 1)
+            time_bound = space + 1
+            reduction = machine_to_schema(machine, word, time_bound, space)
+            reasoner = Reasoner(reduction.schema)
+            seconds, _ = timed(lambda r=reasoner, t=reduction.target:
+                               r.is_satisfiable(t))
+            rows.append((space, len(reduction.schema.class_symbols),
+                         len(reasoner.expansion.compound_classes), seconds))
+        return rows
+
+    rows = benchmark.pedantic(measure, rounds=1, iterations=1)
+    print()
+    print(render_table(
+        "Theorem 4.1 — parity machine, growing tape",
+        ["space S", "schema classes", "compound classes", "seconds"], rows))
+
+    spaces = [r[0] for r in rows]
+    schema_sizes = [r[1] for r in rows]
+    compounds = [r[2] for r in rows]
+    # Schema grows polynomially; the expansion outpaces it clearly.
+    assert is_superlinear(schema_sizes, compounds)
+    # And the per-step expansion growth accelerates (exponential signature).
+    ratios = growth_ratios([float(c) for c in compounds])
+    assert ratios[-1] > 1.5
+
+
+@pytest.mark.experiment("theorem41")
+@pytest.mark.parametrize("word,time_bound,space,expected", [
+    ("11", 4, 3, True),
+    ("1", 3, 2, False),
+])
+def test_acceptance_mirrors_satisfiability(benchmark, word, time_bound,
+                                           space, expected):
+    result = benchmark.pedantic(decide, args=(word, time_bound, space),
+                                rounds=1, iterations=1)
+    assert result == expected
+    assert parity_machine().accepts(word, time_bound, space) == expected

@@ -1,0 +1,116 @@
+"""Experiment "Theorem 4.2": NP-hardness — reasoning cost on reduced
+instances.
+
+Two workload families feed this bench:
+
+* **3SAT → CAR** (general schemas, ground truth from the bundled DPLL):
+  the expansion enumerates satisfying assignments, so work grows
+  exponentially with the variable count — the NP-hardness shape.
+* **Intersection Pattern → CAR** (union-free, negation-free — the fragment
+  Theorem 4.2 is actually about): cardinality-only encodings whose
+  solvable/unsolvable verdicts match the combinatorial ground truth.
+"""
+
+import pytest
+
+from benchlib import is_superlinear, render_table, timed
+from repro import Reasoner
+from repro.reductions import (
+    IntersectionPattern,
+    cnf_to_schema,
+    dpll_satisfiable,
+    pattern_solvable_bruteforce,
+    pattern_to_schema,
+    random_cnf,
+)
+
+
+@pytest.mark.experiment("theorem42")
+def test_sat_reduction_scaling(benchmark):
+    """Reasoning time/expansion vs variable count on fixed-ratio 3SAT."""
+
+    def measure():
+        rows = []
+        for n_vars in (4, 6, 8, 10):
+            formula = random_cnf(n_vars, n_clauses=n_vars * 2, seed=7)
+            schema = cnf_to_schema(formula)
+            reasoner = Reasoner(schema)
+            seconds, verdict = timed(
+                lambda r=reasoner: r.is_satisfiable("World"))
+            expected = dpll_satisfiable(formula) is not None
+            assert verdict == expected
+            rows.append((n_vars, len(schema.class_symbols),
+                         len(reasoner.expansion.compound_classes), seconds))
+        return rows
+
+    rows = benchmark.pedantic(measure, rounds=1, iterations=1)
+    print()
+    print(render_table(
+        "Theorem 4.2 — 3SAT→CAR, clause/variable ratio 2",
+        ["vars", "classes", "compound classes", "seconds"], rows))
+    assert is_superlinear([r[1] for r in rows], [r[2] for r in rows])
+
+
+@pytest.mark.experiment("theorem42")
+def test_sat_single_instance(benchmark):
+    formula = random_cnf(6, 12, seed=3)
+    schema = cnf_to_schema(formula)
+
+    def run():
+        return Reasoner(schema).is_satisfiable("World")
+
+    verdict = benchmark(run)
+    assert verdict == (dpll_satisfiable(formula) is not None)
+
+
+PATTERNS = [
+    ("feasible 2x2", IntersectionPattern.of([[2, 1], [1, 2]]), True),
+    ("infeasible 2x2", IntersectionPattern.of([[2, 3], [3, 3]]), False),
+    ("feasible 3x3", IntersectionPattern.of(
+        [[2, 1, 0], [1, 2, 1], [0, 1, 2]]), True),
+]
+
+
+@pytest.mark.experiment("theorem42")
+@pytest.mark.parametrize("label,pattern,solvable", PATTERNS)
+def test_intersection_pattern_instances(benchmark, label, pattern, solvable):
+    """Union-free/negation-free instances: verdicts vs combinatorial truth."""
+    assert pattern_solvable_bruteforce(pattern) == solvable
+    schema = pattern_to_schema(pattern)
+    assert schema.is_union_free() and schema.is_negation_free()
+
+    verdict = benchmark.pedantic(
+        lambda: Reasoner(schema).is_satisfiable("W"), rounds=1, iterations=1)
+    if solvable:
+        assert verdict  # IP solution ⇒ model (exact direction)
+    else:
+        # These instances fail already pairwise, which the relaxed converse
+        # direction of the encoding also refutes.
+        assert not verdict
+
+
+@pytest.mark.experiment("theorem42")
+def test_intersection_pattern_scaling(benchmark):
+    """Schema growth with the number of sets n (quadratic classes, growing
+    reasoning cost)."""
+
+    def measure():
+        rows = []
+        # n = 4 already takes minutes (the NP blow-up is the point); keep
+        # the timed suite snappy and leave larger n to run_experiments.py.
+        for n in (2, 3):
+            matrix = [[2 if i == j else 1 for j in range(n)] for i in range(n)]
+            pattern = IntersectionPattern.of(matrix)
+            schema = pattern_to_schema(pattern)
+            reasoner = Reasoner(schema)
+            seconds, verdict = timed(lambda r=reasoner: r.is_satisfiable("W"))
+            rows.append((n, len(schema.class_symbols),
+                         len(reasoner.expansion.compound_classes),
+                         verdict, seconds))
+        return rows
+
+    rows = benchmark.pedantic(measure, rounds=1, iterations=1)
+    print()
+    print(render_table(
+        "Theorem 4.2 — Intersection Pattern, growing n",
+        ["n", "classes", "compound classes", "satisfiable", "seconds"], rows))

@@ -1,0 +1,84 @@
+"""Shared helpers for the benchmark suite.
+
+Every benchmark regenerates one row-series of the paper's evaluation (which,
+for a 1994 PODS theory paper, means the *scaling shapes* its theorems
+assert).  The helpers here time pipeline stages, compute growth ratios, and
+render small aligned tables so the series can be eyeballed in the pytest
+output and transcribed into EXPERIMENTS.md.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+from typing import Callable, Sequence
+
+__all__ = ["timed", "growth_ratios", "is_superlinear", "is_subquadratic",
+           "render_table", "Series"]
+
+
+def timed(fn: Callable[[], object]) -> tuple[float, object]:
+    """Wall-clock one call; returns (seconds, result)."""
+    start = time.perf_counter()
+    result = fn()
+    return time.perf_counter() - start, result
+
+
+@dataclass
+class Series:
+    """One measured scaling series: parameter values and measurements."""
+
+    name: str
+    xs: list
+    ys: list[float]
+
+    def ratios(self) -> list[float]:
+        return growth_ratios(self.ys)
+
+
+def growth_ratios(values: Sequence[float]) -> list[float]:
+    """Successive ratios ``y[i+1] / y[i]`` (0 when the denominator is 0)."""
+    out = []
+    for a, b in zip(values, values[1:]):
+        out.append(b / a if a else 0.0)
+    return out
+
+
+def is_superlinear(xs: Sequence[float], ys: Sequence[float],
+                   factor: float = 1.2) -> bool:
+    """True when ``ys`` grows clearly faster than ``xs`` overall.
+
+    Compares total growth: ``y_n/y_0`` must exceed ``factor · x_n/x_0``.
+    Robust to per-step noise, strict enough for exponential-vs-linear.
+    """
+    if ys[0] <= 0 or xs[0] <= 0:
+        return True
+    return (ys[-1] / ys[0]) > factor * (xs[-1] / xs[0])
+
+
+def is_subquadratic(xs: Sequence[float], ys: Sequence[float],
+                    slack: float = 1.5) -> bool:
+    """True when total growth of ``ys`` stays below ``slack · (x ratio)^2``.
+
+    Used to certify the polynomial special cases: their measured growth must
+    stay well under the quadratic envelope (noise-tolerant via ``slack``).
+    """
+    if ys[0] <= 0 or xs[0] <= 0:
+        return True
+    return (ys[-1] / ys[0]) < slack * (xs[-1] / xs[0]) ** 2
+
+
+def render_table(title: str, headers: Sequence[str],
+                 rows: Sequence[Sequence]) -> str:
+    """A small fixed-width table, printed into the benchmark log."""
+    cells = [[str(h) for h in headers]]
+    for row in rows:
+        cells.append([f"{v:.4g}" if isinstance(v, float) else str(v)
+                      for v in row])
+    widths = [max(len(r[c]) for r in cells) for c in range(len(headers))]
+    lines = [title]
+    for i, row in enumerate(cells):
+        lines.append("  " + "  ".join(v.rjust(w) for v, w in zip(row, widths)))
+        if i == 0:
+            lines.append("  " + "  ".join("-" * w for w in widths))
+    return "\n".join(lines)

@@ -1,0 +1,17 @@
+"""Benchmark-suite configuration.
+
+Makes the sibling ``benchlib`` helpers importable regardless of the pytest
+rootdir, and registers the experiment-id marker used to map benchmarks to
+the DESIGN.md experiment index.
+"""
+
+import sys
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).resolve().parent))
+
+
+def pytest_configure(config):
+    config.addinivalue_line(
+        "markers",
+        "experiment(id): maps a benchmark to a DESIGN.md experiment row")

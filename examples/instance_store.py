@@ -1,0 +1,84 @@
+#!/usr/bin/env python3
+"""The instance store: a transactional database governed by a CAR schema.
+
+The paper's Section 2.3 names type checking and type inference among the
+applications of schema reasoning.  This example runs a small registrar
+database against the university schema: transactions that would violate an
+isa, typing, or cardinality constraint roll back; and the reasoner answers
+"what must this object also be?" and "what could it still become?".
+
+Run:  python examples/instance_store.py
+"""
+
+from repro import Database, IntegrityError, parse_schema
+
+SCHEMA = """
+class Person endclass
+
+class Student isa Person and not Professor
+    participates in Enrollment[enrolls] : (0, 2)
+endclass
+
+class Professor isa Person endclass
+
+class Course
+    isa not Person
+    attributes taught_by : (1, 1) Professor
+    participates in Enrollment[enrolled_in] : (1, 3)
+endclass
+
+relation Enrollment(enrolled_in, enrolls)
+    constraints (enrolled_in : Course); (enrolls : Student)
+endrelation
+"""
+
+
+def main() -> None:
+    db = Database(parse_schema(SCHEMA))
+
+    print("=== A valid registrar transaction ===")
+    with db.transaction():
+        db.insert("prof_knuth", "Person", "Professor")
+        db.insert("algorithms", "Course")
+        db.set_attribute("taught_by", "algorithms", "prof_knuth")
+        db.insert("ada", "Person", "Student")
+        db.add_tuple("Enrollment", enrolled_in="algorithms", enrolls="ada")
+    print(f"committed: {db!r}")
+
+    print("\n=== A transaction the schema rejects ===")
+    try:
+        with db.transaction():
+            # Courses need exactly one professor; this one would have none.
+            db.insert("databases", "Course")
+            db.add_tuple("Enrollment", enrolled_in="databases", enrolls="ada")
+    except IntegrityError as error:
+        print("rolled back:")
+        print(f"  {error}")
+    print(f"state after rollback: {db!r}")
+
+    print("\n=== Over-enrolment is caught too ===")
+    try:
+        with db.transaction():
+            db.insert("compilers", "Course")
+            db.set_attribute("taught_by", "compilers", "prof_knuth")
+            db.insert("os", "Course")
+            db.set_attribute("taught_by", "os", "prof_knuth")
+            # ada is already in algorithms; two more exceeds (0, 2).
+            db.add_tuple("Enrollment", enrolled_in="compilers", enrolls="ada")
+            db.add_tuple("Enrollment", enrolled_in="os", enrolls="ada")
+    except IntegrityError as error:
+        print("rolled back:")
+        print(f"  {error}")
+
+    print("\n=== Type inference on live objects ===")
+    print(f"ada's classes: {sorted(db.classes_of('ada'))}")
+    print(f"ada must also be: {sorted(db.implied_classes('ada')) or '(nothing new)'}")
+    print(f"ada could still become: {sorted(db.admissible_classes('ada')) or '(nothing)'}")
+    with db.transaction():
+        db.insert("grace")
+        db.add_to_class("grace", "Person")
+    print(f"grace could become: {sorted(db.admissible_classes('grace'))}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,69 @@
+#!/usr/bin/env python3
+"""Model synthesis: generate a concrete sample database from a schema.
+
+Theorem 3.3's witness direction, made executable: the reasoner's linear
+phase produces an integer solution of the disequation system, and the
+synthesizer turns it into an actual database state — objects, attribute
+links, relation tuples — that provably satisfies every constraint (it is
+re-checked by the independent model checker).
+
+Use cases: seeding test databases, sanity-checking a schema's cardinality
+design ("how big is the smallest sensible population?"), and demonstrating
+satisfiability to a colleague with a concrete example instead of a proof.
+
+Run:  python examples/model_synthesis.py
+"""
+
+from repro import AttrRef, Reasoner, is_model, parse_schema
+from repro.synthesis import synthesize_model
+
+CONFERENCE_SCHEMA = """
+-- Reviewing at a small conference.
+class Person endclass
+
+class Author
+    isa Person
+endclass
+
+class Reviewer
+    isa Person and not Author          -- single-blind: no conflicts at all
+    attributes reviews : (3, 3) Paper  -- every reviewer gets exactly 3 papers
+endclass
+
+class Paper
+    isa not Person
+    attributes (inv reviews) : (3, 3) Reviewer;   -- 3 reviews per paper
+               written_by : (1, 4) Author
+endclass
+"""
+
+
+def main() -> None:
+    schema = parse_schema(CONFERENCE_SCHEMA)
+    reasoner = Reasoner(schema)
+    print("coherence:", reasoner.check_coherence())
+
+    report = synthesize_model(reasoner, target="Paper")
+    interp = report.interpretation
+    print(f"\nsynthesized a verified model at scale {report.scale} "
+          f"after {report.attempts} attempt(s):")
+    print(interp.summary())
+
+    assert is_model(interp, schema), "the checker must accept the model"
+
+    papers = sorted(interp.class_ext("Paper"))
+    reviewers = sorted(interp.class_ext("Reviewer"))
+    print(f"\nreview load check: {len(papers)} papers, "
+          f"{len(reviewers)} reviewers "
+          f"(3 reviews each way => |Paper| == |Reviewer|)")
+    for reviewer in reviewers[:3]:
+        load = interp.attr_link_count(AttrRef("reviews"), reviewer)
+        print(f"  {reviewer}: {load} assigned papers")
+
+    print("\nfirst few review assignments:")
+    for pair in sorted(interp.attribute_ext("reviews"))[:5]:
+        print(f"  {pair[0]} reviews {pair[1]}")
+
+
+if __name__ == "__main__":
+    main()

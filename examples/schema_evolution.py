@@ -1,0 +1,66 @@
+#!/usr/bin/env python3
+"""Schema evolution: catching semantic regressions before they ship.
+
+A schema edit that looks local can change what the schema *entails* far
+away.  This example evolves a subscription-service schema through three
+revisions and lets the library judge each step: which classes became
+impossible, which derived guarantees (subsumptions, disjointness, implied
+bounds) appeared or disappeared, and whether the step is backward
+compatible for clients that relied on the derived facts.
+
+Run:  python examples/schema_evolution.py
+"""
+
+from repro import parse_schema
+from repro.reasoner import compare_schemas, explain_unsatisfiability
+from repro.reasoner.satisfiability import Reasoner
+
+V1 = """
+class Account endclass
+class Free_Account isa Account and not Paid_Account endclass
+class Paid_Account isa Account
+    attributes invoice : (1, 12) Invoice
+endclass
+class Team_Account isa Paid_Account endclass
+class Invoice endclass
+"""
+
+# Revision 2: a reasonable extension — trials are free accounts.
+V2 = V1 + """
+class Trial_Account isa Free_Account endclass
+"""
+
+# Revision 3: someone "simplifies" Team_Account into a free tier while it
+# still inherits the mandatory invoicing of Paid_Account — a conflict that
+# only shows up through inheritance.
+V3 = V2.replace(
+    "class Team_Account isa Paid_Account endclass",
+    """class Team_Account isa Paid_Account and Free_Account endclass""",
+)
+
+
+def step(label: str, old_source: str, new_source: str) -> None:
+    print(f"=== {label} ===")
+    old = parse_schema(old_source)
+    new = parse_schema(new_source)
+    report = compare_schemas(old, new)
+    print(report)
+    if report.newly_unsatisfiable:
+        reasoner = Reasoner(new)
+        for name in report.newly_unsatisfiable:
+            print()
+            print(explain_unsatisfiability(reasoner, name))
+    print()
+
+
+def main() -> None:
+    step("v1 -> v2: add a trial tier", V1, V2)
+    step("v2 -> v3: 'simplify' team accounts", V2, V3)
+    print("The v3 report shows the edit is not backward compatible: "
+          "Team_Account\ncan no longer have any instance, because it now "
+          "inherits both the\nmandatory invoicing of Paid_Account and the "
+          "disjointness of Free_Account.")
+
+
+if __name__ == "__main__":
+    main()

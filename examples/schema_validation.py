@@ -1,0 +1,101 @@
+#!/usr/bin/env python3
+"""Schema validation: catching isa/cardinality conflicts before deployment.
+
+The paper's central motivation (Section 1): the *interaction* between
+isa-relationships and cardinality constraints can force a class to be empty
+in every finite database state, silently.  This example models a hospital
+staffing schema containing two such bugs — one local, one that only the
+finite-model linear phase can see — shows how the reasoner pinpoints them,
+and validates the repaired schema.
+
+Run:  python examples/schema_validation.py
+"""
+
+from repro import Reasoner, parse_schema
+
+BROKEN_SCHEMA = """
+-- A hospital staffing schema with two latent inconsistencies.
+
+class Employee
+    attributes badge : (1, 1) Badge
+endclass
+
+class Doctor
+    isa Employee and not Nurse
+    attributes supervises : (0, 3) Nurse
+endclass
+
+class Nurse
+    isa Employee
+endclass
+
+-- Bug 1 (local): Resident inherits 'pager : (1, 1)' from Doctor... but the
+-- hospital also demands residents carry no pager.  The merged interval
+-- (1, 0) is empty, so Resident can never have an instance.
+class Pager endclass
+
+class Attending
+    isa Doctor
+    attributes pager : (1, 1) Pager
+endclass
+
+class Resident
+    isa Attending
+    attributes pager : (0, 0) Pager
+endclass
+
+-- Bug 2 (global, finite-model only): every ward is run by exactly one
+-- head nurse, and every head nurse runs exactly three wards.  Locally
+-- fine -- but combined with 'Ward isa HeadNurse' (a data-entry mistake!)
+-- the population must satisfy |runs| = |Ward| and |runs| = 3 |Ward|
+-- simultaneously, which only the empty Ward can do.
+class Ward
+    isa HeadNurse
+    attributes run_by : (1, 1) HeadNurse
+endclass
+
+class HeadNurse
+    isa Nurse and not Doctor
+    attributes (inv run_by) : (3, 3) Ward
+endclass
+
+class Badge endclass
+"""
+
+FIXED_SCHEMA = BROKEN_SCHEMA.replace(
+    "pager : (0, 0) Pager", "pager : (1, 1) Pager").replace(
+    "isa HeadNurse\n    attributes run_by", "attributes run_by")
+
+
+def validate(label: str, source: str) -> None:
+    print(f"=== {label} ===")
+    schema = parse_schema(source)
+    reasoner = Reasoner(schema)
+    report = reasoner.check_coherence()
+    if report.is_coherent:
+        print(f"coherent: all {len(report.satisfiable)} classes satisfiable")
+    else:
+        print("INCOHERENT — classes that can never be populated:")
+        for name in report.unsatisfiable:
+            print(f"  * {name}")
+    print()
+
+
+def main() -> None:
+    validate("Broken hospital schema", BROKEN_SCHEMA)
+    print("The two failures illustrate the paper's two phases:\n"
+          "  * Resident dies already in phase 1: the merged pager interval\n"
+          "    (max lower, min upper) = (1, 0) is empty, so no compound\n"
+          "    class containing Resident is consistent.\n"
+          "  * Ward dies only in phase 2: every compound class is locally\n"
+          "    consistent, but the system of linear disequations forces\n"
+          "    Var(Ward-compounds) = 0 because |run_by| would have to equal\n"
+          "    both |Ward| and 3·|Ward| in any finite database state.\n"
+          "    HeadNurse is dragged down with it: each head nurse needs\n"
+          "    three incoming run_by links, and only Ward objects can\n"
+          "    provide them.\n")
+    validate("Repaired hospital schema", FIXED_SCHEMA)
+
+
+if __name__ == "__main__":
+    main()

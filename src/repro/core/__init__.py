@@ -1,0 +1,59 @@
+"""Core AST of the CAR data model: formulae, cardinalities, schemas."""
+
+from .builder import SchemaBuilder
+from .cardinality import ANY, AT_LEAST_ONE, AT_MOST_ONE, EXACTLY_ONE, INFINITY, Card
+from .io_json import (
+    interpretation_from_dict,
+    interpretation_to_dict,
+    schema_from_dict,
+    schema_from_json,
+    schema_to_dict,
+    schema_to_json,
+)
+from .errors import (
+    CarError,
+    LinearSystemError,
+    ParseError,
+    ReasoningError,
+    SchemaError,
+    SemanticsError,
+    SynthesisError,
+)
+from .formulas import (
+    TOP,
+    Clause,
+    Formula,
+    Lit,
+    as_clause,
+    as_formula,
+    conjunction,
+    disjunction,
+)
+from .schema import (
+    Attr,
+    AttrRef,
+    AttributeSpec,
+    ClassDef,
+    Part,
+    ParticipationSpec,
+    RelationDef,
+    RoleClause,
+    RoleLiteral,
+    Schema,
+    inv,
+)
+
+__all__ = [
+    "SchemaBuilder",
+    "interpretation_from_dict", "interpretation_to_dict",
+    "schema_from_dict", "schema_from_json", "schema_to_dict",
+    "schema_to_json",
+    "ANY", "AT_LEAST_ONE", "AT_MOST_ONE", "EXACTLY_ONE", "INFINITY", "Card",
+    "CarError", "LinearSystemError", "ParseError", "ReasoningError",
+    "SchemaError", "SemanticsError", "SynthesisError",
+    "TOP", "Clause", "Formula", "Lit", "as_clause", "as_formula",
+    "conjunction", "disjunction",
+    "Attr", "AttrRef", "AttributeSpec", "ClassDef", "Part",
+    "ParticipationSpec", "RelationDef", "RoleClause", "RoleLiteral",
+    "Schema", "inv",
+]

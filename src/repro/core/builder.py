@@ -1,0 +1,155 @@
+"""A fluent builder for constructing CAR schemas programmatically.
+
+The AST constructors in :mod:`repro.core.schema` are immutable and
+positional; for generated schemas (migrations, reductions, tests) a mutable
+builder with chained calls reads better::
+
+    schema = (SchemaBuilder()
+              .cls("Person")
+              .cls("Student").isa("Person").isa_not("Professor")
+                  .attr("student_id", Card(1, 1), "String")
+                  .takes_part("Enrollment", "enrolls", Card(1, 6))
+              .cls("Professor").isa("Person")
+              .rel("Enrollment", "enrolled_in", "enrolls")
+                  .role("enrolled_in", "Course")
+                  .role("enrolls", "Student")
+              .build())
+
+Each ``cls``/``rel`` call opens a new definition; the chained refinement
+methods apply to the most recently opened one.  ``build()`` validates the
+whole schema via the :class:`~repro.core.schema.Schema` constructor.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Union
+
+from .cardinality import ANY, Card
+from .errors import SchemaError
+from .formulas import Clause, Formula, FormulaLike, Lit, TOP, as_formula
+from .schema import (
+    AttrRef,
+    AttributeSpec,
+    ClassDef,
+    ParticipationSpec,
+    RelationDef,
+    RoleClause,
+    RoleLiteral,
+    Schema,
+)
+
+__all__ = ["SchemaBuilder"]
+
+
+class _ClassDraft:
+    def __init__(self, name: str):
+        self.name = name
+        self.isa: Formula = TOP
+        self.attributes: list[AttributeSpec] = []
+        self.participations: list[ParticipationSpec] = []
+
+    def finish(self) -> ClassDef:
+        return ClassDef(self.name, self.isa, self.attributes,
+                        self.participations)
+
+
+class _RelationDraft:
+    def __init__(self, name: str, roles: tuple[str, ...]):
+        self.name = name
+        self.roles = roles
+        self.constraints: list[RoleClause] = []
+
+    def finish(self) -> RelationDef:
+        return RelationDef(self.name, self.roles, self.constraints)
+
+
+class SchemaBuilder:
+    """Accumulates class and relation definitions, then validates them."""
+
+    def __init__(self):
+        self._classes: list[_ClassDraft] = []
+        self._relations: list[_RelationDraft] = []
+        self._current: Optional[Union[_ClassDraft, _RelationDraft]] = None
+
+    # ------------------------------------------------------------------
+    # Opening definitions
+    # ------------------------------------------------------------------
+    def cls(self, name: str) -> "SchemaBuilder":
+        """Open a new class definition."""
+        draft = _ClassDraft(name)
+        self._classes.append(draft)
+        self._current = draft
+        return self
+
+    def rel(self, name: str, *roles: str) -> "SchemaBuilder":
+        """Open a new relation definition over the given roles."""
+        draft = _RelationDraft(name, tuple(roles))
+        self._relations.append(draft)
+        self._current = draft
+        return self
+
+    # ------------------------------------------------------------------
+    # Refining the open definition
+    # ------------------------------------------------------------------
+    def _class_draft(self) -> _ClassDraft:
+        if not isinstance(self._current, _ClassDraft):
+            raise SchemaError("no class definition is open; call .cls() first")
+        return self._current
+
+    def _relation_draft(self) -> _RelationDraft:
+        if not isinstance(self._current, _RelationDraft):
+            raise SchemaError("no relation definition is open; call .rel() first")
+        return self._current
+
+    def isa(self, formula: FormulaLike) -> "SchemaBuilder":
+        """Conjoin a formula to the open class's isa part."""
+        draft = self._class_draft()
+        draft.isa = draft.isa & as_formula(formula)
+        return self
+
+    def isa_not(self, class_name: str) -> "SchemaBuilder":
+        """Declare the open class disjoint from ``class_name``."""
+        return self.isa(Clause((Lit(class_name, positive=False),)))
+
+    def isa_one_of(self, *class_names: str) -> "SchemaBuilder":
+        """Require membership in at least one of the given classes."""
+        return self.isa(Clause(tuple(Lit(name) for name in class_names)))
+
+    def attr(self, name: str, card: Card = ANY,
+             filler: FormulaLike = TOP) -> "SchemaBuilder":
+        """Add an attribute spec ``name : card filler`` to the open class."""
+        self._class_draft().attributes.append(AttributeSpec(name, card, filler))
+        return self
+
+    def inv_attr(self, name: str, card: Card = ANY,
+                 filler: FormulaLike = TOP) -> "SchemaBuilder":
+        """Add an inverse-attribute spec ``(inv name) : card filler``."""
+        self._class_draft().attributes.append(
+            AttributeSpec(AttrRef(name, inverse=True), card, filler))
+        return self
+
+    def takes_part(self, relation: str, role: str,
+                   card: Card) -> "SchemaBuilder":
+        """Add a participation constraint ``relation[role] : card``."""
+        self._class_draft().participations.append(
+            ParticipationSpec(relation, role, card))
+        return self
+
+    def role(self, role_name: str, formula: FormulaLike) -> "SchemaBuilder":
+        """Add a single-literal role-clause to the open relation."""
+        self._relation_draft().constraints.append(
+            RoleClause(RoleLiteral(role_name, formula)))
+        return self
+
+    def role_clause(self, *literals: tuple[str, FormulaLike]) -> "SchemaBuilder":
+        """Add a disjunctive role-clause ``(U1 : F1) ∨ … ∨ (Us : Fs)``."""
+        self._relation_draft().constraints.append(
+            RoleClause(*(RoleLiteral(role, formula)
+                         for role, formula in literals)))
+        return self
+
+    # ------------------------------------------------------------------
+    def build(self) -> Schema:
+        """Validate and return the schema."""
+        return Schema([draft.finish() for draft in self._classes],
+                      [draft.finish() for draft in self._relations])

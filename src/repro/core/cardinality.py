@@ -1,0 +1,141 @@
+"""Cardinality intervals ``(u, v)`` with an unbounded upper end.
+
+The paper writes cardinality constraints as pairs ``(u, v)`` where ``u`` is a
+nonnegative integer and ``v`` is a nonnegative integer or the special value
+``infinity``.  We model the interval as an immutable :class:`Card` value with
+``lower: int`` and ``upper: int | None`` (``None`` encodes ``infinity``), plus
+the interval algebra the expansion needs:
+
+* :meth:`Card.intersect` — conjunction of two constraints on the same links,
+  used to build ``Natt`` / ``Nrel`` (``u_max`` / ``v_min`` of Definition 3.1);
+* :meth:`Card.contains` — membership test for a concrete link count;
+* :meth:`Card.is_empty` — an unsatisfiable interval such as ``(2, 1)``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from .errors import SchemaError
+
+__all__ = ["Card", "INFINITY", "ANY", "EXACTLY_ONE", "AT_MOST_ONE", "AT_LEAST_ONE"]
+
+#: Sentinel rendered as the paper's ``infinity`` upper bound.
+INFINITY = None
+
+
+@dataclass(frozen=True, slots=True)
+class Card:
+    """An immutable cardinality interval ``(lower, upper)``.
+
+    ``upper is None`` means the interval is unbounded above (the paper's
+    ``infinity``).  Instances are validated on construction: ``lower`` must be
+    a nonnegative ``int`` and ``upper`` a nonnegative ``int`` or ``None``.
+    An *empty* interval (``lower > upper``) is representable — it arises
+    naturally when merging constraints in the expansion — but cannot be
+    *declared* in a schema (see :meth:`validate_declared`).
+    """
+
+    lower: int
+    upper: int | None = INFINITY
+
+    def __post_init__(self) -> None:
+        if not isinstance(self.lower, int) or isinstance(self.lower, bool):
+            raise SchemaError(f"cardinality lower bound must be an int, got {self.lower!r}")
+        if self.lower < 0:
+            raise SchemaError(f"cardinality lower bound must be nonnegative, got {self.lower}")
+        if self.upper is not INFINITY:
+            if not isinstance(self.upper, int) or isinstance(self.upper, bool):
+                raise SchemaError(
+                    f"cardinality upper bound must be an int or None, got {self.upper!r}"
+                )
+            if self.upper < 0:
+                raise SchemaError(f"cardinality upper bound must be nonnegative, got {self.upper}")
+
+    # ------------------------------------------------------------------
+    # Predicates
+    # ------------------------------------------------------------------
+    @property
+    def unbounded(self) -> bool:
+        """True when the upper end is the paper's ``infinity``."""
+        return self.upper is INFINITY
+
+    def is_empty(self) -> bool:
+        """True when no link count can satisfy the interval."""
+        return self.upper is not INFINITY and self.lower > self.upper
+
+    def contains(self, count: int) -> bool:
+        """True when ``count`` links satisfy the constraint."""
+        if count < self.lower:
+            return False
+        return self.upper is INFINITY or count <= self.upper
+
+    def validate_declared(self) -> "Card":
+        """Check that the interval is legal *as written in a schema*.
+
+        Schemas must not declare inverted intervals such as ``(2, 1)``;
+        returns ``self`` for chaining.
+        """
+        if self.is_empty():
+            raise SchemaError(f"declared cardinality {self} has lower bound above upper bound")
+        return self
+
+    # ------------------------------------------------------------------
+    # Interval algebra
+    # ------------------------------------------------------------------
+    def intersect(self, other: "Card") -> "Card":
+        """Conjunction of two constraints on the same set of links.
+
+        This is exactly the ``(u_max, v_min)`` merge of Definition 3.1:
+        the result's lower bound is the max of the lower bounds and its upper
+        bound the min of the upper bounds.  The result may be empty.
+        """
+        lower = max(self.lower, other.lower)
+        if self.upper is INFINITY:
+            upper = other.upper
+        elif other.upper is INFINITY:
+            upper = self.upper
+        else:
+            upper = min(self.upper, other.upper)
+        return Card(lower, upper)
+
+    def widen(self, other: "Card") -> "Card":
+        """Smallest interval containing both operands (interval hull)."""
+        lower = min(self.lower, other.lower)
+        if self.upper is INFINITY or other.upper is INFINITY:
+            upper: int | None = INFINITY
+        else:
+            upper = max(self.upper, other.upper)
+        return Card(lower, upper)
+
+    def refines(self, other: "Card") -> bool:
+        """True when this interval is contained in ``other``.
+
+        Used to check that a subclass's cardinality constraint genuinely
+        *refines* the inherited one (e.g. ``Grad_Student`` refining the
+        enrolment bounds of ``Student`` in Figure 2).
+        """
+        if self.lower < other.lower:
+            return False
+        if other.upper is INFINITY:
+            return True
+        if self.upper is INFINITY:
+            return False
+        return self.upper <= other.upper
+
+    # ------------------------------------------------------------------
+    # Rendering
+    # ------------------------------------------------------------------
+    def __str__(self) -> str:
+        upper = "*" if self.upper is INFINITY else str(self.upper)
+        return f"({self.lower}, {upper})"
+
+
+#: Unconstrained interval ``(0, infinity)``.
+ANY = Card(0, INFINITY)
+#: Mandatory single-valued link, the paper's ``(1, 1)``.
+EXACTLY_ONE = Card(1, 1)
+#: Optional single-valued link, the paper's ``(0, 1)``.
+AT_MOST_ONE = Card(0, 1)
+#: Mandatory multi-valued link, ``(1, infinity)``.
+AT_LEAST_ONE = Card(1, INFINITY)

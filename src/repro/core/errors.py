@@ -1,0 +1,61 @@
+"""Exception hierarchy for the CAR reproduction library.
+
+Every error raised by the library derives from :class:`CarError`, so callers
+can catch a single exception type at API boundaries.  The subclasses mirror
+the pipeline stages: schema construction, parsing, semantics (model
+checking), reasoning, and model synthesis.
+"""
+
+from __future__ import annotations
+
+__all__ = [
+    "CarError",
+    "SchemaError",
+    "ParseError",
+    "SemanticsError",
+    "ReasoningError",
+    "SynthesisError",
+    "LinearSystemError",
+]
+
+
+class CarError(Exception):
+    """Base class for every error raised by the ``repro`` library."""
+
+
+class SchemaError(CarError):
+    """An ill-formed schema component (duplicate symbols, bad cardinality,
+    references to undeclared classes/relations/roles, ...)."""
+
+
+class ParseError(CarError):
+    """A syntax error in the concrete CAR schema syntax.
+
+    Carries the 1-based ``line`` and ``column`` of the offending token.
+    """
+
+    def __init__(self, message: str, line: int = 0, column: int = 0):
+        location = f" at line {line}, column {column}" if line else ""
+        super().__init__(f"{message}{location}")
+        self.line = line
+        self.column = column
+
+
+class SemanticsError(CarError):
+    """An ill-formed interpretation (objects outside the universe, labeled
+    tuples with wrong roles, ...)."""
+
+
+class ReasoningError(CarError):
+    """The reasoner was asked something it cannot answer (e.g. satisfiability
+    of a class symbol that does not occur in the schema)."""
+
+
+class LinearSystemError(CarError):
+    """An internal inconsistency while building or solving the system of
+    linear disequations ``Psi_S``."""
+
+
+class SynthesisError(CarError):
+    """Model synthesis failed (e.g. asked to build a model of an
+    unsatisfiable class)."""

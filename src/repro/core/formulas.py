@@ -1,0 +1,245 @@
+"""Class-literals, class-clauses, and class-formulae (CNF over class symbols).
+
+The paper's boolean language over class symbols is conjunctive normal form:
+
+* a **class-literal** is ``C`` or ``¬C`` for a class symbol ``C``;
+* a **class-clause** is a disjunction ``L1 ∨ … ∨ Lm`` of literals;
+* a **class-formula** is a conjunction ``γ1 ∧ … ∧ γn`` of clauses.
+
+We expose three immutable, hashable AST types plus a tiny operator DSL so that
+schemas can be written naturally in Python::
+
+    from repro.core.formulas import Lit
+
+    person, professor = Lit("Person"), Lit("Professor")
+    student_isa = (person & ~professor)          # Person ∧ ¬Professor
+    teacher = professor | Lit("Grad_Student")    # Professor ∨ Grad_Student
+
+Truth is evaluated against a set of *positive* class symbols — exactly the
+truth assignment ``Φ_C̄`` a compound class induces (Section 3.1): a class is
+true iff it belongs to the set.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import AbstractSet, Iterable, Union
+
+from .errors import SchemaError
+
+__all__ = ["Lit", "Clause", "Formula", "TOP", "as_formula", "as_clause", "FormulaLike"]
+
+
+@dataclass(frozen=True, slots=True)
+class Lit:
+    """A class-literal: a class symbol, possibly negated.
+
+    ``Lit("Person")`` is the positive literal, ``~Lit("Person")`` (or
+    ``Lit("Person", positive=False)``) the negative one.
+    """
+
+    name: str
+    positive: bool = True
+
+    def __post_init__(self) -> None:
+        if not self.name or not isinstance(self.name, str):
+            raise SchemaError(f"class-literal needs a nonempty symbol name, got {self.name!r}")
+
+    def __invert__(self) -> "Lit":
+        return Lit(self.name, not self.positive)
+
+    def __or__(self, other: Union["Lit", "Clause"]) -> "Clause":
+        return as_clause(self) | other
+
+    def __and__(self, other: "FormulaLike") -> "Formula":
+        return as_formula(self) & other
+
+    def satisfied_by(self, positive_classes: AbstractSet[str]) -> bool:
+        """Truth of the literal under the assignment making exactly
+        ``positive_classes`` true."""
+        return (self.name in positive_classes) == self.positive
+
+    def __str__(self) -> str:
+        return self.name if self.positive else f"not {self.name}"
+
+
+@dataclass(frozen=True, slots=True)
+class Clause:
+    """A class-clause: a disjunction of class-literals.
+
+    Literals are stored deduplicated in a canonical (sorted) order so that
+    clauses compare and hash structurally.  The empty clause is ``false``.
+    """
+
+    literals: tuple[Lit, ...]
+
+    def __post_init__(self) -> None:
+        seen: dict[Lit, None] = {}
+        for lit in self.literals:
+            if not isinstance(lit, Lit):
+                raise SchemaError(f"clause members must be class-literals, got {lit!r}")
+            seen.setdefault(lit, None)
+        canonical = tuple(sorted(seen, key=lambda l: (l.name, not l.positive)))
+        object.__setattr__(self, "literals", canonical)
+
+    def __or__(self, other: Union[Lit, "Clause"]) -> "Clause":
+        if isinstance(other, Lit):
+            return Clause(self.literals + (other,))
+        if isinstance(other, Clause):
+            return Clause(self.literals + other.literals)
+        return NotImplemented
+
+    def __and__(self, other: "FormulaLike") -> "Formula":
+        return as_formula(self) & other
+
+    def __iter__(self):
+        return iter(self.literals)
+
+    def __len__(self) -> int:
+        return len(self.literals)
+
+    def is_tautology(self) -> bool:
+        """True when the clause contains a literal and its negation."""
+        positive = {lit.name for lit in self.literals if lit.positive}
+        return any(not lit.positive and lit.name in positive for lit in self.literals)
+
+    def satisfied_by(self, positive_classes: AbstractSet[str]) -> bool:
+        """Truth under the assignment making exactly ``positive_classes`` true."""
+        return any(lit.satisfied_by(positive_classes) for lit in self.literals)
+
+    def classes(self) -> frozenset[str]:
+        """All class symbols mentioned (positively or negatively)."""
+        return frozenset(lit.name for lit in self.literals)
+
+    def __str__(self) -> str:
+        if not self.literals:
+            return "false"
+        return " or ".join(str(lit) for lit in self.literals)
+
+
+@dataclass(frozen=True, slots=True)
+class Formula:
+    """A class-formula: a conjunction of class-clauses (CNF).
+
+    Clauses are stored deduplicated in a canonical order.  The empty
+    conjunction is ``true`` (exported as :data:`TOP`).
+    """
+
+    clauses: tuple[Clause, ...]
+
+    def __post_init__(self) -> None:
+        seen: dict[Clause, None] = {}
+        for clause in self.clauses:
+            if not isinstance(clause, Clause):
+                raise SchemaError(f"formula members must be class-clauses, got {clause!r}")
+            seen.setdefault(clause, None)
+        canonical = tuple(sorted(seen, key=lambda c: tuple((l.name, not l.positive) for l in c)))
+        object.__setattr__(self, "clauses", canonical)
+
+    def __and__(self, other: "FormulaLike") -> "Formula":
+        return Formula(self.clauses + as_formula(other).clauses)
+
+    def __iter__(self):
+        return iter(self.clauses)
+
+    def __len__(self) -> int:
+        return len(self.clauses)
+
+    def is_trivially_true(self) -> bool:
+        """True for the empty conjunction or when every clause is a tautology."""
+        return all(clause.is_tautology() for clause in self.clauses)
+
+    def satisfied_by(self, positive_classes: AbstractSet[str]) -> bool:
+        """Truth under the assignment making exactly ``positive_classes`` true.
+
+        This is the paper's "``C̄`` realizes ``F``" test when called with a
+        compound class's member set.
+        """
+        return all(clause.satisfied_by(positive_classes) for clause in self.clauses)
+
+    def classes(self) -> frozenset[str]:
+        """All class symbols mentioned (positively or negatively)."""
+        result: set[str] = set()
+        for clause in self.clauses:
+            result.update(clause.classes())
+        return frozenset(result)
+
+    def positive_classes(self) -> frozenset[str]:
+        """Class symbols that occur positively in some clause."""
+        return frozenset(
+            lit.name for clause in self.clauses for lit in clause if lit.positive
+        )
+
+    def negative_classes(self) -> frozenset[str]:
+        """Class symbols that occur negated in some clause."""
+        return frozenset(
+            lit.name for clause in self.clauses for lit in clause if not lit.positive
+        )
+
+    def is_union_free(self) -> bool:
+        """True when every clause consists of a single literal (Section 4.1)."""
+        return all(len(clause) == 1 for clause in self.clauses)
+
+    def is_negation_free(self) -> bool:
+        """True when the symbol ``¬`` does not appear (Section 4.1)."""
+        return all(lit.positive for clause in self.clauses for lit in clause)
+
+    def __str__(self) -> str:
+        if not self.clauses:
+            return "true"
+        parts = []
+        for clause in self.clauses:
+            rendered = str(clause)
+            parts.append(f"({rendered})" if len(clause) > 1 else rendered)
+        return " and ".join(parts)
+
+
+#: The empty conjunction — satisfied by every object.
+TOP = Formula(())
+
+#: Anything coercible to a :class:`Formula` by :func:`as_formula`.
+FormulaLike = Union[str, Lit, Clause, Formula]
+
+
+def as_clause(value: Union[str, Lit, Clause]) -> Clause:
+    """Coerce a symbol name, literal, or clause to a :class:`Clause`."""
+    if isinstance(value, Clause):
+        return value
+    if isinstance(value, Lit):
+        return Clause((value,))
+    if isinstance(value, str):
+        return Clause((Lit(value),))
+    raise SchemaError(f"cannot interpret {value!r} as a class-clause")
+
+
+def as_formula(value: FormulaLike) -> Formula:
+    """Coerce a symbol name, literal, or clause to a :class:`Formula`."""
+    if isinstance(value, Formula):
+        return value
+    if isinstance(value, (str, Lit, Clause)):
+        return Formula((as_clause(value),))
+    raise SchemaError(f"cannot interpret {value!r} as a class-formula")
+
+
+def conjunction(parts: Iterable[FormulaLike]) -> Formula:
+    """Conjunction of arbitrarily many formula-like values (``TOP`` if empty)."""
+    result = TOP
+    for part in parts:
+        result = result & part
+    return result
+
+
+def disjunction(parts: Iterable[Union[str, Lit]]) -> Clause:
+    """Disjunction of class symbols / literals as a single clause."""
+    literals: list[Lit] = []
+    for part in parts:
+        if isinstance(part, str):
+            literals.append(Lit(part))
+        elif isinstance(part, Lit):
+            literals.append(part)
+        else:
+            raise SchemaError(f"cannot interpret {part!r} as a class-literal")
+    return Clause(tuple(literals))
+
+
+__all__ += ["conjunction", "disjunction"]

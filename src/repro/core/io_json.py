@@ -1,0 +1,218 @@
+"""JSON (de)serialization for schemas and interpretations.
+
+The concrete CAR syntax is the human format; this module is the machine
+format: stable, versioned dictionaries suitable for storing schemas in
+catalogs, shipping them over APIs, and snapshotting database states.
+
+``schema_to_dict`` / ``schema_from_dict`` round-trip to identical ASTs, as
+do ``interpretation_to_dict`` / ``interpretation_from_dict`` (for
+interpretations whose objects are strings or integers — JSON's scalar
+universe).  A ``format`` tag guards against loading foreign documents.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any, Mapping
+
+from .cardinality import Card, INFINITY
+from .errors import SchemaError, SemanticsError
+from .formulas import Clause, Formula, Lit
+from .schema import (
+    AttrRef,
+    AttributeSpec,
+    ClassDef,
+    ParticipationSpec,
+    RelationDef,
+    RoleClause,
+    RoleLiteral,
+    Schema,
+)
+
+__all__ = [
+    "SCHEMA_FORMAT", "INTERPRETATION_FORMAT",
+    "schema_to_dict", "schema_from_dict", "schema_to_json", "schema_from_json",
+    "interpretation_to_dict", "interpretation_from_dict",
+]
+
+SCHEMA_FORMAT = "car-schema/1"
+INTERPRETATION_FORMAT = "car-interpretation/1"
+
+
+# ----------------------------------------------------------------------
+# Formulae and cardinalities
+# ----------------------------------------------------------------------
+def _card_to_list(card: Card) -> list:
+    return [card.lower, None if card.upper is INFINITY else card.upper]
+
+
+def _card_from_list(value: Any) -> Card:
+    if not isinstance(value, (list, tuple)) or len(value) != 2:
+        raise SchemaError(f"cardinality must be a [lower, upper] pair, got {value!r}")
+    return Card(value[0], value[1])
+
+
+def _formula_to_list(formula: Formula) -> list:
+    return [[[lit.name, lit.positive] for lit in clause] for clause in formula]
+
+
+def _formula_from_list(value: Any) -> Formula:
+    if not isinstance(value, list):
+        raise SchemaError(f"formula must be a list of clauses, got {value!r}")
+    clauses = []
+    for clause in value:
+        literals = tuple(Lit(name, bool(positive)) for name, positive in clause)
+        clauses.append(Clause(literals))
+    return Formula(tuple(clauses))
+
+
+# ----------------------------------------------------------------------
+# Schemas
+# ----------------------------------------------------------------------
+def schema_to_dict(schema: Schema) -> dict:
+    """A JSON-compatible dictionary for the schema."""
+    return {
+        "format": SCHEMA_FORMAT,
+        "classes": [
+            {
+                "name": cdef.name,
+                "isa": _formula_to_list(cdef.isa),
+                "attributes": [
+                    {
+                        "attribute": spec.ref.name,
+                        "inverse": spec.ref.inverse,
+                        "card": _card_to_list(spec.card),
+                        "filler": _formula_to_list(spec.filler),
+                    }
+                    for spec in cdef.attributes
+                ],
+                "participates": [
+                    {
+                        "relation": spec.relation,
+                        "role": spec.role,
+                        "card": _card_to_list(spec.card),
+                    }
+                    for spec in cdef.participates
+                ],
+            }
+            for cdef in schema.class_definitions
+        ],
+        "relations": [
+            {
+                "name": rdef.name,
+                "roles": list(rdef.roles),
+                "constraints": [
+                    [
+                        {"role": lit.role, "formula": _formula_to_list(lit.formula)}
+                        for lit in clause
+                    ]
+                    for clause in rdef.constraints
+                ],
+            }
+            for rdef in schema.relation_definitions
+        ],
+    }
+
+
+def schema_from_dict(data: Mapping) -> Schema:
+    """Rebuild a schema from :func:`schema_to_dict` output."""
+    if data.get("format") != SCHEMA_FORMAT:
+        raise SchemaError(
+            f"not a {SCHEMA_FORMAT} document (format={data.get('format')!r})")
+    classes = []
+    for entry in data.get("classes", ()):
+        attributes = [
+            AttributeSpec(
+                AttrRef(item["attribute"], bool(item.get("inverse", False))),
+                _card_from_list(item["card"]),
+                _formula_from_list(item["filler"]),
+            )
+            for item in entry.get("attributes", ())
+        ]
+        participates = [
+            ParticipationSpec(item["relation"], item["role"],
+                              _card_from_list(item["card"]))
+            for item in entry.get("participates", ())
+        ]
+        classes.append(ClassDef(entry["name"],
+                                _formula_from_list(entry.get("isa", [])),
+                                attributes, participates))
+    relations = []
+    for entry in data.get("relations", ()):
+        constraints = [
+            RoleClause(*(RoleLiteral(lit["role"],
+                                     _formula_from_list(lit["formula"]))
+                         for lit in clause))
+            for clause in entry.get("constraints", ())
+        ]
+        relations.append(RelationDef(entry["name"], entry["roles"], constraints))
+    return Schema(classes, relations)
+
+
+def schema_to_json(schema: Schema, **dumps_kwargs: Any) -> str:
+    """The schema as a JSON string (``indent=2`` by default)."""
+    dumps_kwargs.setdefault("indent", 2)
+    dumps_kwargs.setdefault("sort_keys", True)
+    return json.dumps(schema_to_dict(schema), **dumps_kwargs)
+
+
+def schema_from_json(text: str) -> Schema:
+    return schema_from_dict(json.loads(text))
+
+
+# ----------------------------------------------------------------------
+# Interpretations
+# ----------------------------------------------------------------------
+def interpretation_to_dict(interp) -> dict:
+    """A JSON-compatible snapshot of a database state.
+
+    Objects must be JSON scalars (strings, ints, bools); anything else is
+    rejected so that the round trip stays faithful.
+    """
+    from ..semantics.interpretation import Interpretation
+
+    if not isinstance(interp, Interpretation):
+        raise SemanticsError(f"expected an Interpretation, got {interp!r}")
+
+    def check(obj):
+        if not isinstance(obj, (str, int, bool)):
+            raise SemanticsError(
+                f"object {obj!r} is not JSON-scalar; relabel before export")
+        return obj
+
+    return {
+        "format": INTERPRETATION_FORMAT,
+        "universe": sorted((check(o) for o in interp.universe), key=repr),
+        "classes": {
+            name: sorted(interp.class_ext(name), key=repr)
+            for name in sorted(interp.mentioned_classes())
+        },
+        "attributes": {
+            name: sorted(([a, b] for a, b in interp.attribute_ext(name)),
+                         key=repr)
+            for name in sorted(interp.mentioned_attributes())
+        },
+        "relations": {
+            name: sorted((dict(t.items) for t in interp.relation_ext(name)),
+                         key=repr)
+            for name in sorted(interp.mentioned_relations())
+        },
+    }
+
+
+def interpretation_from_dict(data: Mapping):
+    """Rebuild an interpretation from :func:`interpretation_to_dict`."""
+    from ..semantics.interpretation import Interpretation, LabeledTuple
+
+    if data.get("format") != INTERPRETATION_FORMAT:
+        raise SemanticsError(
+            f"not a {INTERPRETATION_FORMAT} document "
+            f"(format={data.get('format')!r})")
+    return Interpretation(
+        data["universe"],
+        {name: set(ext) for name, ext in data.get("classes", {}).items()},
+        {name: {(a, b) for a, b in ext}
+         for name, ext in data.get("attributes", {}).items()},
+        {name: {LabeledTuple(t) for t in ext}
+         for name, ext in data.get("relations", {}).items()},
+    )

@@ -1,0 +1,190 @@
+"""Compound classes, compound attributes, compound relations (Section 3.1).
+
+A **compound class** ``C̄`` is a subset of the class alphabet; it stands for
+the objects that are instances of *exactly* the classes in ``C̄``.  We
+represent it as a plain ``frozenset[str]`` (cheap, hashable) and provide the
+paper's notions as functions:
+
+* ``C̄`` *realizes* a class-formula ``F`` when the truth assignment ``Φ_C̄``
+  (member classes true, all others false) satisfies ``F``;
+* ``C̄`` is **consistent** when it realizes the isa-formula of each member;
+* a **compound attribute** ``⟨C̄1, C̄2⟩_A`` is consistent when both endpoints
+  are consistent and the attribute's filler formulae (direct on ``C̄1``,
+  inverse on ``C̄2``) are realized by the opposite endpoint;
+* a **compound relation** ``⟨U1: C̄1, …, UK: C̄K⟩_R`` is consistent when all
+  endpoints are consistent and every role-clause of ``R`` has a realized
+  role-literal.
+
+The cardinality merges ``(u_max, v_min)`` of Definition 3.1 are
+:func:`merged_attr_card` and :func:`merged_participation_card`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import AbstractSet, Mapping, Optional
+
+from ..core.cardinality import Card
+from ..core.schema import AttrRef, Schema
+
+__all__ = [
+    "CompoundClass",
+    "CompoundAttribute",
+    "CompoundRelation",
+    "is_consistent_compound_class",
+    "is_consistent_compound_attribute",
+    "is_consistent_compound_relation",
+    "merged_attr_card",
+    "merged_participation_card",
+]
+
+#: A compound class is simply a frozen set of class symbols.
+CompoundClass = frozenset
+
+
+def is_consistent_compound_class(schema: Schema, members: AbstractSet[str]) -> bool:
+    """Consistency of a compound class with respect to the schema.
+
+    ``C̄`` is consistent iff for every class ``C ∈ C̄``, ``C̄`` realizes the
+    class-formula in the isa part of the definition of ``C``.
+    """
+    return all(schema.definition(name).isa.satisfied_by(members) for name in members)
+
+
+@dataclass(frozen=True, slots=True)
+class CompoundAttribute:
+    """An indexed pair ``⟨C̄1, C̄2⟩_A``: edges of attribute ``attr`` whose
+    source lies exactly in ``left`` and target exactly in ``right``."""
+
+    attr: str
+    left: CompoundClass
+    right: CompoundClass
+
+    def __str__(self) -> str:
+        return (f"<{{{', '.join(sorted(self.left))}}}, "
+                f"{{{', '.join(sorted(self.right))}}}>_{self.attr}")
+
+
+@dataclass(frozen=True, slots=True)
+class CompoundRelation:
+    """A labeled tuple of compound classes ``⟨U1: C̄1, …, UK: C̄K⟩_R``.
+
+    ``assignment`` is stored sorted by role so instances hash structurally.
+    """
+
+    relation: str
+    assignment: tuple[tuple[str, CompoundClass], ...]
+
+    def __init__(self, relation: str,
+                 assignment: Mapping[str, CompoundClass] | tuple):
+        if isinstance(assignment, Mapping):
+            pairs = tuple(sorted(assignment.items()))
+        else:
+            pairs = tuple(sorted(assignment))
+        object.__setattr__(self, "relation", relation)
+        object.__setattr__(self, "assignment", pairs)
+
+    def __getitem__(self, role: str) -> CompoundClass:
+        for name, compound in self.assignment:
+            if name == role:
+                return compound
+        raise KeyError(role)
+
+    def roles(self) -> tuple[str, ...]:
+        return tuple(name for name, _ in self.assignment)
+
+    def __str__(self) -> str:
+        inner = ", ".join(
+            f"{role}: {{{', '.join(sorted(compound))}}}"
+            for role, compound in self.assignment
+        )
+        return f"<{inner}>_{self.relation}"
+
+
+def _forward_fillers_ok(schema: Schema, attr: str, left: AbstractSet[str],
+                        right: AbstractSet[str]) -> bool:
+    """Every ``A : (u, v) F`` spec of a class in ``left`` must have ``F``
+    realized by ``right``."""
+    ref = AttrRef(attr)
+    for name in left:
+        spec = schema.definition(name).attribute_specs.get(ref)
+        if spec is not None and not spec.filler.satisfied_by(right):
+            return False
+    return True
+
+
+def _inverse_fillers_ok(schema: Schema, attr: str, left: AbstractSet[str],
+                        right: AbstractSet[str]) -> bool:
+    """Every ``(inv A) : (u, v) F`` spec of a class in ``right`` must have
+    ``F`` realized by ``left``."""
+    ref = AttrRef(attr, inverse=True)
+    for name in right:
+        spec = schema.definition(name).attribute_specs.get(ref)
+        if spec is not None and not spec.filler.satisfied_by(left):
+            return False
+    return True
+
+
+def is_consistent_compound_attribute(schema: Schema, compound: CompoundAttribute,
+                                     *, endpoints_consistent: bool = False) -> bool:
+    """Consistency of ``⟨C̄1, C̄2⟩_A`` (Section 3.1).
+
+    Pass ``endpoints_consistent=True`` when both endpoints are already known
+    to be consistent compound classes (the expansion builder does) to skip
+    re-checking them.
+    """
+    if not endpoints_consistent:
+        if not is_consistent_compound_class(schema, compound.left):
+            return False
+        if not is_consistent_compound_class(schema, compound.right):
+            return False
+    return (_forward_fillers_ok(schema, compound.attr, compound.left, compound.right)
+            and _inverse_fillers_ok(schema, compound.attr, compound.left,
+                                    compound.right))
+
+
+def is_consistent_compound_relation(schema: Schema, compound: CompoundRelation,
+                                    *, endpoints_consistent: bool = False) -> bool:
+    """Consistency of ``⟨U1: C̄1, …, UK: C̄K⟩_R`` (Section 3.1)."""
+    rdef = schema.relation(compound.relation)
+    if frozenset(compound.roles()) != frozenset(rdef.roles):
+        return False
+    if not endpoints_consistent:
+        for _, members in compound.assignment:
+            if not is_consistent_compound_class(schema, members):
+                return False
+    for clause in rdef.constraints:
+        if not any(lit.formula.satisfied_by(compound[lit.role]) for lit in clause):
+            return False
+    return True
+
+
+def merged_attr_card(schema: Schema, members: AbstractSet[str],
+                     ref: AttrRef) -> Optional[Card]:
+    """The ``(u_max, v_min)`` entry of ``Natt`` for compound class ``members``
+    and attribute reference ``ref`` — None when no member constrains ``ref``.
+
+    The merged interval may be empty (e.g. specs ``(2, 3)`` and ``(0, 1)``
+    in two member classes); an empty interval forces the compound class to be
+    empty, which the linear system encodes as ``Var(C̄) = 0``.
+    """
+    merged: Optional[Card] = None
+    for name in members:
+        spec = schema.definition(name).attribute_specs.get(ref)
+        if spec is None:
+            continue
+        merged = spec.card if merged is None else merged.intersect(spec.card)
+    return merged
+
+
+def merged_participation_card(schema: Schema, members: AbstractSet[str],
+                              relation: str, role: str) -> Optional[Card]:
+    """The ``(x_max, y_min)`` entry of ``Nrel`` for compound class ``members``
+    and relation role ``relation[role]`` — None when unconstrained."""
+    merged: Optional[Card] = None
+    for name in members:
+        spec = schema.definition(name).participation_specs.get((relation, role))
+        if spec is None:
+            continue
+        merged = spec.card if merged is None else merged.intersect(spec.card)
+    return merged

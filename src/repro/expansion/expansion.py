@@ -1,0 +1,213 @@
+"""Construction of the expansion ``S̄`` of a CAR schema (Definition 3.1).
+
+The expansion consists of
+
+* all consistent compound classes,
+* all consistent compound attributes ``⟨C̄1, C̄2⟩_A``,
+* all consistent compound relations ``⟨U1: C̄1, …⟩_R``,
+* the cardinality maps ``Natt`` and ``Nrel``.
+
+Compound attributes and relations that no *binding* ``Natt``/``Nrel`` entry
+touches are omitted by default (binding: positive lower bound or finite
+upper bound).  Such compound objects occur in no disequation of ``Ψ_S``, so
+they can always be interpreted freely; set ``include_unconstrained=True`` to
+build Definition 3.1 verbatim, which the unit tests do on small schemas.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from itertools import product
+from typing import Optional, Sequence
+
+from ..core.cardinality import Card, INFINITY
+from ..core.errors import ReasoningError
+from ..core.schema import AttrRef, Schema
+from .compound import (
+    CompoundAttribute,
+    CompoundRelation,
+    is_consistent_compound_attribute,
+    is_consistent_compound_relation,
+    merged_attr_card,
+    merged_participation_card,
+)
+from .enumerate import compound_classes as enumerate_compound_classes
+
+__all__ = ["Expansion", "build_expansion", "is_binding"]
+
+
+def is_binding(card: Card) -> bool:
+    """True when a merged cardinality interval yields a disequation at all:
+    ``(0, ∞)`` entries constrain nothing and are skipped when selecting the
+    compound attributes/relations to materialize."""
+    return card.lower > 0 or card.upper is not INFINITY
+
+
+@dataclass(frozen=True)
+class Expansion:
+    """The expansion ``S̄``: compound objects plus ``Natt`` / ``Nrel``."""
+
+    schema: Schema
+    compound_classes: tuple[frozenset, ...]
+    compound_attributes: dict[str, tuple[CompoundAttribute, ...]]
+    compound_relations: dict[str, tuple[CompoundRelation, ...]]
+    natt: dict[tuple[frozenset, AttrRef], Card]
+    nrel: dict[tuple[frozenset, str, str], Card]
+    strategy: str = "strategic"
+
+    def size(self) -> int:
+        """Total number of compound objects (the paper's expansion size)."""
+        return (len(self.compound_classes)
+                + sum(len(v) for v in self.compound_attributes.values())
+                + sum(len(v) for v in self.compound_relations.values()))
+
+    def compound_classes_containing(self, class_name: str) -> list[frozenset]:
+        """The compound classes whose member set includes ``class_name``."""
+        return [members for members in self.compound_classes if class_name in members]
+
+    def attributes_with_left(self, attr: str, members: frozenset) -> list[CompoundAttribute]:
+        """Compound attributes of ``attr`` whose source endpoint is ``members``
+        (the summands of ``S(A, C̄)``)."""
+        return [ca for ca in self.compound_attributes.get(attr, ())
+                if ca.left == members]
+
+    def attributes_with_right(self, attr: str, members: frozenset) -> list[CompoundAttribute]:
+        """Compound attributes of ``attr`` whose target endpoint is ``members``
+        (the summands of ``S((inv A), C̄)``)."""
+        return [ca for ca in self.compound_attributes.get(attr, ())
+                if ca.right == members]
+
+    def relations_with_role(self, relation: str, role: str,
+                            members: frozenset) -> list[CompoundRelation]:
+        """Compound relations of ``relation`` assigning ``members`` to ``role``."""
+        return [cr for cr in self.compound_relations.get(relation, ())
+                if cr[role] == members]
+
+    def summary(self) -> str:
+        lines = [
+            f"expansion ({self.strategy}): {len(self.compound_classes)} compound classes",
+        ]
+        for attr in sorted(self.compound_attributes):
+            lines.append(
+                f"  attribute {attr}: {len(self.compound_attributes[attr])} compound attributes"
+            )
+        for rel in sorted(self.compound_relations):
+            lines.append(
+                f"  relation {rel}: {len(self.compound_relations[rel])} compound relations"
+            )
+        lines.append(f"  |Natt| = {len(self.natt)}, |Nrel| = {len(self.nrel)}")
+        return "\n".join(lines)
+
+
+#: Placeholder interval for absent entries in the binding tests above.
+_FREE = Card(0, INFINITY)
+
+
+def build_expansion(schema: Schema, strategy: str = "auto", *,
+                    include_unconstrained: bool = False,
+                    size_limit: Optional[int] = None) -> Expansion:
+    """Build the expansion of ``schema``.
+
+    Parameters
+    ----------
+    strategy:
+        Compound-class enumeration strategy (see
+        :func:`repro.expansion.enumerate.compound_classes`).
+    include_unconstrained:
+        Also include compound attributes/relations that no ``Natt``/``Nrel``
+        entry mentions (Definition 3.1 verbatim).
+    size_limit:
+        Abort with :class:`ReasoningError` when the number of compound
+        objects would exceed this bound — a guard for adversarial schemas.
+    """
+    classes = tuple(enumerate_compound_classes(schema, strategy))
+    if size_limit is not None and len(classes) > size_limit:
+        raise ReasoningError(
+            f"expansion exceeds size limit: {len(classes)} compound classes > {size_limit}"
+        )
+
+    natt: dict[tuple[frozenset, AttrRef], Card] = {}
+    for members in classes:
+        for ref in schema.attribute_refs():
+            merged = merged_attr_card(schema, members, ref)
+            if merged is not None:
+                natt[(members, ref)] = merged
+
+    nrel: dict[tuple[frozenset, str, str], Card] = {}
+    participation_keys = {
+        (spec.relation, spec.role)
+        for cdef in schema.class_definitions for spec in cdef.participates
+    }
+    for members in classes:
+        for relation, role in participation_keys:
+            merged = merged_participation_card(schema, members, relation, role)
+            if merged is not None:
+                nrel[(members, relation, role)] = merged
+
+    compound_attributes = _build_compound_attributes(
+        schema, classes, natt, include_unconstrained, size_limit)
+    compound_relations = _build_compound_relations(
+        schema, classes, nrel, include_unconstrained, size_limit)
+
+    return Expansion(
+        schema=schema,
+        compound_classes=classes,
+        compound_attributes=compound_attributes,
+        compound_relations=compound_relations,
+        natt=natt,
+        nrel=nrel,
+        strategy=strategy,
+    )
+
+
+def _build_compound_attributes(schema: Schema, classes: Sequence[frozenset],
+                               natt, include_unconstrained: bool,
+                               size_limit: Optional[int]
+                               ) -> dict[str, tuple[CompoundAttribute, ...]]:
+    result: dict[str, tuple[CompoundAttribute, ...]] = {}
+    for attr in sorted(schema.attribute_symbols):
+        direct = AttrRef(attr)
+        inverse = AttrRef(attr, inverse=True)
+        found: list[CompoundAttribute] = []
+        for left, right in product(classes, classes):
+            relevant = (include_unconstrained
+                        or is_binding(natt.get((left, direct), _FREE))
+                        or is_binding(natt.get((right, inverse), _FREE)))
+            if not relevant:
+                continue
+            candidate = CompoundAttribute(attr, left, right)
+            if is_consistent_compound_attribute(schema, candidate,
+                                                endpoints_consistent=True):
+                found.append(candidate)
+                if size_limit is not None and len(found) > size_limit:
+                    raise ReasoningError(
+                        f"expansion exceeds size limit on attribute {attr}"
+                    )
+        result[attr] = tuple(found)
+    return result
+
+
+def _build_compound_relations(schema: Schema, classes: Sequence[frozenset],
+                              nrel, include_unconstrained: bool,
+                              size_limit: Optional[int]
+                              ) -> dict[str, tuple[CompoundRelation, ...]]:
+    result: dict[str, tuple[CompoundRelation, ...]] = {}
+    for rdef in schema.relation_definitions:
+        found: list[CompoundRelation] = []
+        for combo in product(classes, repeat=rdef.arity):
+            relevant = include_unconstrained or any(
+                is_binding(nrel.get((members, rdef.name, role), _FREE))
+                for role, members in zip(rdef.roles, combo)
+            )
+            if not relevant:
+                continue
+            candidate = CompoundRelation(rdef.name, dict(zip(rdef.roles, combo)))
+            if is_consistent_compound_relation(schema, candidate,
+                                               endpoints_consistent=True):
+                found.append(candidate)
+                if size_limit is not None and len(found) > size_limit:
+                    raise ReasoningError(
+                        f"expansion exceeds size limit on relation {rdef.name}"
+                    )
+        result[rdef.name] = tuple(found)
+    return result

@@ -1,0 +1,5 @@
+"""Interoperability: exporting CAR schemas to neighbouring formalisms."""
+
+from .dl_export import DlTBox, export_tbox
+
+__all__ = ["DlTBox", "export_tbox"]

@@ -1,0 +1,162 @@
+"""Export CAR schemas as Description Logic TBoxes (ALCQI syntax).
+
+CAR's class language is, at its core, the description logic **ALCQI**
+restricted to finite models: boolean concept constructors, qualified number
+restrictions, and inverse roles — the connection modern DL reasoners
+(which cover similar expressivity over *unrestricted* models) exploit.
+This module renders a CAR schema as a textual TBox:
+
+* ``isa F``              →  ``C ⊑ τ(F)``
+* ``A : (u, v) F``       →  ``C ⊑ ∀A.τ(F) ⊓ (≥ u A.⊤) ⊓ (≤ v A.⊤)``
+* ``(inv A) : (u, v) F`` →  the same with the inverse role ``A⁻``
+* n-ary relations        →  reified via Theorem 4.5 first (tuple concept +
+  one role per position), when their role-clauses permit; participation
+  constraints become number restrictions on the inverted role.
+
+The translation is *syntax-faithful*; semantics diverge on one axis the
+docstrings flag loudly: CAR is a finite-model logic, so a CAR-unsatisfiable
+class may be satisfiable for a classical DL reasoner (e.g. the paper's
+infinite-model escape hatches).  The export is for interchange and
+inspection, not for delegating CAR reasoning.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..core.cardinality import INFINITY
+from ..core.errors import SchemaError
+from ..core.formulas import Clause, Formula
+from ..core.schema import AttributeSpec, ClassDef, Schema
+
+__all__ = ["DlTBox", "export_tbox"]
+
+
+@dataclass(frozen=True)
+class DlTBox:
+    """A rendered TBox: axiom strings plus translation warnings."""
+
+    axioms: tuple[str, ...]
+    warnings: tuple[str, ...]
+
+    def __str__(self) -> str:
+        lines = list(self.axioms)
+        for warning in self.warnings:
+            lines.append(f"%% {warning}")
+        return "\n".join(lines)
+
+
+def _concept_of_clause(clause: Clause) -> str:
+    parts = [lit.name if lit.positive else f"¬{lit.name}"
+             for lit in clause]
+    if not parts:
+        return "⊥"
+    if len(parts) == 1:
+        return parts[0]
+    return "(" + " ⊔ ".join(parts) + ")"
+
+
+def _concept_of_formula(formula: Formula) -> str:
+    if not formula.clauses:
+        return "⊤"
+    parts = [_concept_of_clause(clause) for clause in formula]
+    if len(parts) == 1:
+        return parts[0]
+    return " ⊓ ".join(parts)
+
+
+def _role_of(spec: AttributeSpec) -> str:
+    return f"{spec.ref.name}⁻" if spec.ref.inverse else spec.ref.name
+
+
+def _restrictions(spec: AttributeSpec) -> list[str]:
+    role = _role_of(spec)
+    parts = []
+    if spec.filler.clauses:
+        parts.append(f"∀{role}.{_concept_of_formula(spec.filler)}")
+    if spec.card.lower > 0:
+        parts.append(f"(≥ {spec.card.lower} {role}.⊤)")
+    if spec.card.upper is not INFINITY:
+        parts.append(f"(≤ {spec.card.upper} {role}.⊤)")
+    return parts
+
+
+def _class_axioms(cdef: ClassDef) -> list[str]:
+    right: list[str] = []
+    if cdef.isa.clauses:
+        right.append(_concept_of_formula(cdef.isa))
+    for spec in cdef.attributes:
+        right.extend(_restrictions(spec))
+    if not right:
+        return []
+    return [f"{cdef.name} ⊑ {' ⊓ '.join(right)}"]
+
+
+def export_tbox(schema: Schema) -> DlTBox:
+    """Render the schema as an ALCQI TBox.
+
+    Relations of arity ≥ 3 (and binary relations with disjunctive
+    role-clauses) are reified via Theorem 4.5 when possible; failures are
+    reported as warnings rather than errors so that the class-level part of
+    any schema always exports.
+    """
+    from ..reasoner.transform import reify_nonbinary_relations
+
+    warnings: list[str] = []
+    working = schema
+    try:
+        result = reify_nonbinary_relations(schema)
+        working = result.schema
+        for info in result.reified:
+            warnings.append(
+                f"relation {info.relation} reified as concept "
+                f"{info.tuple_class} with roles "
+                f"{', '.join(sorted(info.role_relations.values()))}")
+    except SchemaError as error:
+        warnings.append(f"nonbinary relations kept as-is: {error}")
+
+    axioms: list[str] = []
+    for cdef in working.class_definitions:
+        axioms.extend(_class_axioms(cdef))
+
+    # Binary relations: role typing from single-literal clauses; every
+    # participation constraint becomes a number restriction on the class.
+    for rdef in working.relation_definitions:
+        if rdef.arity != 2:
+            warnings.append(
+                f"relation {rdef.name} (arity {rdef.arity}) has no direct "
+                "DL counterpart and could not be reified")
+            continue
+        first, second = rdef.roles
+        for clause in rdef.constraints:
+            if len(clause) == 1:
+                lit = clause.literals[0]
+                concept = _concept_of_formula(lit.formula)
+                if lit.role == first:
+                    axioms.append(f"∃{rdef.name}.⊤ ⊑ {concept}")
+                else:
+                    axioms.append(f"∃{rdef.name}⁻.⊤ ⊑ {concept}")
+            else:
+                warnings.append(
+                    f"disjunctive role-clause of {rdef.name} "
+                    f"({clause}) is not expressible as a role-typing axiom")
+
+    for cdef in working.class_definitions:
+        for spec in cdef.participates:
+            rdef = working.relation(spec.relation)
+            if rdef.arity != 2:
+                continue
+            role = (spec.relation if spec.role == rdef.roles[0]
+                    else f"{spec.relation}⁻")
+            parts = []
+            if spec.card.lower > 0:
+                parts.append(f"(≥ {spec.card.lower} {role}.⊤)")
+            if spec.card.upper is not INFINITY:
+                parts.append(f"(≤ {spec.card.upper} {role}.⊤)")
+            if parts:
+                axioms.append(f"{cdef.name} ⊑ {' ⊓ '.join(parts)}")
+
+    warnings.append(
+        "CAR semantics are finite-model: a classical DL reasoner may accept "
+        "concepts this schema makes unsatisfiable")
+    return DlTBox(tuple(axioms), tuple(warnings))

@@ -1,0 +1,13 @@
+"""Phase 2 of the reasoning method: linear disequations and their solutions."""
+
+from .ratios import RatioBounds, population_ratio_bounds
+from .simplex import INFEASIBLE, OPTIMAL, UNBOUNDED, LpResult, solve_lp
+from .support import PinEvent, SupportResult, acceptable_support
+from .system import Constraint, PsiSystem, Unknown, build_system
+
+__all__ = [
+    "RatioBounds", "population_ratio_bounds",
+    "INFEASIBLE", "OPTIMAL", "UNBOUNDED", "LpResult", "solve_lp",
+    "PinEvent", "SupportResult", "acceptable_support",
+    "Constraint", "PsiSystem", "Unknown", "build_system",
+]

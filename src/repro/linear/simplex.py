@@ -1,0 +1,227 @@
+"""Exact rational linear programming (two-phase primal simplex).
+
+Phase 2 of the paper's method reduces class satisfiability to the existence
+of particular solutions of a homogeneous system of linear disequations
+(Theorem 3.3), decided "using linear programming techniques" (Theorem 4.3).
+Floating-point LP cannot be trusted to distinguish ``x > 0`` from ``x = 0``
+— the very distinction the method hinges on — so we implement the simplex
+method over :class:`fractions.Fraction`.
+
+Problems are given in the form::
+
+    maximize    c · x
+    subject to  A x ≤ b,   x ≥ 0
+
+Bland's anti-cycling rule guarantees termination.  The implementation is a
+dense tableau, adequate for the system sizes the expansion produces; the
+test suite cross-checks it against ``scipy.optimize.linprog`` on random
+instances.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from fractions import Fraction
+from typing import Optional, Sequence
+
+from ..core.errors import LinearSystemError
+
+__all__ = ["LpResult", "solve_lp", "OPTIMAL", "UNBOUNDED", "INFEASIBLE"]
+
+OPTIMAL = "optimal"
+UNBOUNDED = "unbounded"
+INFEASIBLE = "infeasible"
+
+
+@dataclass(frozen=True)
+class LpResult:
+    """Outcome of an LP solve.
+
+    ``solution`` and ``objective`` are exact rationals, present only for
+    ``status == OPTIMAL``.
+    """
+
+    status: str
+    objective: Optional[Fraction] = None
+    solution: Optional[tuple[Fraction, ...]] = None
+
+
+def _to_fraction_matrix(rows: Sequence[Sequence], width: int) -> list[list[Fraction]]:
+    matrix = []
+    for row in rows:
+        if len(row) != width:
+            raise LinearSystemError(f"constraint row of width {len(row)}, expected {width}")
+        matrix.append([Fraction(value) for value in row])
+    return matrix
+
+
+class _Tableau:
+    """A dense simplex tableau for ``max c·x  s.t.  A x = b, x ≥ 0``.
+
+    Rows: one per constraint; the objective row is kept separately.
+    ``basis[i]`` is the variable currently basic in row ``i``.
+    """
+
+    def __init__(self, matrix: list[list[Fraction]], rhs: list[Fraction],
+                 objective: list[Fraction], basis: list[int]):
+        self.matrix = matrix
+        self.rhs = rhs
+        self.objective = objective  # reduced-cost row (c - z), length n
+        self.obj_value = Fraction(0)
+        self.basis = basis
+
+    def price_out(self) -> None:
+        """Make reduced costs of basic variables zero."""
+        for row_index, var in enumerate(self.basis):
+            coeff = self.objective[var]
+            if coeff != 0:
+                self._add_row_multiple(row_index, -coeff)
+
+    def _add_row_multiple(self, row_index: int, factor: Fraction) -> None:
+        # Substituting the basic variable of `row_index` into the objective:
+        # z = obj_value + Σ objective_j x_j with x_b = rhs - Σ a_j x_j gives
+        # objective += factor·row and obj_value -= factor·rhs.
+        row = self.matrix[row_index]
+        for j, value in enumerate(row):
+            if value:
+                self.objective[j] += factor * value
+        self.obj_value -= factor * self.rhs[row_index]
+
+    def pivot(self, row_index: int, col: int) -> None:
+        pivot_value = self.matrix[row_index][col]
+        if pivot_value == 0:
+            raise LinearSystemError("pivot on a zero element")
+        row = self.matrix[row_index]
+        inv = Fraction(1) / pivot_value
+        self.matrix[row_index] = [value * inv for value in row]
+        self.rhs[row_index] *= inv
+        pivot_row = self.matrix[row_index]
+        for i, other in enumerate(self.matrix):
+            if i == row_index:
+                continue
+            factor = other[col]
+            if factor:
+                self.matrix[i] = [a - factor * b for a, b in zip(other, pivot_row)]
+                self.rhs[i] -= factor * self.rhs[row_index]
+        factor = self.objective[col]
+        if factor:
+            self.objective = [a - factor * b for a, b in zip(self.objective, pivot_row)]
+            self.obj_value += factor * self.rhs[row_index]
+        self.basis[row_index] = col
+
+    def run(self, *, allowed_cols: Optional[set[int]] = None) -> str:
+        """Primal simplex iterations with Bland's rule.
+
+        ``allowed_cols`` restricts entering variables (used in phase 2 to
+        keep artificial variables out).  Returns OPTIMAL or UNBOUNDED.
+        """
+        n = len(self.objective)
+        while True:
+            entering = -1
+            for j in range(n):
+                if allowed_cols is not None and j not in allowed_cols:
+                    continue
+                if self.objective[j] > 0:
+                    entering = j
+                    break
+            if entering < 0:
+                return OPTIMAL
+            leaving = -1
+            best_ratio: Optional[Fraction] = None
+            for i, row in enumerate(self.matrix):
+                coeff = row[entering]
+                if coeff > 0:
+                    ratio = self.rhs[i] / coeff
+                    better = best_ratio is None or ratio < best_ratio
+                    tie_break = (ratio == best_ratio and leaving >= 0
+                                 and self.basis[i] < self.basis[leaving])
+                    if better or tie_break:
+                        best_ratio = ratio
+                        leaving = i
+            if leaving < 0:
+                return UNBOUNDED
+            self.pivot(leaving, entering)
+
+
+def solve_lp(c: Sequence, a_ub: Sequence[Sequence], b_ub: Sequence,
+             *, maximize: bool = True) -> LpResult:
+    """Solve ``max (or min) c·x  s.t.  A_ub x ≤ b_ub, x ≥ 0`` exactly.
+
+    All inputs are coerced to :class:`~fractions.Fraction`.  Returns an
+    :class:`LpResult` whose status is one of ``optimal``, ``unbounded``,
+    ``infeasible``.
+    """
+    n = len(c)
+    m = len(a_ub)
+    if len(b_ub) != m:
+        raise LinearSystemError(f"{m} constraint rows but {len(b_ub)} right-hand sides")
+    cost = [Fraction(value) for value in c]
+    if not maximize:
+        cost = [-value for value in cost]
+    matrix = _to_fraction_matrix(a_ub, n)
+    rhs = [Fraction(value) for value in b_ub]
+
+    # Slack variables turn A x ≤ b into equalities; rows with negative rhs
+    # are negated (making their slack coefficient -1) and get an artificial
+    # variable so that phase 1 can start from an identity basis.
+    total = n + m
+    artificial_cols: list[int] = []
+    rows: list[list[Fraction]] = []
+    basis: list[int] = []
+    for i in range(m):
+        row = matrix[i] + [Fraction(0)] * m
+        row[n + i] = Fraction(1)
+        if rhs[i] < 0:
+            row = [-value for value in row]
+            rhs[i] = -rhs[i]
+            artificial_cols.append(total)
+            row.append(Fraction(1))
+            basis.append(total)
+            total += 1
+        else:
+            basis.append(n + i)
+        rows.append(row)
+    width = total
+    for row in rows:
+        row.extend([Fraction(0)] * (width - len(row)))
+
+    if artificial_cols:
+        phase1_obj = [Fraction(0)] * width
+        for col in artificial_cols:
+            phase1_obj[col] = Fraction(-1)
+        tableau = _Tableau(rows, rhs, phase1_obj, basis)
+        tableau.price_out()
+        status = tableau.run()
+        if status != OPTIMAL or tableau.obj_value != 0:
+            return LpResult(INFEASIBLE)
+        # Drive any artificial variable still basic (at value 0) out of the
+        # basis when possible; a row with no eligible pivot is redundant.
+        artificial = set(artificial_cols)
+        for i, var in enumerate(tableau.basis):
+            if var in artificial:
+                for j in range(width):
+                    if j not in artificial and tableau.matrix[i][j] != 0:
+                        tableau.pivot(i, j)
+                        break
+        rows = tableau.matrix
+        rhs = tableau.rhs
+        basis = tableau.basis
+    else:
+        artificial = set()
+
+    phase2_obj = [Fraction(0)] * width
+    for j in range(n):
+        phase2_obj[j] = cost[j]
+    tableau = _Tableau(rows, rhs, phase2_obj, basis)
+    tableau.price_out()
+    allowed = set(range(width)) - artificial
+    status = tableau.run(allowed_cols=allowed)
+    if status == UNBOUNDED:
+        return LpResult(UNBOUNDED)
+
+    values = [Fraction(0)] * n
+    for i, var in enumerate(tableau.basis):
+        if var < n:
+            values[var] = tableau.rhs[i]
+    objective = tableau.obj_value if maximize else -tableau.obj_value
+    return LpResult(OPTIMAL, objective, tuple(values))

@@ -1,0 +1,18 @@
+"""Concrete syntax: lexer, parser, and pretty-printer for CAR schemas."""
+
+from .lexer import Token, tokenize
+from .parser import SchemaParser, parse_formula, parse_schema
+from .printer import (
+    render_card,
+    render_class,
+    render_formula,
+    render_relation,
+    render_schema,
+)
+
+__all__ = [
+    "Token", "tokenize",
+    "SchemaParser", "parse_formula", "parse_schema",
+    "render_card", "render_class", "render_formula", "render_relation",
+    "render_schema",
+]

@@ -1,0 +1,131 @@
+"""Lexer for the concrete CAR schema syntax.
+
+The surface syntax follows the paper's notation as closely as plain text
+allows.  ``not``/``and``/``or`` may be written as the unicode connectives
+``¬``/``∧``/``∨``; the unbounded cardinality may be written ``inf``, ``*``
+or ``∞``.  Comments run from ``--`` or ``#`` to the end of the line.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from ..core.errors import ParseError
+
+__all__ = ["Token", "tokenize", "KEYWORDS"]
+
+#: Reserved words of the schema language.
+KEYWORDS = frozenset({
+    "class", "isa", "attributes", "participates", "in", "endclass",
+    "relation", "constraints", "endrelation", "inv", "not", "and", "or",
+    "inf", "top",
+})
+
+_PUNCTUATION = {
+    ":": "COLON",
+    ";": "SEMI",
+    ",": "COMMA",
+    "(": "LPAREN",
+    ")": "RPAREN",
+    "[": "LBRACKET",
+    "]": "RBRACKET",
+    "*": "STAR",
+}
+
+_UNICODE_ALIASES = {
+    "¬": "not",
+    "∧": "and",
+    "∨": "or",
+    "∞": "inf",
+}
+
+
+@dataclass(frozen=True, slots=True)
+class Token:
+    """A lexical token with its 1-based source position."""
+
+    kind: str  # "KEYWORD" | "IDENT" | "NUM" | punctuation kind | "EOF"
+    text: str
+    line: int
+    column: int
+
+    def __str__(self) -> str:
+        return f"{self.kind}({self.text!r})@{self.line}:{self.column}"
+
+
+def _is_ident_start(ch: str) -> bool:
+    return ch.isalpha() or ch == "_"
+
+
+def _is_ident_part(ch: str) -> bool:
+    return ch.isalnum() or ch == "_"
+
+
+def tokenize(source: str) -> list[Token]:
+    """Turn ``source`` into a token list ending with an EOF token.
+
+    Raises :class:`ParseError` on any character outside the language.
+    """
+    tokens: list[Token] = []
+    line, column = 1, 1
+    i, n = 0, len(source)
+
+    def advance(text: str) -> None:
+        nonlocal line, column
+        for ch in text:
+            if ch == "\n":
+                line += 1
+                column = 1
+            else:
+                column += 1
+
+    while i < n:
+        ch = source[i]
+
+        if ch in " \t\r\n":
+            advance(ch)
+            i += 1
+            continue
+
+        if ch == "#" or source.startswith("--", i):
+            end = source.find("\n", i)
+            end = n if end < 0 else end
+            advance(source[i:end])
+            i = end
+            continue
+
+        if ch in _UNICODE_ALIASES:
+            tokens.append(Token("KEYWORD", _UNICODE_ALIASES[ch], line, column))
+            advance(ch)
+            i += 1
+            continue
+
+        if ch in _PUNCTUATION:
+            tokens.append(Token(_PUNCTUATION[ch], ch, line, column))
+            advance(ch)
+            i += 1
+            continue
+
+        if ch.isdigit():
+            j = i
+            while j < n and source[j].isdigit():
+                j += 1
+            tokens.append(Token("NUM", source[i:j], line, column))
+            advance(source[i:j])
+            i = j
+            continue
+
+        if _is_ident_start(ch):
+            j = i
+            while j < n and _is_ident_part(source[j]):
+                j += 1
+            word = source[i:j]
+            kind = "KEYWORD" if word in KEYWORDS else "IDENT"
+            tokens.append(Token(kind, word, line, column))
+            advance(word)
+            i = j
+            continue
+
+        raise ParseError(f"unexpected character {ch!r}", line, column)
+
+    tokens.append(Token("EOF", "", line, column))
+    return tokens

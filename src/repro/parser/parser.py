@@ -1,0 +1,304 @@
+"""Recursive-descent parser for the concrete CAR schema syntax.
+
+Grammar (CNF structure of the paper, Section 2.2)::
+
+    schema        := (class_def | relation_def)*
+    class_def     := "class" IDENT
+                     ["isa" formula]
+                     ["attributes" attr_spec (";" attr_spec)*]
+                     ["participates" "in" part_spec (";" part_spec)*]
+                     "endclass" [";"]
+    attr_spec     := attr_ref ":" [card] formula
+    attr_ref      := IDENT | "(" "inv" IDENT ")"
+    card          := "(" NUM "," (NUM | "inf" | "*") ")"
+    part_spec     := IDENT "[" IDENT "]" ":" card
+    relation_def  := "relation" IDENT "(" IDENT ("," IDENT)* ")"
+                     ["constraints" role_clause (";" role_clause)*]
+                     "endrelation" [";"]
+    role_clause   := role_lit ("or" role_lit)*
+    role_lit      := "(" IDENT ":" formula ")"
+    formula       := clause ("and" clause)*
+    clause        := atom ("or" atom)*
+    atom          := ["not"] IDENT | "(" clause ")"
+
+Cardinalities on attributes default to the unconstrained ``(0, inf)`` when
+omitted, matching the plain typings of the paper's Figure 1.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from ..core.cardinality import ANY, Card, INFINITY
+from ..core.errors import ParseError
+from ..core.formulas import Clause, Formula, Lit
+from ..core.schema import (
+    AttrRef,
+    AttributeSpec,
+    ClassDef,
+    ParticipationSpec,
+    RelationDef,
+    RoleClause,
+    RoleLiteral,
+    Schema,
+)
+from .lexer import Token, tokenize
+
+__all__ = ["parse_schema", "parse_formula", "SchemaParser"]
+
+
+class SchemaParser:
+    """Stateful recursive-descent parser over a token list."""
+
+    def __init__(self, source: str):
+        self._tokens = tokenize(source)
+        self._pos = 0
+
+    # ------------------------------------------------------------------
+    # Token plumbing
+    # ------------------------------------------------------------------
+    def _peek(self) -> Token:
+        return self._tokens[self._pos]
+
+    def _next(self) -> Token:
+        token = self._tokens[self._pos]
+        if token.kind != "EOF":
+            self._pos += 1
+        return token
+
+    def _at_keyword(self, word: str) -> bool:
+        token = self._peek()
+        return token.kind == "KEYWORD" and token.text == word
+
+    def _eat_keyword(self, word: str) -> Token:
+        token = self._peek()
+        if not self._at_keyword(word):
+            raise ParseError(f"expected {word!r}, found {token.text!r}",
+                             token.line, token.column)
+        return self._next()
+
+    def _eat(self, kind: str) -> Token:
+        token = self._peek()
+        if token.kind != kind:
+            raise ParseError(f"expected {kind}, found {token.text!r}",
+                             token.line, token.column)
+        return self._next()
+
+    def _eat_ident(self, what: str) -> str:
+        token = self._peek()
+        if token.kind != "IDENT":
+            raise ParseError(f"expected {what}, found {token.text!r}",
+                             token.line, token.column)
+        return self._next().text
+
+    def _eat_role_name(self) -> str:
+        """Role names additionally admit the keyword ``in`` — the paper's
+        ternary ``Exam(of, by, in)`` uses it as a role symbol."""
+        token = self._peek()
+        if token.kind == "KEYWORD" and token.text == "in":
+            return self._next().text
+        return self._eat_ident("role name")
+
+    def _skip_semi(self) -> None:
+        if self._peek().kind == "SEMI":
+            self._next()
+
+    # ------------------------------------------------------------------
+    # Entry points
+    # ------------------------------------------------------------------
+    def parse_schema(self) -> Schema:
+        classes: list[ClassDef] = []
+        relations: list[RelationDef] = []
+        while True:
+            token = self._peek()
+            if token.kind == "EOF":
+                break
+            if self._at_keyword("class"):
+                classes.append(self._parse_class())
+            elif self._at_keyword("relation"):
+                relations.append(self._parse_relation())
+            else:
+                raise ParseError(
+                    f"expected 'class' or 'relation', found {token.text!r}",
+                    token.line, token.column,
+                )
+        return Schema(classes, relations)
+
+    # ------------------------------------------------------------------
+    # Class definitions
+    # ------------------------------------------------------------------
+    def _parse_class(self) -> ClassDef:
+        self._eat_keyword("class")
+        name = self._eat_ident("class name")
+        isa = Formula(())
+        attributes: list[AttributeSpec] = []
+        participates: list[ParticipationSpec] = []
+
+        if self._at_keyword("isa"):
+            self._next()
+            isa = self._parse_formula()
+        if self._at_keyword("attributes"):
+            self._next()
+            attributes.append(self._parse_attr_spec())
+            while self._peek().kind == "SEMI":
+                self._next()
+                if self._at_keyword("participates") or self._at_keyword("endclass"):
+                    break
+                attributes.append(self._parse_attr_spec())
+        if self._at_keyword("participates"):
+            self._next()
+            self._eat_keyword("in")
+            participates.append(self._parse_part_spec())
+            while self._peek().kind == "SEMI":
+                self._next()
+                if self._at_keyword("endclass"):
+                    break
+                participates.append(self._parse_part_spec())
+        self._eat_keyword("endclass")
+        self._skip_semi()
+        return ClassDef(name, isa, attributes, participates)
+
+    def _parse_attr_spec(self) -> AttributeSpec:
+        ref = self._parse_attr_ref()
+        self._eat("COLON")
+        card = self._try_parse_card()
+        filler = self._parse_formula()
+        return AttributeSpec(ref, card if card is not None else ANY, filler)
+
+    def _parse_attr_ref(self) -> AttrRef:
+        if self._peek().kind == "LPAREN":
+            self._next()
+            self._eat_keyword("inv")
+            name = self._eat_ident("attribute name")
+            self._eat("RPAREN")
+            return AttrRef(name, inverse=True)
+        return AttrRef(self._eat_ident("attribute name"))
+
+    def _try_parse_card(self) -> Optional[Card]:
+        """Parse ``( NUM , NUM|inf|* )`` if present; attribute fillers may also
+        start with ``(`` (a parenthesized clause), so look ahead one token."""
+        if self._peek().kind != "LPAREN":
+            return None
+        after = self._tokens[self._pos + 1]
+        if after.kind != "NUM":
+            return None
+        self._next()  # LPAREN
+        lower = int(self._next().text)
+        self._eat("COMMA")
+        token = self._next()
+        if token.kind == "NUM":
+            upper: int | None = int(token.text)
+        elif token.kind == "STAR" or (token.kind == "KEYWORD" and token.text == "inf"):
+            upper = INFINITY
+        else:
+            raise ParseError(f"expected cardinality upper bound, found {token.text!r}",
+                             token.line, token.column)
+        self._eat("RPAREN")
+        return Card(lower, upper)
+
+    def _parse_part_spec(self) -> ParticipationSpec:
+        relation = self._eat_ident("relation name")
+        self._eat("LBRACKET")
+        role = self._eat_role_name()
+        self._eat("RBRACKET")
+        self._eat("COLON")
+        card = self._try_parse_card()
+        if card is None:
+            token = self._peek()
+            raise ParseError("participation requires an explicit cardinality",
+                             token.line, token.column)
+        return ParticipationSpec(relation, role, card)
+
+    # ------------------------------------------------------------------
+    # Relation definitions
+    # ------------------------------------------------------------------
+    def _parse_relation(self) -> RelationDef:
+        self._eat_keyword("relation")
+        name = self._eat_ident("relation name")
+        self._eat("LPAREN")
+        roles = [self._eat_role_name()]
+        while self._peek().kind == "COMMA":
+            self._next()
+            roles.append(self._eat_role_name())
+        self._eat("RPAREN")
+        constraints: list[RoleClause] = []
+        if self._at_keyword("constraints"):
+            self._next()
+            constraints.append(self._parse_role_clause())
+            while self._peek().kind == "SEMI":
+                self._next()
+                if self._at_keyword("endrelation"):
+                    break
+                constraints.append(self._parse_role_clause())
+        self._eat_keyword("endrelation")
+        self._skip_semi()
+        return RelationDef(name, roles, constraints)
+
+    def _parse_role_clause(self) -> RoleClause:
+        literals = [self._parse_role_literal()]
+        while self._at_keyword("or"):
+            self._next()
+            literals.append(self._parse_role_literal())
+        return RoleClause(*literals)
+
+    def _parse_role_literal(self) -> RoleLiteral:
+        self._eat("LPAREN")
+        role = self._eat_role_name()
+        self._eat("COLON")
+        formula = self._parse_formula()
+        self._eat("RPAREN")
+        return RoleLiteral(role, formula)
+
+    # ------------------------------------------------------------------
+    # Formulae
+    # ------------------------------------------------------------------
+    def _parse_formula(self) -> Formula:
+        if self._at_keyword("top"):
+            self._next()
+            return Formula(())
+        clauses = [self._parse_clause()]
+        while self._at_keyword("and"):
+            self._next()
+            clauses.append(self._parse_clause())
+        return Formula(tuple(clauses))
+
+    def _parse_clause(self) -> Clause:
+        literals = list(self._parse_atom())
+        while self._at_keyword("or"):
+            self._next()
+            literals.extend(self._parse_atom())
+        return Clause(tuple(literals))
+
+    def _parse_atom(self) -> tuple[Lit, ...]:
+        token = self._peek()
+        if token.kind == "LPAREN":
+            self._next()
+            clause = self._parse_clause()
+            self._eat("RPAREN")
+            return clause.literals
+        if self._at_keyword("not"):
+            self._next()
+            return (Lit(self._eat_ident("class name"), positive=False),)
+        return (Lit(self._eat_ident("class name")),)
+
+    def expect_eof(self) -> None:
+        token = self._peek()
+        if token.kind != "EOF":
+            raise ParseError(f"unexpected trailing input {token.text!r}",
+                             token.line, token.column)
+
+
+def parse_schema(source: str) -> Schema:
+    """Parse a complete schema from concrete syntax."""
+    parser = SchemaParser(source)
+    schema = parser.parse_schema()
+    parser.expect_eof()
+    return schema
+
+
+def parse_formula(source: str) -> Formula:
+    """Parse a standalone class-formula (handy in queries and tests)."""
+    parser = SchemaParser(source)
+    formula = parser._parse_formula()
+    parser.expect_eof()
+    return formula

@@ -1,0 +1,102 @@
+"""Pretty-printer: render schema objects back to the concrete CAR syntax.
+
+``parse_schema(render_schema(s))`` is the identity on the AST — a property
+the test suite checks with hypothesis-generated schemas.
+"""
+
+from __future__ import annotations
+
+from ..core.cardinality import Card, INFINITY
+from ..core.formulas import Clause, Formula, Lit
+from ..core.schema import (
+    AttrRef,
+    AttributeSpec,
+    ClassDef,
+    ParticipationSpec,
+    RelationDef,
+    RoleClause,
+    Schema,
+)
+
+__all__ = ["render_schema", "render_class", "render_relation", "render_formula",
+           "render_card"]
+
+
+def render_card(card: Card) -> str:
+    upper = "inf" if card.upper is INFINITY else str(card.upper)
+    return f"({card.lower}, {upper})"
+
+
+def _render_literal(lit: Lit) -> str:
+    return lit.name if lit.positive else f"not {lit.name}"
+
+
+def _render_clause(clause: Clause, *, parenthesize: bool) -> str:
+    if not clause.literals:
+        raise ValueError("the empty clause has no concrete syntax")
+    body = " or ".join(_render_literal(lit) for lit in clause)
+    if parenthesize and len(clause) > 1:
+        return f"({body})"
+    return body
+
+
+def render_formula(formula: Formula) -> str:
+    """Concrete syntax of a class-formula (``top`` for the empty conjunction)."""
+    if not formula.clauses:
+        return "top"
+    multi = len(formula) > 1
+    return " and ".join(_render_clause(c, parenthesize=multi) for c in formula)
+
+
+def _render_attr_ref(ref: AttrRef) -> str:
+    return f"(inv {ref.name})" if ref.inverse else ref.name
+
+
+def _render_attr_spec(spec: AttributeSpec) -> str:
+    return (f"{_render_attr_ref(spec.ref)} : {render_card(spec.card)} "
+            f"{render_formula(spec.filler)}")
+
+
+def _render_part_spec(spec: ParticipationSpec) -> str:
+    return f"{spec.relation}[{spec.role}] : {render_card(spec.card)}"
+
+
+def render_class(cdef: ClassDef, indent: str = "    ") -> str:
+    """Concrete syntax of one class definition."""
+    lines = [f"class {cdef.name}"]
+    if cdef.isa.clauses:
+        lines.append(f"{indent}isa {render_formula(cdef.isa)}")
+    if cdef.attributes:
+        lines.append(f"{indent}attributes")
+        rendered = [f"{indent}{indent}{_render_attr_spec(spec)}" for spec in cdef.attributes]
+        lines.append(";\n".join(rendered))
+    if cdef.participates:
+        lines.append(f"{indent}participates in")
+        rendered = [f"{indent}{indent}{_render_part_spec(spec)}" for spec in cdef.participates]
+        lines.append(";\n".join(rendered))
+    lines.append("endclass")
+    return "\n".join(lines)
+
+
+def _render_role_clause(clause: RoleClause) -> str:
+    return " or ".join(
+        f"({lit.role} : {render_formula(lit.formula)})" for lit in clause
+    )
+
+
+def render_relation(rdef: RelationDef, indent: str = "    ") -> str:
+    """Concrete syntax of one relation definition."""
+    lines = [f"relation {rdef.name}({', '.join(rdef.roles)})"]
+    if rdef.constraints:
+        lines.append(f"{indent}constraints")
+        rendered = [f"{indent}{indent}{_render_role_clause(c)}" for c in rdef.constraints]
+        lines.append(";\n".join(rendered))
+    lines.append("endrelation")
+    return "\n".join(lines)
+
+
+def render_schema(schema: Schema) -> str:
+    """Concrete syntax of a whole schema (classes first, then relations)."""
+    blocks = [render_class(cdef) for cdef in schema.class_definitions]
+    blocks.extend(render_relation(rdef) for rdef in schema.relation_definitions)
+    return "\n\n".join(blocks) + "\n"

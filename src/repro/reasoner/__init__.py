@@ -1,0 +1,32 @@
+"""The CAR reasoner: satisfiability, logical implication, transformations."""
+
+from .evolution import EvolutionReport, compare_schemas
+from .explain import Explanation, explain_unsatisfiability
+from .implication import (
+    Classification,
+    classify,
+    implied_attribute_bounds,
+    implied_attribute_filler,
+    implied_disjoint,
+    implied_equivalence,
+    implied_participation_bounds,
+    implied_role_constraint,
+    implied_subsumption,
+    implies_class_definition,
+    implies_isa,
+)
+from .placement import Placement, place_formula
+from .satisfiability import CoherenceReport, Reasoner
+from .transform import ReificationResult, ReifiedRelation, reify_nonbinary_relations
+
+__all__ = [
+    "EvolutionReport", "compare_schemas",
+    "Explanation", "explain_unsatisfiability",
+    "Classification", "classify", "implied_attribute_bounds",
+    "implied_attribute_filler", "implied_disjoint", "implied_equivalence",
+    "implied_participation_bounds", "implied_role_constraint",
+    "implied_subsumption", "implies_class_definition", "implies_isa",
+    "Placement", "place_formula",
+    "CoherenceReport", "Reasoner",
+    "ReificationResult", "ReifiedRelation", "reify_nonbinary_relations",
+]

@@ -1,0 +1,147 @@
+"""Schema evolution analysis: what did an edit change *semantically*?
+
+Schema edits routinely change more than they appear to: tightening one
+cardinality can silently make a distant subclass unsatisfiable, and
+removing a disjointness can retract subsumptions clients rely on.  This
+module diffs two schema versions at the level of *derived* facts:
+
+* satisfiability per class (newly impossible / newly possible classes);
+* the implied subsumption set over the shared classes;
+* implied disjointness over the shared classes;
+* implied attribute-cardinality bounds for shared class/attribute pairs.
+
+:func:`compare_schemas` returns an :class:`EvolutionReport`;
+``report.is_backward_compatible`` holds when no shared class lost
+satisfiability and no implied subsumption or disjointness that clients
+could have observed was retracted.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from ..core.cardinality import Card
+from ..core.schema import AttrRef, Schema
+from .implication import classify, implied_attribute_bounds, implied_disjoint
+from .satisfiability import Reasoner
+
+__all__ = ["EvolutionReport", "compare_schemas"]
+
+
+@dataclass(frozen=True)
+class EvolutionReport:
+    """Semantic diff between two schema versions."""
+
+    added_classes: tuple[str, ...]
+    removed_classes: tuple[str, ...]
+    newly_unsatisfiable: tuple[str, ...]
+    newly_satisfiable: tuple[str, ...]
+    lost_subsumptions: tuple[tuple[str, str], ...]
+    gained_subsumptions: tuple[tuple[str, str], ...]
+    lost_disjointness: tuple[tuple[str, str], ...]
+    gained_disjointness: tuple[tuple[str, str], ...]
+    changed_attribute_bounds: tuple[tuple[str, str, str, str], ...]
+    # (class, attr ref rendered, old bounds, new bounds)
+
+    @property
+    def is_backward_compatible(self) -> bool:
+        """No shared class died, no derived guarantee was retracted."""
+        return not (self.newly_unsatisfiable or self.lost_subsumptions
+                    or self.lost_disjointness)
+
+    def __str__(self) -> str:
+        lines = []
+        if self.added_classes:
+            lines.append("added classes: " + ", ".join(self.added_classes))
+        if self.removed_classes:
+            lines.append("removed classes: " + ", ".join(self.removed_classes))
+        for label, pairs in (
+                ("newly unsatisfiable", self.newly_unsatisfiable),
+                ("newly satisfiable", self.newly_satisfiable)):
+            if pairs:
+                lines.append(f"{label}: " + ", ".join(pairs))
+        for label, pairs in (
+                ("lost subsumptions", self.lost_subsumptions),
+                ("gained subsumptions", self.gained_subsumptions),
+                ("lost disjointness", self.lost_disjointness),
+                ("gained disjointness", self.gained_disjointness)):
+            if pairs:
+                lines.append(f"{label}: "
+                             + ", ".join(f"{a}⊑{b}" if "subsum" in label
+                                         else f"{a}⟂{b}" for a, b in pairs))
+        for name, ref, old, new in self.changed_attribute_bounds:
+            lines.append(f"bounds of {ref} on {name}: {old} -> {new}")
+        if not lines:
+            lines.append("no derived facts changed")
+        verdict = ("backward compatible" if self.is_backward_compatible
+                   else "NOT backward compatible")
+        return f"[{verdict}]\n" + "\n".join(f"  {line}" for line in lines)
+
+
+def _bounds_or_none(reasoner: Reasoner, name: str,
+                    ref: AttrRef) -> Optional[Card]:
+    if name not in reasoner.schema.class_symbols:
+        return None
+    if not reasoner.is_satisfiable(name):
+        return None
+    return implied_attribute_bounds(reasoner, name, ref)
+
+
+def compare_schemas(old: Schema, new: Schema,
+                    strategy: str = "auto") -> EvolutionReport:
+    """Compute the semantic diff between two schema versions."""
+    before = Reasoner(old, strategy=strategy)
+    after = Reasoner(new, strategy=strategy)
+
+    old_names = set(old.class_symbols)
+    new_names = set(new.class_symbols)
+    shared = sorted(old_names & new_names)
+
+    newly_unsat = tuple(
+        name for name in shared
+        if before.is_satisfiable(name) and not after.is_satisfiable(name))
+    newly_sat = tuple(
+        name for name in shared
+        if not before.is_satisfiable(name) and after.is_satisfiable(name))
+
+    old_classification = classify(before)
+    new_classification = classify(after)
+    shared_set = set(shared)
+    old_subs = {(a, b) for a, b in old_classification.subsumptions
+                if a in shared_set and b in shared_set}
+    new_subs = {(a, b) for a, b in new_classification.subsumptions
+                if a in shared_set and b in shared_set}
+
+    old_disjoint = set()
+    new_disjoint = set()
+    for i, a in enumerate(shared):
+        for b in shared[i + 1:]:
+            if implied_disjoint(before, a, b):
+                old_disjoint.add((a, b))
+            if implied_disjoint(after, a, b):
+                new_disjoint.add((a, b))
+
+    changed_bounds: list[tuple[str, str, str, str]] = []
+    shared_refs = old.attribute_refs() & new.attribute_refs()
+    for name in shared:
+        for ref in sorted(shared_refs, key=str):
+            old_bounds = _bounds_or_none(before, name, ref)
+            new_bounds = _bounds_or_none(after, name, ref)
+            if old_bounds is None or new_bounds is None:
+                continue
+            if old_bounds != new_bounds:
+                changed_bounds.append(
+                    (name, str(ref), str(old_bounds), str(new_bounds)))
+
+    return EvolutionReport(
+        added_classes=tuple(sorted(new_names - old_names)),
+        removed_classes=tuple(sorted(old_names - new_names)),
+        newly_unsatisfiable=newly_unsat,
+        newly_satisfiable=newly_sat,
+        lost_subsumptions=tuple(sorted(old_subs - new_subs)),
+        gained_subsumptions=tuple(sorted(new_subs - old_subs)),
+        lost_disjointness=tuple(sorted(old_disjoint - new_disjoint)),
+        gained_disjointness=tuple(sorted(new_disjoint - old_disjoint)),
+        changed_attribute_bounds=tuple(changed_bounds),
+    )

@@ -1,0 +1,120 @@
+"""Explanations for unsatisfiable classes.
+
+Class satisfiability has two failure modes, mirroring the paper's two
+phases, and a useful schema validator should say *which* one hit and *why*:
+
+* **Phase 1** — no consistent compound class contains the class at all: its
+  isa constraints (possibly through inherited unit clauses, or an empty
+  merged cardinality interval) are contradictory in isolation.
+* **Phase 2** — consistent compound classes exist, but the system of linear
+  disequations pins all of them to zero: a *global counting conflict* over
+  finite models, e.g. ``|links| = |C|`` and ``|links| = 3·|C|``
+  simultaneously.
+
+:func:`explain_unsatisfiability` reconstructs the story from the
+preselection tables and the pin log the support computation records.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..core.errors import ReasoningError
+from ..expansion.tables import build_tables
+from .satisfiability import Reasoner
+
+__all__ = ["Explanation", "explain_unsatisfiability"]
+
+
+@dataclass(frozen=True)
+class Explanation:
+    """Why a class can never be populated.
+
+    ``phase`` is 1 (no consistent compound class) or 2 (linear phase);
+    ``headline`` a one-sentence summary; ``details`` per-compound or
+    per-derivation evidence lines.
+    """
+
+    class_name: str
+    phase: int
+    headline: str
+    details: tuple[str, ...]
+
+    def __str__(self) -> str:
+        lines = [f"class {self.class_name} is unsatisfiable "
+                 f"(phase {self.phase}): {self.headline}"]
+        lines.extend(f"  - {detail}" for detail in self.details)
+        return "\n".join(lines)
+
+
+def explain_unsatisfiability(reasoner: Reasoner, class_name: str,
+                             max_details: int = 6) -> Explanation:
+    """Diagnose why ``class_name`` is unsatisfiable.
+
+    Raises :class:`~repro.core.errors.ReasoningError` when the class is in
+    fact satisfiable (nothing to explain).
+    """
+    if reasoner.is_satisfiable(class_name):
+        raise ReasoningError(
+            f"class {class_name!r} is satisfiable; nothing to explain")
+
+    expansion = reasoner.expansion
+    containing = [members for members in expansion.compound_classes
+                  if class_name in members]
+
+    if not containing:
+        return _explain_phase1(reasoner, class_name, max_details)
+    return _explain_phase2(reasoner, class_name, containing, max_details)
+
+
+def _explain_phase1(reasoner: Reasoner, class_name: str,
+                    max_details: int) -> Explanation:
+    tables = build_tables(reasoner.schema)
+    details: list[str] = []
+    derivation = tables.why_empty(class_name)
+    if derivation is not None:
+        details.append(derivation)
+    else:
+        isa = reasoner.schema.definition(class_name).isa
+        details.append(
+            f"no truth assignment over the schema's classes satisfies the "
+            f"isa constraints once {class_name} is made true "
+            f"(its own isa part: {isa})")
+    required = sorted(tables.superclasses(class_name) - {class_name})
+    if required:
+        details.append(
+            f"membership in {class_name} forces membership in: "
+            + ", ".join(required))
+    return Explanation(
+        class_name, 1,
+        "no consistent compound class contains it — its isa constraints "
+        "are contradictory",
+        tuple(details[:max_details]))
+
+
+def _explain_phase2(reasoner: Reasoner, class_name: str,
+                    containing: list, max_details: int) -> Explanation:
+    support = reasoner.support
+    details: list[str] = []
+    reasons_seen: set[str] = set()
+    for members in containing:
+        for event in support.pin_events_for(members):
+            label = "{" + ", ".join(sorted(members)) + "}"
+            line = f"compound class {label}: {event.reason} ({event.phase})"
+            if event.reason not in reasons_seen:
+                reasons_seen.add(event.reason)
+                details.append(line)
+        if len(details) >= max_details:
+            break
+    if not details:
+        details.append(
+            "every compound class containing it was pinned during the "
+            "linear phase")
+    linear = any("counting conflict" in line or "(linear)" in line
+                 for line in details)
+    headline = (
+        "its compound classes are consistent, but the linear phase shows no "
+        "finite database state can populate them"
+        if linear else
+        "its compound classes are all refuted by cardinality propagation")
+    return Explanation(class_name, 2, headline, tuple(details[:max_details]))

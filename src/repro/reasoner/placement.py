@@ -1,0 +1,113 @@
+"""Placement of defined classes: where does a formula sit in the hierarchy?
+
+The classic type-inference service (named as an application in Section
+2.3): given a *defined* class — a class-formula rather than a symbol —
+compute its position in the implied subsumption hierarchy: the most
+specific named superclasses (parents), the most general named subclasses
+(children), and any named classes it is equivalent to.
+
+Used for schema authoring ("where would `Person ⊓ ¬Professor ⊓ ≥1 teaches`
+land?"), query classification, and integrating views.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..core.errors import ReasoningError
+from ..core.formulas import Formula, FormulaLike, Lit, as_formula
+from .implication import implies_isa
+from .satisfiability import Reasoner
+
+__all__ = ["Placement", "place_formula"]
+
+
+@dataclass(frozen=True)
+class Placement:
+    """The hierarchy position of a defined class.
+
+    ``parents`` are the most specific named classes subsuming the formula;
+    ``children`` the most general named classes it subsumes (restricted to
+    satisfiable ones); ``equivalents`` named classes coinciding with it in
+    every model.  ``satisfiable`` is False when the formula can never have
+    an instance (then everything holds vacuously and the lists are empty).
+    """
+
+    formula: Formula
+    satisfiable: bool
+    parents: tuple[str, ...]
+    children: tuple[str, ...]
+    equivalents: tuple[str, ...]
+
+    def __str__(self) -> str:
+        if not self.satisfiable:
+            return f"{self.formula}: unsatisfiable"
+        parts = [f"{self.formula}:"]
+        if self.equivalents:
+            parts.append("  ≡ " + ", ".join(self.equivalents))
+        parts.append("  parents: " + (", ".join(self.parents) or "(top)"))
+        parts.append("  children: " + (", ".join(self.children) or "(none)"))
+        return "\n".join(parts)
+
+
+def _subsumed_by(reasoner: Reasoner, query: str, name: str) -> bool:
+    return implies_isa(reasoner, query, Lit(name))
+
+
+def place_formula(reasoner: Reasoner, formula: FormulaLike) -> Placement:
+    """Compute the hierarchy placement of ``formula``.
+
+    Internally inserts a fresh class defined by the formula into an
+    augmented schema (both directions: ``Q isa F`` gives the upper
+    neighbours; the lower neighbours come from testing each named class
+    against ``F`` via :func:`implies_isa`).
+    """
+    from ..core.schema import ClassDef
+
+    formula = as_formula(formula)
+    unknown = formula.classes() - reasoner.schema.class_symbols
+    if unknown:
+        raise ReasoningError(
+            f"formula mentions classes outside the schema: {sorted(unknown)}")
+
+    if not reasoner.is_formula_satisfiable(formula):
+        return Placement(formula, False, (), (), ())
+
+    # Augment with Q isa F. Since membership in Q is only *necessary*, Q
+    # answers "F ⊑ X" queries (everything satisfying the isa chain), while
+    # "X ⊑ F" is asked directly of the original reasoner.
+    query = reasoner.fresh_class_name("Defined")
+    augmented = reasoner.augmented_with(ClassDef(query, isa=formula))
+
+    names = sorted(reasoner.schema.class_symbols)
+    uppers = [name for name in names
+              if _subsumed_by(augmented, query, name)]
+    lowers = [name for name in names
+              if reasoner.is_satisfiable(name)
+              and implies_isa(reasoner, name, formula)]
+
+    equivalents = tuple(sorted(set(uppers) & set(lowers)))
+    uppers = [name for name in uppers if name not in equivalents]
+    lowers = [name for name in lowers if name not in equivalents]
+
+    # Reduce to direct neighbours: drop anything implied through another.
+    def most_specific(candidates: list[str]) -> tuple[str, ...]:
+        keep = []
+        for name in candidates:
+            if not any(other != name
+                       and implies_isa(reasoner, other, Lit(name))
+                       for other in candidates):
+                keep.append(name)
+        return tuple(keep)
+
+    def most_general(candidates: list[str]) -> tuple[str, ...]:
+        keep = []
+        for name in candidates:
+            if not any(other != name
+                       and implies_isa(reasoner, name, Lit(other))
+                       for other in candidates):
+                keep.append(name)
+        return tuple(keep)
+
+    return Placement(formula, True, most_specific(uppers),
+                     most_general(lowers), equivalents)

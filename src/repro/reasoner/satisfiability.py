@@ -1,0 +1,296 @@
+"""The CAR reasoner: class satisfiability and friends (Section 3).
+
+:class:`Reasoner` wraps the full two-phase decision procedure:
+
+* **Phase 1** — build the expansion ``S̄`` (compound classes, attributes,
+  relations, ``Natt``/``Nrel``) with a configurable enumeration strategy;
+* **Phase 2** — derive the homogeneous disequation system ``Ψ_S`` and
+  compute its maximal acceptable support.
+
+All queries are then support-membership tests, so one reasoner instance
+answers any number of satisfiability/implication questions about its schema
+at no extra solving cost.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from ..core.errors import ReasoningError
+from ..core.formulas import Formula, FormulaLike, as_formula
+from ..core.schema import Schema
+from ..expansion.expansion import Expansion, build_expansion
+from ..linear.support import SupportResult, acceptable_support
+from ..linear.system import PsiSystem, build_system
+
+__all__ = ["Reasoner", "CoherenceReport"]
+
+
+@dataclass(frozen=True)
+class CoherenceReport:
+    """Outcome of whole-schema validation.
+
+    A schema is *coherent* when every defined class is satisfiable — the
+    paper's schema-validation application of class satisfiability.
+    """
+
+    satisfiable: tuple[str, ...]
+    unsatisfiable: tuple[str, ...]
+
+    @property
+    def is_coherent(self) -> bool:
+        return not self.unsatisfiable
+
+    def __str__(self) -> str:
+        if self.is_coherent:
+            return f"coherent: all {len(self.satisfiable)} classes satisfiable"
+        return ("incoherent: unsatisfiable classes "
+                + ", ".join(self.unsatisfiable))
+
+
+class Reasoner:
+    """Sound and complete reasoner for a CAR schema.
+
+    Parameters
+    ----------
+    schema:
+        The schema to reason about.
+    strategy:
+        Compound-class enumeration strategy — ``"auto"`` (default),
+        ``"naive"``, ``"strategic"``, or ``"hierarchy"``.
+    size_limit:
+        Optional guard on the expansion size; exceeding it raises
+        :class:`~repro.core.errors.ReasoningError` instead of running out of
+        memory on adversarial schemas.
+    """
+
+    def __init__(self, schema: Schema, strategy: str = "auto",
+                 size_limit: Optional[int] = None):
+        self._schema = schema
+        self._strategy = strategy
+        self._size_limit = size_limit
+        self._expansion: Optional[Expansion] = None
+        self._system: Optional[PsiSystem] = None
+        self._support: Optional[SupportResult] = None
+        self._cluster_map: Optional[dict] = None
+        self._hierarchy_effective: Optional[bool] = None
+        self._augmented_cache: dict[Formula, bool] = {}
+        self._min_witness: Optional[dict] = None
+
+    # ------------------------------------------------------------------
+    # Lazily computed pipeline stages
+    # ------------------------------------------------------------------
+    @property
+    def schema(self) -> Schema:
+        return self._schema
+
+    @property
+    def expansion(self) -> Expansion:
+        if self._expansion is None:
+            self._expansion = build_expansion(
+                self._schema, self._strategy, size_limit=self._size_limit)
+        return self._expansion
+
+    @property
+    def system(self) -> PsiSystem:
+        if self._system is None:
+            self._system = build_system(self.expansion)
+        return self._system
+
+    @property
+    def support(self) -> SupportResult:
+        if self._support is None:
+            self._support = acceptable_support(self.system)
+        return self._support
+
+    def supported_compound_classes(self) -> list[frozenset]:
+        """Compound classes that are nonempty in some model (all of them
+        simultaneously, by closure of acceptable solutions under addition)."""
+        return self.support.supported_compound_classes()
+
+    # ------------------------------------------------------------------
+    # Satisfiability queries
+    # ------------------------------------------------------------------
+    def is_satisfiable(self, class_name: str) -> bool:
+        """Class satisfiability (the paper's core decision problem):
+        does some model of the schema give ``class_name`` an instance?"""
+        if class_name not in self._schema.class_symbols:
+            raise ReasoningError(
+                f"class {class_name!r} does not occur in the schema")
+        return any(class_name in members
+                   for members in self.supported_compound_classes())
+
+    def is_formula_satisfiable(self, formula: FormulaLike) -> bool:
+        """Is there a model with an object satisfying ``formula``?
+
+        Only class symbols of the schema may occur in the formula; this is
+        the generalization that logical implication reduces to.
+
+        Completeness across clusters: the strategic expansion only holds
+        compound classes within one cluster of ``G_S`` — sound for class
+        satisfiability (Theorem 4.6) but *incomplete* for formulas whose
+        classes span clusters (an object may belong to classes of several
+        clusters in a real model).  A positive answer from the supported
+        compound classes is always sound; a negative one is final only when
+        the enumeration was complete for this formula.  Otherwise the query
+        is decided on an *augmented* schema with a fresh class whose isa is
+        the formula — its positive mentions merge the touched clusters, so
+        plain class satisfiability (always correct) gives the answer.
+        """
+        formula = as_formula(formula)
+        unknown = formula.classes() - self._schema.class_symbols
+        if unknown:
+            raise ReasoningError(
+                f"formula mentions classes outside the schema: {sorted(unknown)}")
+        if any(formula.satisfied_by(members)
+               for members in self.supported_compound_classes()):
+            return True
+        if self.enumeration_complete_for(formula.classes()):
+            return False
+        return self._augmented_satisfiable(formula)
+
+    # ------------------------------------------------------------------
+    # Cross-cluster completeness machinery
+    # ------------------------------------------------------------------
+    def enumeration_complete_for(self, class_names) -> bool:
+        """Is the compound-class enumeration complete for queries touching
+        exactly ``class_names``?
+
+        True for the naive strategy (all subsets), for genuine hierarchies
+        (incomparable classes are provably disjoint), and whenever the
+        touched classes sit inside a single cluster of ``G_S``.
+        """
+        if self._strategy == "naive":
+            return True
+        if self._is_hierarchy():
+            return True
+        clusters = self._cluster_of()
+        touched = {clusters[name] for name in class_names if name in clusters}
+        return len(touched) <= 1
+
+    def _is_hierarchy(self) -> bool:
+        if self._hierarchy_effective is None:
+            if self._strategy in ("auto", "hierarchy"):
+                from ..expansion.graph import hierarchy_compound_classes
+
+                self._hierarchy_effective = (
+                    hierarchy_compound_classes(self._schema) is not None)
+            else:
+                self._hierarchy_effective = False
+        return self._hierarchy_effective
+
+    def _cluster_of(self) -> dict:
+        if self._cluster_map is None:
+            from ..expansion.graph import clusters
+            from ..expansion.tables import build_tables
+
+            mapping: dict = {}
+            for index, component in enumerate(
+                    clusters(self._schema, build_tables(self._schema))):
+                for name in component:
+                    mapping[name] = index
+            self._cluster_map = mapping
+        return self._cluster_map
+
+    def fresh_class_name(self, base: str = "Query") -> str:
+        """A class symbol not clashing with any symbol of the schema."""
+        taken = (set(self._schema.class_symbols)
+                 | set(self._schema.attribute_symbols)
+                 | set(self._schema.relation_symbols))
+        candidate = f"__{base}"
+        counter = 0
+        while candidate in taken:
+            counter += 1
+            candidate = f"__{base}{counter}"
+        return candidate
+
+    def augmented_with(self, cdef) -> "Reasoner":
+        """A reasoner over this schema plus one query class definition."""
+        return Reasoner(self._schema.with_class(cdef),
+                        strategy=self._strategy,
+                        size_limit=self._size_limit)
+
+    def _augmented_satisfiable(self, formula: Formula) -> bool:
+        from ..core.schema import ClassDef
+
+        cached = self._augmented_cache.get(formula)
+        if cached is not None:
+            return cached
+        name = self.fresh_class_name()
+        verdict = self.augmented_with(
+            ClassDef(name, isa=formula)).is_satisfiable(name)
+        self._augmented_cache[formula] = verdict
+        return verdict
+
+    def satisfiable_classes(self) -> list[str]:
+        return [name for name in sorted(self._schema.class_symbols)
+                if self.is_satisfiable(name)]
+
+    def unsatisfiable_classes(self) -> list[str]:
+        return [name for name in sorted(self._schema.class_symbols)
+                if not self.is_satisfiable(name)]
+
+    def check_coherence(self) -> CoherenceReport:
+        """Schema validation: partition the *defined* classes by
+        satisfiability."""
+        satisfiable: list[str] = []
+        unsatisfiable: list[str] = []
+        for cdef in self._schema.class_definitions:
+            target = satisfiable if self.is_satisfiable(cdef.name) else unsatisfiable
+            target.append(cdef.name)
+        return CoherenceReport(tuple(satisfiable), tuple(unsatisfiable))
+
+    # ------------------------------------------------------------------
+    # Witness counts for model synthesis
+    # ------------------------------------------------------------------
+    def witness_counts(self, scale: int = 1) -> dict:
+        """An integer acceptable solution of ``Ψ_S``, keyed by compound
+        object — the raw material of model synthesis (Section 3.2).
+
+        Prefers a *minimized* witness (smallest total mass with every
+        supported compound class populated) so synthesized databases stay
+        small; falls back to the max-support witness when minimization finds
+        no small exact certificate.
+        """
+        from math import lcm
+
+        from ..linear.support import minimize_witness
+
+        if self._min_witness is None:
+            self._min_witness = minimize_witness(self.support) \
+                or dict(self.support.solution)
+        base = self._min_witness
+        denominators = [v.denominator for v in base.values()] or [1]
+        factor = lcm(*denominators) * scale
+        return {self.system.unknowns[index]: int(value * factor)
+                for index, value in base.items()}
+
+    def population_ratio(self, numerator: str, denominator: str):
+        """Exact bounds on ``|numerator| / |denominator|`` over all models
+        (with a nonempty denominator) — see
+        :func:`repro.linear.ratios.population_ratio_bounds`.
+
+        Cross-cluster caveat: computed over the strategic expansion, the
+        bounds are exact for classes within one cluster and remain *valid
+        outer* behaviour for the Theorem 4.6 schema ``S'``; use
+        ``strategy="naive"`` for exact cross-cluster ratios on small
+        schemas.
+        """
+        from ..linear.ratios import population_ratio_bounds
+
+        return population_ratio_bounds(self.support, numerator, denominator)
+
+    def stats(self) -> dict:
+        """Pipeline size measurements used by the complexity benchmarks."""
+        return {
+            "classes": len(self._schema.class_symbols),
+            "schema_size": self._schema.syntactic_size(),
+            "compound_classes": len(self.expansion.compound_classes),
+            "expansion_size": self.expansion.size(),
+            "psi_unknowns": self.system.n_unknowns(),
+            "psi_constraints": self.system.n_constraints(),
+            "psi_size": self.system.size(),
+            "lp_rounds": self.support.rounds,
+            "supported": len(self.support.support),
+        }

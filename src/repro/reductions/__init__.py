@@ -1,0 +1,31 @@
+"""Hardness reductions: the machinery behind Theorems 4.1 and 4.2."""
+
+from .intersection_pattern import (
+    IntersectionPattern,
+    pattern_solvable_bruteforce,
+    pattern_to_schema,
+    solution_to_model,
+)
+from .sat_reduction import CnfFormula, cnf_to_schema, dpll_satisfiable, random_cnf
+from .tm_reduction import TmReduction, machine_to_schema
+from .turing import (
+    LEFT,
+    RIGHT,
+    STAY,
+    Configuration,
+    MachineError,
+    StepOutcome,
+    TuringMachine,
+    never_accepts,
+    parity_machine,
+    starts_with_one,
+)
+
+__all__ = [
+    "IntersectionPattern", "pattern_solvable_bruteforce", "pattern_to_schema",
+    "solution_to_model",
+    "CnfFormula", "cnf_to_schema", "dpll_satisfiable", "random_cnf",
+    "TmReduction", "machine_to_schema",
+    "LEFT", "RIGHT", "STAY", "Configuration", "MachineError", "StepOutcome",
+    "TuringMachine", "never_accepts", "parity_machine", "starts_with_one",
+]

@@ -1,0 +1,156 @@
+"""Theorem 4.2: Intersection Pattern in union-free, negation-free CAR.
+
+Problem SP9 of [GJ79] (*Intersection Pattern*): given a symmetric ``n × n``
+matrix ``A`` of nonnegative integers, do sets ``S_1 … S_n`` exist with
+``|S_i ∩ S_j| = A[i][j]`` (and ``|S_i| = A[i][i]``)?  The paper reduces it
+to class satisfiability of union-free, negation-free schemas, exploiting
+that cardinality constraints can emulate disjointness; the published proof
+is a one-line sketch.
+
+Our encoding uses the *bijection gadget* the sketch hinges on: a witness
+class ``W`` with exact-count attributes ``g_i : (a_ii, a_ii) C_i`` combined
+with inverse constraints ``(inv g_i) : (1, 1) W`` on ``C_i``, so that in any
+model ``|C_i| = a_ii · |W|``; intersection classes ``D_ij isa C_i ∧ C_j``
+get the same treatment, pinning ``|D_ij| = a_ij · |W|`` with
+``D_ij ⊆ C_i ∩ C_j``.
+
+Faithfulness note (recorded in DESIGN.md): class satisfiability cannot pin
+``|W| = 1`` (CAR constraints are scale-invariant), and ``D_ij`` only bounds
+the intersection from *below*.  Hence ``W`` is satisfiable iff for some
+``k ≥ 1`` there are sets with ``|S_i| = k · a_ii`` and
+``|S_i ∩ S_j| ≥ k · a_ij`` — the direction "IP solvable ⇒ W satisfiable"
+is exact (tests certify it by building the model from an IP solution),
+while the converse holds for the relaxed pattern.  The fully faithful
+NP-hardness witness for general CAR is the 3SAT reduction next door.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from itertools import combinations
+from typing import Sequence
+
+from ..core.cardinality import Card
+from ..core.errors import CarError
+from ..core.formulas import Lit, conjunction
+from ..core.schema import Attr, ClassDef, Schema, inv
+from ..semantics.interpretation import Interpretation
+
+__all__ = ["IntersectionPattern", "pattern_to_schema", "solution_to_model",
+           "pattern_solvable_bruteforce"]
+
+
+@dataclass(frozen=True)
+class IntersectionPattern:
+    """A symmetric matrix instance of [GJ79] problem SP9."""
+
+    matrix: tuple[tuple[int, ...], ...]
+
+    def __post_init__(self) -> None:
+        n = len(self.matrix)
+        for row in self.matrix:
+            if len(row) != n:
+                raise CarError("intersection pattern matrix must be square")
+        for i in range(n):
+            for j in range(n):
+                if self.matrix[i][j] != self.matrix[j][i]:
+                    raise CarError("intersection pattern matrix must be symmetric")
+                if self.matrix[i][j] < 0:
+                    raise CarError("intersection pattern entries are nonnegative")
+
+    @property
+    def size(self) -> int:
+        return len(self.matrix)
+
+    @classmethod
+    def of(cls, rows: Sequence[Sequence[int]]) -> "IntersectionPattern":
+        return cls(tuple(tuple(row) for row in rows))
+
+
+def _set_class(i: int) -> str:
+    return f"C{i}"
+
+
+def _pair_class(i: int, j: int) -> str:
+    return f"D{i}_{j}"
+
+
+def pattern_to_schema(pattern: IntersectionPattern) -> Schema:
+    """The union-free, negation-free, relation-free schema of the reduction.
+
+    The designated class to test for satisfiability is ``W``.
+    """
+    n = pattern.size
+    w_attrs = []
+    classes: list[ClassDef] = []
+    for i in range(n):
+        w_attrs.append(Attr(f"g{i}", Card(pattern.matrix[i][i],
+                                          pattern.matrix[i][i]),
+                            _set_class(i)))
+        classes.append(ClassDef(
+            _set_class(i),
+            attributes=[Attr(inv(f"g{i}"), Card(1, 1), "W")]))
+    for i, j in combinations(range(n), 2):
+        name = _pair_class(i, j)
+        w_attrs.append(Attr(f"h{i}_{j}", Card(pattern.matrix[i][j],
+                                              pattern.matrix[i][j]),
+                            name))
+        classes.append(ClassDef(
+            name,
+            isa=conjunction([Lit(_set_class(i)), Lit(_set_class(j))]),
+            attributes=[Attr(inv(f"h{i}_{j}"), Card(1, 1), "W")]))
+    classes.append(ClassDef("W", attributes=w_attrs))
+    return Schema(classes)
+
+
+def solution_to_model(pattern: IntersectionPattern,
+                      sets: Sequence[frozenset]) -> Interpretation:
+    """Build the database state an IP solution induces (forward direction).
+
+    ``sets`` must satisfy the pattern exactly; the returned interpretation
+    is a model of :func:`pattern_to_schema` with ``W`` nonempty, which the
+    tests verify with the independent checker.
+    """
+    n = pattern.size
+    if len(sets) != n:
+        raise CarError(f"expected {n} sets, got {len(sets)}")
+    witness = "w"
+    universe = {witness}
+    for s in sets:
+        universe.update(s)
+    classes = {"W": {witness}}
+    attributes: dict[str, set] = {}
+    for i in range(n):
+        classes[_set_class(i)] = set(sets[i])
+        attributes[f"g{i}"] = {(witness, x) for x in sets[i]}
+    for i, j in combinations(range(n), 2):
+        members = sorted(sets[i] & sets[j], key=repr)[: pattern.matrix[i][j]]
+        classes[_pair_class(i, j)] = set(members)
+        attributes[f"h{i}_{j}"] = {(witness, x) for x in members}
+    return Interpretation(universe, classes, attributes)
+
+
+def pattern_solvable_bruteforce(pattern: IntersectionPattern,
+                                max_universe: int = 6) -> bool:
+    """Exact SP9 decision by exhaustive search over a bounded universe.
+
+    A solution over any universe can be relabeled into
+    ``{0, …, Σ a_ii - 1}``, so ``max_universe`` ≥ that sum is complete;
+    smaller bounds give a sound but incomplete check used for tests.
+    """
+    from itertools import product
+
+    n = pattern.size
+    need = sum(pattern.matrix[i][i] for i in range(n))
+    universe = list(range(min(max_universe, max(need, 1))))
+    subsets = []
+    for i in range(n):
+        size = pattern.matrix[i][i]
+        if size > len(universe):
+            return False
+        subsets.append([frozenset(c) for c in combinations(universe, size)])
+    for choice in product(*subsets):
+        if all(len(choice[i] & choice[j]) == pattern.matrix[i][j]
+               for i, j in combinations(range(n), 2)):
+            return True
+    return False

@@ -1,0 +1,198 @@
+"""Theorem 4.1: reducing bounded Turing machine acceptance to class
+satisfiability.
+
+The paper's EXPTIME-hardness proof encodes TM computations in a CAR schema:
+classes for time instants and tape positions, an attribute for the temporal
+successor, and isa-clauses that force the deterministic transition relation.
+The published proof is a sketch whose succinct (binary-counter) gadget is
+not reconstructable from the paper; we implement the same machinery over
+*explicitly bounded* computations (unary time bound ``T``, space bound
+``S``), which exercises the identical constructs — clause gadgets,
+``(1, 1)`` successor cardinalities, disjointness — and still exhibits the
+exponential expansion growth the theorem is about (see DESIGN.md for the
+substitution note).
+
+Encoding (one object = one configuration):
+
+* ``Conf_t``, ``t = 0 … T`` — the configuration's time stamp; pairwise
+  disjoint; every ``Conf_t`` with ``t < T`` carries ``succ : (1, 1)
+  Conf_{t+1}``; ``Conf_T isa State_<accept>`` so that only accepting runs
+  can complete.
+* ``State_q`` / ``Head_p`` / ``Sym_p_a`` — the control state, head
+  position, and per-cell tape contents; each family is pairwise disjoint,
+  each configuration must carry exactly one member per family (coverage
+  clauses on every ``Conf_t``), and each family is confined to
+  configurations (``isa Conf_0 ∨ … ∨ Conf_T``) so the expansion contains no
+  junk combinations.
+* Transition gadgets ``D_t_q_p_a`` — membership is forced exactly on
+  configurations matching ``(q, p, a)`` via the clause
+  ``Conf_t isa D ∨ ¬State_q ∨ ¬Head_p ∨ ¬Sym_p_a`` together with
+  ``D isa Conf_t ∧ State_q ∧ Head_p ∧ Sym_p_a``; the gadget's
+  ``succ : (1, 1) State_q' ∧ Head_{p+d} ∧ Sym_p_a'`` spec types the
+  temporal successor.  A head move off the tape points at the provably
+  empty ``Crash`` class.
+* Carry gadgets ``K_t_p_b`` (``isa Conf_t ∧ Sym_p_b ∧ ¬Head_p``) copy
+  untouched cells to the successor.
+
+A designated class ``Init`` (the input configuration at time 0) is
+satisfiable iff the machine accepts the input within the bounds — which the
+tests verify against the simulator on both accepting and rejecting runs.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..core.cardinality import Card
+from ..core.errors import CarError
+from ..core.formulas import Clause, Formula, Lit, conjunction, disjunction
+from ..core.schema import Attr, ClassDef, Schema
+from .turing import TuringMachine
+
+__all__ = ["TmReduction", "machine_to_schema"]
+
+
+@dataclass(frozen=True)
+class TmReduction:
+    """The produced schema plus the class to test for satisfiability."""
+
+    schema: Schema
+    target: str  # satisfiable iff the machine accepts within the bounds
+    machine: TuringMachine
+    word: str
+    time: int
+    space: int
+
+
+def _conf(t: int) -> str:
+    return f"Conf_{t}"
+
+
+def _state(q: str) -> str:
+    return f"State_{q}"
+
+
+def _head(p: int) -> str:
+    return f"Head_{p}"
+
+
+def _sym(p: int, a: str) -> str:
+    return f"Sym_{p}_{a}"
+
+
+def machine_to_schema(machine: TuringMachine, word: str, time: int,
+                      space: int) -> TmReduction:
+    """Build the CAR schema encoding the bounded run of ``machine`` on
+    ``word``.
+
+    Raises :class:`~repro.core.errors.CarError` when the input does not fit
+    the space bound.
+    """
+    if len(word) > space:
+        raise CarError(f"input of length {len(word)} exceeds space {space}")
+    # Complete the transition table with a rejecting sink: a machine that
+    # halts without accepting must not leave the successor state of the
+    # encoding unconstrained (that would let the schema "accept" freely).
+    # The completed machine has the same bounded acceptance behaviour.
+    reject = "RejSink"
+    while reject in machine.states:
+        reject += "_"
+    symbols = sorted(machine.alphabet)
+    states = sorted(machine.states | {reject})
+    transitions = dict(machine.transitions)
+    for q in states:
+        if q == machine.accept:
+            continue
+        for a in symbols:
+            transitions.setdefault((q, a), (reject, a, 0))
+    positions = range(space)
+    times = range(time + 1)
+    conf_names = [_conf(t) for t in times]
+    confinement = disjunction(conf_names)
+
+    classes: list[ClassDef] = []
+
+    # Crash: a provably empty class, the target of off-tape moves.
+    classes.append(ClassDef("Crash", isa=~Lit("Crash")))
+
+    # State / Head / Sym families: pairwise disjoint, confined to Conf.
+    for q in states:
+        isa = conjunction(
+            [Clause((Lit(_state(other), positive=False),))
+             for other in states if other != q] + [confinement])
+        classes.append(ClassDef(_state(q), isa))
+    for p in positions:
+        isa = conjunction(
+            [Clause((Lit(_head(other), positive=False),))
+             for other in positions if other != p] + [confinement])
+        classes.append(ClassDef(_head(p), isa))
+    for p in positions:
+        for a in symbols:
+            isa = conjunction(
+                [Clause((Lit(_sym(p, other), positive=False),))
+                 for other in symbols if other != a] + [confinement])
+            classes.append(ClassDef(_sym(p, a), isa))
+
+    # Transition and carry gadgets.
+    gadget_clauses: dict[int, list[Clause]] = {t: [] for t in times}
+    for t in range(time):
+        for (q, a), (nq, na, move) in sorted(transitions.items()):
+            for p in positions:
+                name = f"D_{t}_{q}_{p}_{a}"
+                guard = conjunction([
+                    Lit(_conf(t)), Lit(_state(q)), Lit(_head(p)), Lit(_sym(p, a)),
+                ])
+                np = p + move
+                if 0 <= np < space:
+                    filler = conjunction([
+                        Lit(_state(nq)), Lit(_head(np)), Lit(_sym(p, na)),
+                    ])
+                else:
+                    filler = Formula((Clause((Lit("Crash"),)),))
+                classes.append(ClassDef(
+                    name, guard,
+                    attributes=[Attr("succ", Card(1, 1), filler)]))
+                gadget_clauses[t].append(Clause((
+                    Lit(name), Lit(_state(q), positive=False),
+                    Lit(_head(p), positive=False),
+                    Lit(_sym(p, a), positive=False))))
+        for p in positions:
+            for b in symbols:
+                name = f"K_{t}_{p}_{b}"
+                guard = conjunction([
+                    Lit(_conf(t)), Lit(_sym(p, b)),
+                ]) & Clause((Lit(_head(p), positive=False),))
+                classes.append(ClassDef(
+                    name, guard,
+                    attributes=[Attr("succ", Card(1, 1), Lit(_sym(p, b)))]))
+                gadget_clauses[t].append(Clause((
+                    Lit(name), Lit(_sym(p, b), positive=False),
+                    Lit(_head(p)))))
+
+    # Configurations: coverage clauses, disjointness, gadget triggers, succ.
+    for t in times:
+        clauses: list[Clause] = []
+        for other in times:
+            if other != t:
+                clauses.append(Clause((Lit(_conf(other), positive=False),)))
+        clauses.append(disjunction([_state(q) for q in states]))
+        clauses.append(disjunction([_head(p) for p in positions]))
+        for p in positions:
+            clauses.append(disjunction([_sym(p, a) for a in symbols]))
+        clauses.extend(gadget_clauses[t])
+        if t == time:
+            clauses.append(Clause((Lit(_state(machine.accept)),)))
+        attributes = []
+        if t < time:
+            attributes.append(Attr("succ", Card(1, 1), Lit(_conf(t + 1))))
+        classes.append(ClassDef(_conf(t), Formula(tuple(clauses)),
+                                attributes=attributes))
+
+    # The initial configuration.
+    init_parts = [Lit(_conf(0)), Lit(_state(machine.initial)), Lit(_head(0))]
+    padded = list(word) + [machine.blank] * (space - len(word))
+    for p, a in enumerate(padded):
+        init_parts.append(Lit(_sym(p, a)))
+    classes.append(ClassDef("Init", conjunction(init_parts)))
+
+    return TmReduction(Schema(classes), "Init", machine, word, time, space)

@@ -1,0 +1,191 @@
+"""A deterministic single-tape Turing machine — substrate for Theorem 4.1.
+
+The EXPTIME-hardness proof of the paper reduces Turing machine acceptance to
+class satisfiability.  This module provides the machine model the reduction
+consumes: deterministic control, a single tape over a finite alphabet with a
+blank symbol, and bounded runs (the reduction unrolls time and space bounds
+explicitly, so the simulator exposes exactly bounded execution).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Mapping, Optional, Sequence
+
+from ..core.errors import CarError
+
+__all__ = ["TuringMachine", "Configuration", "StepOutcome"]
+
+#: Head movement encoding in transition tables.
+LEFT, STAY, RIGHT = -1, 0, 1
+
+
+class MachineError(CarError):
+    """An ill-formed machine description or run request."""
+
+
+@dataclass(frozen=True)
+class Configuration:
+    """One instantaneous description: state, head position, tape contents."""
+
+    state: str
+    head: int
+    tape: tuple[str, ...]
+
+    def symbol_under_head(self) -> str:
+        return self.tape[self.head]
+
+    def __str__(self) -> str:
+        cells = ["[" + s + "]" if i == self.head else s
+                 for i, s in enumerate(self.tape)]
+        return f"{self.state}: {' '.join(cells)}"
+
+
+@dataclass(frozen=True)
+class StepOutcome:
+    """Result of a bounded run."""
+
+    accepted: bool
+    halted: bool
+    steps: int
+    trace: tuple[Configuration, ...]
+
+
+@dataclass(frozen=True)
+class TuringMachine:
+    """A deterministic Turing machine.
+
+    ``transitions`` maps ``(state, symbol)`` to ``(state', symbol', move)``
+    with ``move`` in ``{-1, 0, +1}``.  Missing entries halt the machine
+    (rejecting unless the state is the accept state).  The accept state is a
+    sink: any transition out of it is rejected at construction so that
+    "accepts within ``t`` steps" is monotone in ``t``.
+    """
+
+    states: frozenset[str]
+    alphabet: frozenset[str]
+    blank: str
+    transitions: Mapping[tuple[str, str], tuple[str, str, int]]
+    initial: str
+    accept: str
+
+    def __post_init__(self) -> None:
+        if self.initial not in self.states:
+            raise MachineError(f"initial state {self.initial!r} not declared")
+        if self.accept not in self.states:
+            raise MachineError(f"accept state {self.accept!r} not declared")
+        if self.blank not in self.alphabet:
+            raise MachineError(f"blank symbol {self.blank!r} not in alphabet")
+        for (state, symbol), (nstate, nsymbol, move) in self.transitions.items():
+            if state == self.accept:
+                raise MachineError("the accept state must be a halting sink")
+            if state not in self.states or nstate not in self.states:
+                raise MachineError(f"transition uses undeclared state: "
+                                   f"({state}, {symbol})")
+            if symbol not in self.alphabet or nsymbol not in self.alphabet:
+                raise MachineError(f"transition uses undeclared symbol: "
+                                   f"({state}, {symbol})")
+            if move not in (LEFT, STAY, RIGHT):
+                raise MachineError(f"move must be -1/0/+1, got {move}")
+
+    # ------------------------------------------------------------------
+    @classmethod
+    def build(cls, transitions: Mapping[tuple[str, str], tuple[str, str, int]],
+              initial: str, accept: str, blank: str = "_",
+              extra_states: Sequence[str] = (),
+              extra_symbols: Sequence[str] = ()) -> "TuringMachine":
+        """Infer state and alphabet sets from the transition table."""
+        states = {initial, accept, *extra_states}
+        symbols = {blank, *extra_symbols}
+        for (state, symbol), (nstate, nsymbol, _) in transitions.items():
+            states.update((state, nstate))
+            symbols.update((symbol, nsymbol))
+        return cls(frozenset(states), frozenset(symbols), blank,
+                   dict(transitions), initial, accept)
+
+    # ------------------------------------------------------------------
+    def initial_configuration(self, word: str, space: int) -> Configuration:
+        """The start configuration on a tape of exactly ``space`` cells."""
+        if len(word) > space:
+            raise MachineError(
+                f"input of length {len(word)} exceeds space bound {space}")
+        for symbol in word:
+            if symbol not in self.alphabet:
+                raise MachineError(f"input symbol {symbol!r} not in alphabet")
+        tape = tuple(word) + (self.blank,) * (space - len(word))
+        return Configuration(self.initial, 0, tape)
+
+    def step(self, config: Configuration) -> Optional[Configuration]:
+        """One transition; None when the machine halts (no rule or the head
+        would leave the bounded tape)."""
+        rule = self.transitions.get((config.state, config.symbol_under_head()))
+        if rule is None:
+            return None
+        state, symbol, move = rule
+        head = config.head + move
+        if head < 0 or head >= len(config.tape):
+            return None
+        tape = list(config.tape)
+        tape[config.head] = symbol
+        return Configuration(state, head, tuple(tape))
+
+    def run(self, word: str, time: int, space: int) -> StepOutcome:
+        """Execute at most ``time`` steps within ``space`` tape cells."""
+        if time < 0 or space <= 0:
+            raise MachineError("time must be >= 0 and space positive")
+        config = self.initial_configuration(word, space)
+        trace = [config]
+        for step_count in range(time):
+            if config.state == self.accept:
+                return StepOutcome(True, True, step_count, tuple(trace))
+            successor = self.step(config)
+            if successor is None:
+                return StepOutcome(False, True, step_count, tuple(trace))
+            config = successor
+            trace.append(config)
+        accepted = config.state == self.accept
+        halted = accepted or self.transitions.get(
+            (config.state, config.symbol_under_head())) is None
+        return StepOutcome(accepted, halted, time, tuple(trace))
+
+    def accepts(self, word: str, time: int, space: int) -> bool:
+        """Does the machine reach its accept state within the bounds?"""
+        return self.run(word, time, space).accepted
+
+
+# ----------------------------------------------------------------------
+# Example machines used by tests and benchmarks
+# ----------------------------------------------------------------------
+def starts_with_one() -> TuringMachine:
+    """Accepts binary words whose first symbol is ``1``."""
+    return TuringMachine.build(
+        {("q0", "1"): ("acc", "1", STAY)},
+        initial="q0", accept="acc", extra_symbols=("0", "1"))
+
+
+def parity_machine() -> TuringMachine:
+    """Accepts binary words containing an even number of ``1`` symbols."""
+    return TuringMachine.build(
+        {
+            ("even", "0"): ("even", "0", RIGHT),
+            ("even", "1"): ("odd", "1", RIGHT),
+            ("odd", "0"): ("odd", "0", RIGHT),
+            ("odd", "1"): ("even", "1", RIGHT),
+            ("even", "_"): ("acc", "_", STAY),
+        },
+        initial="even", accept="acc", extra_symbols=("0", "1"))
+
+
+def never_accepts() -> TuringMachine:
+    """Loops in place forever (within bounds), never accepting."""
+    return TuringMachine.build(
+        {
+            ("q0", "0"): ("q0", "0", STAY),
+            ("q0", "1"): ("q0", "1", STAY),
+            ("q0", "_"): ("q0", "_", STAY),
+        },
+        initial="q0", accept="acc", extra_symbols=("0", "1"))
+
+
+__all__ += ["starts_with_one", "parity_machine", "never_accepts",
+            "MachineError", "LEFT", "STAY", "RIGHT"]

@@ -1,0 +1,22 @@
+"""Formal semantics of CAR: interpretations, model checking, brute force."""
+
+from .bruteforce import BruteForceBudget, brute_force_find_model, brute_force_satisfiable
+from .database import Database, IntegrityError
+from .checker import (
+    Violation,
+    check_class_definition,
+    check_model,
+    check_relation_definition,
+    is_model,
+)
+from .interpretation import Interpretation, LabeledTuple, restrict_to_schema
+from .query import ObjectSet, objects
+
+__all__ = [
+    "BruteForceBudget", "brute_force_find_model", "brute_force_satisfiable",
+    "Database", "IntegrityError",
+    "Violation", "check_class_definition", "check_model",
+    "check_relation_definition", "is_model",
+    "Interpretation", "LabeledTuple", "restrict_to_schema",
+    "ObjectSet", "objects",
+]

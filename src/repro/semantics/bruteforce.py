@@ -1,0 +1,209 @@
+"""Exhaustive tiny-domain satisfiability search — the test oracle.
+
+This module decides, by brute force, whether a class of a (small) CAR schema
+has a model with at most ``max_size`` objects.  It is *independent* from the
+two-phase reasoner of Section 3 and is used in tests as ground truth:
+
+* if the brute force finds a model, the reasoner must report satisfiable;
+* if the reasoner reports unsatisfiable, the brute force must find nothing.
+
+The search exploits a structural fact of CAR: once the class membership of
+every object is fixed, the satisfaction conditions for each attribute and
+each relation are independent of one another.  Hence instead of enumerating
+full interpretations (a product space), we enumerate class assignments and,
+per assignment, search for each attribute extension and each relation
+extension separately (a sum space).  Object symmetry is broken by assigning
+compound classes as multisets.
+"""
+
+from __future__ import annotations
+
+from itertools import combinations, combinations_with_replacement, chain, product
+from typing import Iterable, Optional, Sequence
+
+from ..core.errors import SemanticsError
+from ..core.schema import RelationDef, Schema
+from .interpretation import Interpretation, LabeledTuple
+from .checker import is_model
+
+__all__ = ["brute_force_satisfiable", "brute_force_find_model", "BruteForceBudget"]
+
+
+class BruteForceBudget(SemanticsError):
+    """The exhaustive search would exceed the configured work limit."""
+
+
+def _powerset(items: Sequence) -> Iterable[tuple]:
+    return chain.from_iterable(combinations(items, k) for k in range(len(items) + 1))
+
+
+def _estimated_work(schema: Schema, size: int) -> int:
+    """A coarse upper bound on the number of candidate extensions tried."""
+    n_compound = 2 ** len(schema.class_symbols)
+    # combinations with replacement: (n_compound + size - 1) choose size
+    assignments = 1
+    for i in range(size):
+        assignments = assignments * (n_compound + i) // (i + 1)
+    per_assignment = 0
+    for _ in schema.attribute_symbols:
+        per_assignment += 2 ** (size * size)
+    for rdef in schema.relation_definitions:
+        per_assignment += 2 ** (size ** rdef.arity)
+    return assignments * max(per_assignment, 1)
+
+
+def _class_assignments(schema: Schema, size: int):
+    """Yield class-membership maps ``obj -> frozenset of classes`` that satisfy
+    every isa constraint, up to object symmetry."""
+    symbols = sorted(schema.class_symbols)
+    compound_choices = [frozenset(subset) for subset in _powerset(symbols)]
+    # Precompute which compound classes locally satisfy all isa constraints of
+    # their members (exactly the paper's consistency of compound classes).
+    consistent = []
+    for compound in compound_choices:
+        if all(schema.definition(name).isa.satisfied_by(compound) for name in compound):
+            consistent.append(compound)
+    for assignment in combinations_with_replacement(consistent, size):
+        yield {obj: compound for obj, compound in enumerate(assignment)}
+
+
+def _attribute_extension(schema: Schema, membership: dict, attr: str) -> Optional[frozenset]:
+    """Search for an extension of ``attr`` satisfying every class definition,
+    given fixed class memberships.  Returns None when none exists."""
+    objects = sorted(membership)
+    pairs = [(a, b) for a in objects for b in objects]
+    # Collect the constraints each class imposes through this attribute.
+    direct_specs: list[tuple[frozenset, object]] = []
+    inverse_specs: list[tuple[frozenset, object]] = []
+    for cdef in schema.class_definitions:
+        instances = frozenset(o for o, cs in membership.items() if cdef.name in cs)
+        for spec in cdef.attributes:
+            if spec.ref.name != attr:
+                continue
+            target = inverse_specs if spec.ref.inverse else direct_specs
+            target.append((instances, spec))
+
+    def valid(extension: frozenset) -> bool:
+        for instances, spec in direct_specs:
+            for obj in instances:
+                count = 0
+                for a, b in extension:
+                    if a == obj:
+                        count += 1
+                        if not spec.filler.satisfied_by(membership[b]):
+                            return False
+                if not spec.card.contains(count):
+                    return False
+        for instances, spec in inverse_specs:
+            for obj in instances:
+                count = 0
+                for a, b in extension:
+                    if b == obj:
+                        count += 1
+                        if not spec.filler.satisfied_by(membership[a]):
+                            return False
+                if not spec.card.contains(count):
+                    return False
+        return True
+
+    for subset in _powerset(pairs):
+        extension = frozenset(subset)
+        if valid(extension):
+            return extension
+    return None
+
+
+def _relation_extension(schema: Schema, membership: dict,
+                        rdef: RelationDef) -> Optional[frozenset]:
+    """Search for an extension of relation ``rdef`` satisfying role clauses
+    and every participation constraint, given fixed class memberships."""
+    objects = sorted(membership)
+    candidate_tuples = [
+        LabeledTuple(dict(zip(rdef.roles, combo)))
+        for combo in product(objects, repeat=rdef.arity)
+    ]
+    # Tuples violating a role-clause can never appear; filter them up front.
+    admissible = []
+    for tup in candidate_tuples:
+        if all(
+            any(lit.formula.satisfied_by(membership[tup[lit.role]]) for lit in clause)
+            for clause in rdef.constraints
+        ):
+            admissible.append(tup)
+
+    participation: list[tuple[frozenset, str, object]] = []
+    for cdef in schema.class_definitions:
+        instances = frozenset(o for o, cs in membership.items() if cdef.name in cs)
+        for spec in cdef.participates:
+            if spec.relation == rdef.name:
+                participation.append((instances, spec.role, spec.card))
+
+    def valid(extension) -> bool:
+        for instances, role, card in participation:
+            for obj in instances:
+                count = sum(1 for tup in extension if tup[role] == obj)
+                if not card.contains(count):
+                    return False
+        return True
+
+    for subset in _powerset(admissible):
+        if valid(subset):
+            return frozenset(subset)
+    return None
+
+
+def brute_force_find_model(schema: Schema, class_name: str, max_size: int = 3,
+                           work_limit: int = 5_000_000) -> Optional[Interpretation]:
+    """Search exhaustively for a model in which ``class_name`` is nonempty.
+
+    Returns a verified :class:`Interpretation` or None when no model with at
+    most ``max_size`` objects exists.  Raises :class:`BruteForceBudget` when
+    the search space exceeds ``work_limit`` candidate extensions.
+    """
+    if class_name not in schema.class_symbols:
+        raise SemanticsError(f"class {class_name!r} does not occur in the schema")
+    total_work = sum(_estimated_work(schema, size) for size in range(1, max_size + 1))
+    if total_work > work_limit:
+        raise BruteForceBudget(
+            f"brute-force search space ~{total_work} exceeds limit {work_limit}"
+        )
+
+    for size in range(1, max_size + 1):
+        for membership in _class_assignments(schema, size):
+            if not any(class_name in cs for cs in membership.values()):
+                continue
+            attr_exts: dict[str, frozenset] = {}
+            feasible = True
+            for attr in sorted(schema.attribute_symbols):
+                ext = _attribute_extension(schema, membership, attr)
+                if ext is None:
+                    feasible = False
+                    break
+                attr_exts[attr] = ext
+            if not feasible:
+                continue
+            rel_exts: dict[str, frozenset] = {}
+            for rdef in schema.relation_definitions:
+                ext = _relation_extension(schema, membership, rdef)
+                if ext is None:
+                    feasible = False
+                    break
+                rel_exts[rdef.name] = ext
+            if not feasible:
+                continue
+            classes = {
+                name: frozenset(o for o, cs in membership.items() if name in cs)
+                for name in schema.class_symbols
+            }
+            interp = Interpretation(membership.keys(), classes, attr_exts, rel_exts)
+            if is_model(interp, schema):
+                return interp
+    return None
+
+
+def brute_force_satisfiable(schema: Schema, class_name: str, max_size: int = 3,
+                            work_limit: int = 5_000_000) -> bool:
+    """True when some model with at most ``max_size`` objects populates
+    ``class_name``.  Note the one-sided nature: ``False`` only refutes models
+    up to the size bound."""
+    return brute_force_find_model(schema, class_name, max_size, work_limit) is not None

@@ -1,0 +1,135 @@
+"""Model checking: does an interpretation satisfy a CAR schema?
+
+Implements the satisfaction conditions of Section 2.3 verbatim:
+
+* class definitions — isa containment, attribute filler types and link-count
+  bounds (for direct and inverse references), participation-count bounds;
+* relation definitions — role arity of every tuple and at least one satisfied
+  role-literal per role-clause.
+
+:func:`check_model` returns a list of :class:`Violation` diagnostics (empty
+iff the interpretation is a model), and :func:`is_model` the boolean view.
+The checker is deliberately independent from the reasoner so it can serve as
+an oracle in tests and as the safety net behind model synthesis.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Hashable
+
+from ..core.schema import ClassDef, RelationDef, Schema
+from .interpretation import Interpretation, LabeledTuple
+
+__all__ = ["Violation", "check_model", "is_model", "check_class_definition",
+           "check_relation_definition"]
+
+Obj = Hashable
+
+
+@dataclass(frozen=True, slots=True)
+class Violation:
+    """One failed satisfaction condition.
+
+    ``kind`` is a stable machine-readable tag; ``subject`` names the
+    definition that failed; ``detail`` is a human-readable account naming the
+    offending object or tuple.
+    """
+
+    kind: str
+    subject: str
+    detail: str
+
+    def __str__(self) -> str:
+        return f"[{self.kind}] {self.subject}: {self.detail}"
+
+
+def check_class_definition(interp: Interpretation, cdef: ClassDef) -> list[Violation]:
+    """All violations of one class definition in ``interp``."""
+    violations: list[Violation] = []
+    instances = interp.class_ext(cdef.name)
+
+    for obj in instances:
+        if not interp.satisfies_formula(obj, cdef.isa):
+            violations.append(Violation(
+                "isa", cdef.name,
+                f"instance {obj!r} is not an instance of isa-formula {cdef.isa}",
+            ))
+
+    for spec in cdef.attributes:
+        for obj in instances:
+            fillers = interp.attr_fillers(spec.ref, obj)
+            for filler in fillers:
+                if not interp.satisfies_formula(filler, spec.filler):
+                    violations.append(Violation(
+                        "attribute-type", cdef.name,
+                        f"{spec.ref}-filler {filler!r} of instance {obj!r} "
+                        f"is not an instance of {spec.filler}",
+                    ))
+            count = interp.attr_link_count(spec.ref, obj)
+            if not spec.card.contains(count):
+                violations.append(Violation(
+                    "attribute-cardinality", cdef.name,
+                    f"instance {obj!r} has {count} {spec.ref}-links, "
+                    f"outside {spec.card}",
+                ))
+
+    for spec in cdef.participates:
+        for obj in instances:
+            count = interp.participation_count(spec.relation, spec.role, obj)
+            if not spec.card.contains(count):
+                violations.append(Violation(
+                    "participation-cardinality", cdef.name,
+                    f"instance {obj!r} occurs in {count} tuples of "
+                    f"{spec.relation}[{spec.role}], outside {spec.card}",
+                ))
+
+    return violations
+
+
+def check_relation_definition(interp: Interpretation,
+                              rdef: RelationDef) -> list[Violation]:
+    """All violations of one relation definition in ``interp``."""
+    violations: list[Violation] = []
+    declared = frozenset(rdef.roles)
+
+    for tup in interp.relation_ext(rdef.name):
+        if tup.roles() != declared:
+            violations.append(Violation(
+                "relation-arity", rdef.name,
+                f"tuple {tup} does not assign exactly the roles {sorted(declared)}",
+            ))
+            continue
+        for clause in rdef.constraints:
+            if not _tuple_satisfies_clause(interp, tup, clause):
+                violations.append(Violation(
+                    "role-clause", rdef.name,
+                    f"tuple {tup} satisfies no role-literal of clause {clause}",
+                ))
+
+    return violations
+
+
+def _tuple_satisfies_clause(interp: Interpretation, tup: LabeledTuple,
+                            clause) -> bool:
+    return any(
+        interp.satisfies_formula(tup[lit.role], lit.formula) for lit in clause
+    )
+
+
+def check_model(interp: Interpretation, schema: Schema) -> list[Violation]:
+    """Every violated satisfaction condition of ``schema`` in ``interp``.
+
+    An empty result means ``interp`` is a model (a legal database state).
+    """
+    violations: list[Violation] = []
+    for cdef in schema.class_definitions:
+        violations.extend(check_class_definition(interp, cdef))
+    for rdef in schema.relation_definitions:
+        violations.extend(check_relation_definition(interp, rdef))
+    return violations
+
+
+def is_model(interp: Interpretation, schema: Schema) -> bool:
+    """True iff ``interp`` satisfies every definition of ``schema``."""
+    return not check_model(interp, schema)

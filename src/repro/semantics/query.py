@@ -1,0 +1,176 @@
+"""Navigational queries over database states.
+
+A tiny, composable query layer for interpretations — the consumer side of
+synthesized models and :class:`~repro.semantics.database.Database`
+snapshots.  Queries are object-set pipelines::
+
+    from repro.semantics.query import objects
+
+    heavy_teachers = (objects(interp)
+                      .where(parse_formula("Professor"))
+                      .having_links(inv("taught_by"), at_least=2))
+    their_courses = heavy_teachers.follow(inv("taught_by"))
+    buyers = objects(interp).partners("Order_Line", at="item", to="buyer")
+
+Every step returns a new immutable :class:`ObjectSet`; nothing mutates the
+underlying interpretation.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Hashable, Iterable, Iterator, Optional
+
+from ..core.errors import SemanticsError
+from ..core.formulas import FormulaLike, as_formula
+from ..core.schema import AttrRef
+from .interpretation import Interpretation
+
+__all__ = ["ObjectSet", "objects"]
+
+Obj = Hashable
+
+
+class ObjectSet:
+    """An immutable set of objects of one interpretation, with pipeline
+    operators for filtering and link navigation."""
+
+    def __init__(self, interp: Interpretation, members: Iterable[Obj]):
+        self._interp = interp
+        self._members = frozenset(members)
+        stray = self._members - interp.universe
+        if stray:
+            raise SemanticsError(
+                f"objects outside the universe: {sorted(map(repr, stray))}")
+
+    # ------------------------------------------------------------------
+    # Set behaviour
+    # ------------------------------------------------------------------
+    def __iter__(self) -> Iterator[Obj]:
+        return iter(self._members)
+
+    def __len__(self) -> int:
+        return len(self._members)
+
+    def __contains__(self, obj: Obj) -> bool:
+        return obj in self._members
+
+    def __eq__(self, other: object) -> bool:
+        if isinstance(other, ObjectSet):
+            return (self._interp is other._interp
+                    and self._members == other._members)
+        return NotImplemented
+
+    def __hash__(self):
+        return hash(self._members)
+
+    def to_set(self) -> frozenset[Obj]:
+        return self._members
+
+    def _derive(self, members: Iterable[Obj]) -> "ObjectSet":
+        return ObjectSet(self._interp, members)
+
+    def union(self, other: "ObjectSet") -> "ObjectSet":
+        self._check_same_state(other)
+        return self._derive(self._members | other._members)
+
+    def intersect(self, other: "ObjectSet") -> "ObjectSet":
+        self._check_same_state(other)
+        return self._derive(self._members & other._members)
+
+    def minus(self, other: "ObjectSet") -> "ObjectSet":
+        self._check_same_state(other)
+        return self._derive(self._members - other._members)
+
+    def _check_same_state(self, other: "ObjectSet") -> None:
+        if self._interp is not other._interp:
+            raise SemanticsError(
+                "cannot combine object sets over different interpretations")
+
+    # ------------------------------------------------------------------
+    # Filtering
+    # ------------------------------------------------------------------
+    def where(self, formula: FormulaLike) -> "ObjectSet":
+        """Keep the objects satisfying a class-formula."""
+        formula = as_formula(formula)
+        return self._derive(
+            obj for obj in self._members
+            if self._interp.satisfies_formula(obj, formula))
+
+    def where_not(self, formula: FormulaLike) -> "ObjectSet":
+        """Drop the objects satisfying a class-formula."""
+        formula = as_formula(formula)
+        return self._derive(
+            obj for obj in self._members
+            if not self._interp.satisfies_formula(obj, formula))
+
+    def filter(self, predicate: Callable[[Obj], bool]) -> "ObjectSet":
+        """Keep the objects a Python predicate accepts."""
+        return self._derive(obj for obj in self._members if predicate(obj))
+
+    def having_links(self, ref: AttrRef, *, at_least: int = 1,
+                     at_most: Optional[int] = None) -> "ObjectSet":
+        """Keep objects whose ``ref`` link count falls in the given range."""
+        def accepts(obj: Obj) -> bool:
+            count = self._interp.attr_link_count(ref, obj)
+            if count < at_least:
+                return False
+            return at_most is None or count <= at_most
+
+        return self._derive(obj for obj in self._members if accepts(obj))
+
+    # ------------------------------------------------------------------
+    # Navigation
+    # ------------------------------------------------------------------
+    def follow(self, ref: AttrRef) -> "ObjectSet":
+        """All ``ref``-fillers of the current objects (one hop)."""
+        result: set[Obj] = set()
+        for obj in self._members:
+            result.update(self._interp.attr_fillers(ref, obj))
+        return self._derive(result)
+
+    def follow_path(self, refs: Iterable[AttrRef]) -> "ObjectSet":
+        """Compose several hops: ``follow(r1).follow(r2)…``."""
+        current = self
+        for ref in refs:
+            current = current.follow(ref)
+        return current
+
+    def in_relation(self, relation: str, role: str) -> "ObjectSet":
+        """Keep objects occurring in at least one tuple of ``relation`` at
+        ``role``."""
+        return self._derive(
+            obj for obj in self._members
+            if self._interp.participation_count(relation, role, obj) > 0)
+
+    def partners(self, relation: str, *, at: str, to: str) -> "ObjectSet":
+        """Objects joined to the current ones through a relation.
+
+        For every tuple of ``relation`` whose ``at`` component is in the
+        current set, collect its ``to`` component — the navigational join
+        over an n-ary relation.
+        """
+        result: set[Obj] = set()
+        for tup in self._interp.relation_ext(relation):
+            try:
+                source = tup[at]
+                target = tup[to]
+            except KeyError:
+                raise SemanticsError(
+                    f"relation {relation} has no role {at!r}/{to!r}") from None
+            if source in self._members:
+                result.add(target)
+        return self._derive(result)
+
+    # ------------------------------------------------------------------
+    def __repr__(self) -> str:
+        preview = ", ".join(sorted(map(repr, list(self._members)[:4])))
+        suffix = ", …" if len(self._members) > 4 else ""
+        return f"ObjectSet({len(self._members)}: {preview}{suffix})"
+
+
+def objects(interp: Interpretation,
+            of: Optional[FormulaLike] = None) -> ObjectSet:
+    """The whole universe of an interpretation as an :class:`ObjectSet`,
+    optionally pre-filtered by a class-formula."""
+    base = ObjectSet(interp, interp.universe)
+    return base.where(of) if of is not None else base

@@ -1,0 +1,11 @@
+"""Model synthesis: construct verified database states from LP witnesses."""
+
+from .bipartite import realize_bipartite
+from .builder import SynthesisReport, synthesize_model
+from .flows import FlowNetwork, feasible_flow_with_lower_bounds
+
+__all__ = [
+    "realize_bipartite",
+    "SynthesisReport", "synthesize_model",
+    "FlowNetwork", "feasible_flow_with_lower_bounds",
+]

@@ -1,0 +1,61 @@
+"""Degree-constrained bipartite realization on top of the flow layer.
+
+Given left objects with out-degree intervals, right objects with in-degree
+intervals, and an allowed-pair predicate, find a *simple* bipartite edge set
+(each pair used at most once) meeting every interval — or report that none
+exists.  This is the combinatorial core of placing attribute links in a
+synthesized database state.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Hashable, Optional, Sequence
+
+from ..core.cardinality import Card
+from .flows import feasible_flow_with_lower_bounds
+
+__all__ = ["realize_bipartite"]
+
+Obj = Hashable
+
+
+def realize_bipartite(
+        left: Sequence[Obj],
+        right: Sequence[Obj],
+        left_bounds: Callable[[Obj], Card],
+        right_bounds: Callable[[Obj], Card],
+        allowed: Callable[[Obj, Obj], bool],
+) -> Optional[set[tuple[Obj, Obj]]]:
+    """A set of allowed ``(left, right)`` pairs meeting all degree intervals.
+
+    ``left_bounds(o)`` / ``right_bounds(o)`` give the out-/in-degree interval
+    of each object; unbounded uppers are honored.  Returns None when no
+    realization exists (the caller typically retries at a larger scale).
+    """
+    # Node layout: 0 = source, 1 = sink, then left objects, then right.
+    n_nodes = 2 + len(left) + len(right)
+    left_index = {obj: 2 + i for i, obj in enumerate(left)}
+    right_index = {obj: 2 + len(left) + i for i, obj in enumerate(right)}
+
+    edges: list[tuple[int, int, int, Optional[int]]] = []
+    pair_slots: list[tuple[Obj, Obj]] = []
+    for source in left:
+        for target in right:
+            if allowed(source, target):
+                edges.append((left_index[source], right_index[target], 0, 1))
+                pair_slots.append((source, target))
+    n_pair_edges = len(edges)
+
+    for obj in left:
+        card = left_bounds(obj)
+        edges.append((0, left_index[obj], card.lower, card.upper))
+    for obj in right:
+        card = right_bounds(obj)
+        edges.append((right_index[obj], 1, card.lower, card.upper))
+    # Close the circulation: sink back to source, unbounded.
+    edges.append((1, 0, 0, None))
+
+    flows = feasible_flow_with_lower_bounds(n_nodes, edges)
+    if flows is None:
+        return None
+    return {pair_slots[i] for i in range(n_pair_edges) if flows[i] > 0}

@@ -1,0 +1,288 @@
+"""Model synthesis: turn an acceptable solution of ``Ψ_S`` into a database
+state.
+
+Theorem 3.3's proof direction "acceptable integer solution ⇒ model" is made
+constructive here:
+
+1. **Objects** — materialize ``Var(C̄)`` objects per supported compound
+   class (an integer witness scaled as requested); each object's class
+   memberships are exactly its compound class.
+2. **Attributes** — for each attribute, place links by solving a
+   degree-constrained bipartite realization (feasible flow): per-object
+   intervals come from ``Natt``, and a link between two objects is allowed
+   iff the corresponding compound attribute is consistent.
+3. **Relations** — materialize ``Var(R̄)`` labeled tuples per supported
+   compound relation, drawing role fillers from the blocks with
+   max-remaining-quota greedy balancing so that every object's
+   participation count lands inside its ``Nrel`` interval, with a small
+   perturbation search to keep tuples distinct.
+4. **Verification** — the result is checked with the independent model
+   checker; on failure the whole construction retries at double the scale
+   (homogeneity guarantees large-enough multiples realize).
+
+The output is always a verified model; :class:`SynthesisError` is raised
+when the scale/attempt budget is exhausted.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from ..core.cardinality import ANY, Card
+from ..core.errors import SynthesisError
+from ..core.schema import AttrRef
+from ..expansion.compound import (
+    CompoundAttribute,
+    CompoundRelation,
+    is_consistent_compound_attribute,
+)
+from ..reasoner.satisfiability import Reasoner
+from ..semantics.checker import check_model
+from ..semantics.interpretation import Interpretation, LabeledTuple
+from .bipartite import realize_bipartite
+
+__all__ = ["synthesize_model", "SynthesisReport"]
+
+#: Guard against witnesses whose integer scaling explodes.
+DEFAULT_MAX_OBJECTS = 50_000
+
+#: Guard against attribute realizations whose candidate-pair count (and
+#: hence flow-network memory) explodes; ~2M pairs is a few hundred MB.
+MAX_PAIR_CANDIDATES = 2_000_000
+
+
+@dataclass(frozen=True)
+class SynthesisReport:
+    """A synthesized, verified model plus construction statistics."""
+
+    interpretation: Interpretation
+    scale: int
+    attempts: int
+    n_objects: int
+
+
+def synthesize_model(reasoner: Reasoner, target: Optional[str] = None, *,
+                     scale: int = 1, max_attempts: int = 5,
+                     max_objects: int = DEFAULT_MAX_OBJECTS) -> SynthesisReport:
+    """Build a finite model of the reasoner's schema.
+
+    When ``target`` is given, the model is guaranteed to populate that class
+    (raising :class:`SynthesisError` if it is unsatisfiable).  ``scale``
+    multiplies the base integer witness; the construction retries with
+    doubled scales up to ``max_attempts`` times when a realization step
+    fails.
+    """
+    if target is not None and not reasoner.is_satisfiable(target):
+        raise SynthesisError(f"class {target!r} is unsatisfiable; no model "
+                             "can populate it")
+    failures: list[str] = []
+    current = scale
+    for attempt in range(1, max_attempts + 1):
+        try:
+            interpretation = _build_once(reasoner, current, max_objects)
+        except _RetryAtLargerScale as retry:
+            failures.append(f"scale {current}: {retry}")
+            current *= 2
+            continue
+        violations = check_model(interpretation, reasoner.schema)
+        if violations:
+            failures.append(
+                f"scale {current}: verifier found {len(violations)} violations "
+                f"(first: {violations[0]})")
+            current *= 2
+            continue
+        if target is not None and not interpretation.class_ext(target):
+            failures.append(f"scale {current}: target {target} empty")
+            current *= 2
+            continue
+        return SynthesisReport(interpretation, current, attempt,
+                               len(interpretation.universe))
+    raise SynthesisError(
+        "model synthesis failed after retries:\n  " + "\n  ".join(failures))
+
+
+class _RetryAtLargerScale(Exception):
+    """Internal signal: the current scale admits no realization."""
+
+
+def _build_once(reasoner: Reasoner, scale: int,
+                max_objects: int) -> Interpretation:
+    expansion = reasoner.expansion
+    schema = reasoner.schema
+    counts = reasoner.witness_counts(scale)
+
+    total_objects = sum(max(counts.get(members, 0), 0)
+                        for members in expansion.compound_classes)
+    if total_objects > max_objects:
+        raise SynthesisError(
+            f"witness requires {total_objects} objects, above the limit of "
+            f"{max_objects}; pass a larger max_objects to allow it")
+
+    blocks: dict[frozenset, list] = {}
+    universe: list = []
+    for members in expansion.compound_classes:
+        n = counts.get(members, 0)
+        if n <= 0:
+            continue
+        label = "+".join(sorted(members)) if members else "none"
+        block = [f"{label}#{i}" for i in range(n)]
+        blocks[members] = block
+        universe.extend(block)
+    if not universe:
+        universe = ["witness#0"]  # the everything-empty model
+
+    classes = {
+        name: frozenset(
+            obj for members, block in blocks.items() if name in members
+            for obj in block)
+        for name in schema.class_symbols
+    }
+
+    attributes = {
+        attr: _realize_attribute(reasoner, attr, blocks)
+        for attr in sorted(schema.attribute_symbols)
+    }
+    relations = {
+        rdef.name: _realize_relation(reasoner, rdef.name, blocks, counts)
+        for rdef in schema.relation_definitions
+    }
+    return Interpretation(universe, classes, attributes, relations)
+
+
+# ----------------------------------------------------------------------
+# Attributes: degree-constrained bipartite realization
+# ----------------------------------------------------------------------
+def _realize_attribute(reasoner: Reasoner, attr: str,
+                       blocks: dict) -> frozenset:
+    expansion = reasoner.expansion
+    schema = reasoner.schema
+    direct = AttrRef(attr)
+    inverse = AttrRef(attr, inverse=True)
+
+    compound_of: dict = {}
+    objects: list = []
+    for members, block in blocks.items():
+        for obj in block:
+            compound_of[obj] = members
+            objects.append(obj)
+    if not objects:
+        return frozenset()
+
+    pair_ok: dict[tuple[frozenset, frozenset], bool] = {}
+
+    def allowed(o1, o2) -> bool:
+        key = (compound_of[o1], compound_of[o2])
+        cached = pair_ok.get(key)
+        if cached is None:
+            cached = is_consistent_compound_attribute(
+                schema, CompoundAttribute(attr, key[0], key[1]),
+                endpoints_consistent=True)
+            pair_ok[key] = cached
+        return cached
+
+    def left_bounds(obj) -> Card:
+        return expansion.natt.get((compound_of[obj], direct), ANY)
+
+    def right_bounds(obj) -> Card:
+        return expansion.natt.get((compound_of[obj], inverse), ANY)
+
+    # Fast path: nothing demands links for this attribute.
+    if all(left_bounds(o).lower == 0 for o in objects) and \
+            all(right_bounds(o).lower == 0 for o in objects):
+        return frozenset()
+
+    if len(objects) * len(objects) > MAX_PAIR_CANDIDATES:
+        raise SynthesisError(
+            f"attribute {attr}: {len(objects)}² candidate pairs exceed the "
+            f"memory guard of {MAX_PAIR_CANDIDATES}; reduce the witness "
+            "scale or the schema's cardinalities")
+
+    realized = realize_bipartite(objects, objects, left_bounds, right_bounds,
+                                 allowed)
+    if realized is None:
+        raise _RetryAtLargerScale(f"attribute {attr}: no degree-constrained "
+                                  "realization at this scale")
+    return frozenset(realized)
+
+
+# ----------------------------------------------------------------------
+# Relations: quota-balanced tuple construction
+# ----------------------------------------------------------------------
+def _realize_relation(reasoner: Reasoner, relation: str, blocks: dict,
+                      counts: dict) -> frozenset:
+    expansion = reasoner.expansion
+    compounds = [
+        (compound, counts.get(compound, 0))
+        for compound in expansion.compound_relations.get(relation, ())
+        if counts.get(compound, 0) > 0
+    ]
+    if not compounds:
+        return frozenset()
+
+    roles = reasoner.schema.relation(relation).roles
+
+    # Per (role, compound class) quota pools, balanced over the block.
+    totals: dict[tuple[str, frozenset], int] = {}
+    for compound, m in compounds:
+        for role in roles:
+            key = (role, compound[role])
+            totals[key] = totals.get(key, 0) + m
+    quotas: dict[tuple[str, frozenset], dict] = {}
+    for (role, members), total in totals.items():
+        block = blocks.get(members, [])
+        if not block:
+            raise _RetryAtLargerScale(
+                f"relation {relation}: empty block for a used compound class")
+        base, extra = divmod(total, len(block))
+        quotas[(role, members)] = {
+            obj: base + (1 if i < extra else 0)
+            for i, obj in enumerate(block)
+        }
+
+    used: set[LabeledTuple] = set()
+    for compound, m in compounds:
+        for _ in range(m):
+            tup = _draw_tuple(compound, roles, quotas, used)
+            if tup is None:
+                raise _RetryAtLargerScale(
+                    f"relation {relation}: could not keep tuples distinct")
+            used.add(tup)
+    return frozenset(used)
+
+
+def _draw_tuple(compound: CompoundRelation, roles, quotas,
+                used: set) -> Optional[LabeledTuple]:
+    """Pick one object per role by max-remaining quota, perturbing choices
+    when the resulting labeled tuple already exists."""
+
+    def candidates(role) -> list:
+        pool = quotas[(role, compound[role])]
+        ranked = sorted(pool.items(), key=lambda item: (-item[1], str(item[0])))
+        return [obj for obj, remaining in ranked if remaining > 0]
+
+    per_role = {role: candidates(role) for role in roles}
+    if any(not per_role[role] for role in roles):
+        return None
+
+    choice = {role: per_role[role][0] for role in roles}
+    tup = LabeledTuple(choice)
+    if tup not in used:
+        _consume(choice, compound, quotas)
+        return tup
+    # Perturb one role at a time, preferring later roles, keeping balance as
+    # intact as possible.
+    for role in reversed(roles):
+        for alternative in per_role[role][1:]:
+            trial = dict(choice)
+            trial[role] = alternative
+            tup = LabeledTuple(trial)
+            if tup not in used:
+                _consume(trial, compound, quotas)
+                return tup
+    return None
+
+
+def _consume(choice: dict, compound: CompoundRelation, quotas) -> None:
+    for role, obj in choice.items():
+        quotas[(role, compound[role])][obj] -= 1

@@ -1,0 +1,23 @@
+"""Workloads: the paper's example schemas and seeded random generators."""
+
+from .catalog_schema import CATALOG_SOURCE, catalog_schema
+from .generators import (
+    adversarial_schema,
+    cardinality_chain_schema,
+    clustered_schema,
+    hierarchy_schema,
+    random_schema,
+)
+from .paper_schemas import (
+    FIGURE_1_SOURCE,
+    FIGURE_2_SOURCE,
+    figure1_schema,
+    figure2_schema,
+)
+
+__all__ = [
+    "CATALOG_SOURCE", "catalog_schema",
+    "adversarial_schema", "cardinality_chain_schema", "clustered_schema",
+    "hierarchy_schema", "random_schema",
+    "FIGURE_1_SOURCE", "FIGURE_2_SOURCE", "figure1_schema", "figure2_schema",
+]

@@ -1,0 +1,94 @@
+"""A second full-scale domain workload: a product catalog & order system.
+
+Complements the paper's university example with an e-commerce domain that
+leans on every CAR construct at once — deep hierarchies with sibling
+disjointness, unions as attribute types, inverse attributes with tight
+cardinalities, a ternary relation, and a disjunctive role-clause.  Used by
+the integration tests and available to users as a realistic template.
+"""
+
+from __future__ import annotations
+
+from functools import lru_cache
+
+from ..core.schema import Schema
+from ..parser.parser import parse_schema
+
+__all__ = ["CATALOG_SOURCE", "catalog_schema"]
+
+CATALOG_SOURCE = """
+-- Parties -----------------------------------------------------------
+class Party endclass
+
+class Customer
+    isa Party and not Supplier
+    participates in Order_Line[buyer] : (0, 8)
+endclass
+
+class Business_Customer
+    isa Customer and not Retail_Customer
+    attributes vat_id : (1, 1) Tax_Record
+endclass
+
+class Retail_Customer
+    isa Customer and not Business_Customer
+endclass
+
+class Supplier
+    isa Party
+    attributes supplies : (1, 6) Product
+endclass
+
+-- Products ----------------------------------------------------------
+class Product
+    isa not Party
+    attributes (inv supplies) : (1, 3) Supplier;
+               price_tag : (1, 1) Price
+    participates in Order_Line[item] : (0, 40)
+endclass
+
+class Physical_Product
+    isa Product and not Digital_Product
+    attributes shipped_in : (1, 1) Crate or Envelope
+endclass
+
+class Digital_Product
+    isa Product and not Physical_Product
+endclass
+
+class Bulky_Product
+    isa Physical_Product
+    attributes shipped_in : (1, 1) Crate
+endclass
+
+-- Auxiliary value classes ------------------------------------------
+class Price endclass
+class Tax_Record endclass
+class Crate isa not Envelope endclass
+class Envelope isa not Crate endclass
+
+-- The ternary order-line relation -----------------------------------
+relation Order_Line(buyer, item, slot)
+    constraints
+        (buyer : Customer);
+        (item : Product);
+        (slot : Shipment_Slot);
+        (item : not Digital_Product) or (slot : Instant_Slot)
+        -- digital goods must go into instant-delivery slots
+endrelation
+
+class Shipment_Slot
+    isa not Party and not Product
+    participates in Order_Line[slot] : (0, 10)
+endclass
+
+class Instant_Slot
+    isa Shipment_Slot
+endclass
+"""
+
+
+@lru_cache(maxsize=None)
+def catalog_schema() -> Schema:
+    """The parsed catalog schema."""
+    return parse_schema(CATALOG_SOURCE)

@@ -1,0 +1,170 @@
+"""Seeded random schema generators — the benchmark workload families.
+
+Every generator takes an integer ``seed`` and is fully deterministic, so
+benchmark runs are reproducible.  The families mirror the regimes the
+paper's complexity analysis distinguishes:
+
+* :func:`clustered_schema` — many small independent clusters (category (β)
+  of Section 4.3): strategic enumeration is polynomial, naive enumeration
+  exponential in the total class count.
+* :func:`hierarchy_schema` — generalization hierarchies (Section 4.4):
+  compound classes = root-to-node paths, the provably polynomial case.
+* :func:`adversarial_schema` — one densely connected, clause-rich cluster
+  (category (α)): the expansion is genuinely exponential.
+* :func:`cardinality_chain_schema` — a chain of classes with exact-count
+  attributes forcing geometric population growth: exercises the linear
+  phase (Theorem 4.3) with nontrivial ratios.
+* :func:`random_schema` — unconstrained random mix for property tests.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Optional
+
+from ..core.cardinality import Card
+from ..core.formulas import Clause, Formula, Lit, TOP
+from ..core.schema import Attr, ClassDef, Schema, inv
+
+__all__ = [
+    "clustered_schema",
+    "hierarchy_schema",
+    "adversarial_schema",
+    "cardinality_chain_schema",
+    "random_schema",
+]
+
+
+def clustered_schema(n_clusters: int, cluster_size: int, seed: int = 0) -> Schema:
+    """Independent clusters of interrelated classes.
+
+    Classes within a cluster reference each other through isa clauses; no
+    definition mentions a class of another cluster, so ``G_S`` has exactly
+    ``n_clusters`` components and Theorem 4.6 caps compound classes at
+    ``n_clusters · 2^cluster_size`` instead of ``2^(n_clusters·cluster_size)``.
+    """
+    rng = random.Random(seed)
+    classes: list[ClassDef] = []
+    for c in range(n_clusters):
+        names = [f"K{c}_{i}" for i in range(cluster_size)]
+        for i, name in enumerate(names):
+            if i == 0:
+                classes.append(ClassDef(name))
+                continue
+            others = names[:i]
+            clause_count = rng.randint(1, 2)
+            clauses = []
+            for _ in range(clause_count):
+                width = rng.randint(1, min(2, len(others)))
+                picked = rng.sample(others, width)
+                clauses.append(Clause(tuple(
+                    Lit(p, positive=rng.random() < 0.8) for p in picked)))
+            classes.append(ClassDef(name, Formula(tuple(clauses))))
+    return Schema(classes)
+
+
+def hierarchy_schema(depth: int, branching: int, *,
+                     with_attributes: bool = False, seed: int = 0) -> Schema:
+    """A balanced generalization hierarchy with explicit sibling disjointness.
+
+    ``depth`` levels below a single root, each internal class having
+    ``branching`` children; every pair of distinct siblings is declared
+    disjoint, matching the [BCN92] semantics Section 4.4 assumes.  With
+    ``with_attributes`` each leaf gets a mandatory attribute into the root.
+    """
+    rng = random.Random(seed)
+    classes: list[ClassDef] = [ClassDef("Root")]
+    level = ["Root"]
+    counter = 0
+    for _ in range(depth):
+        next_level = []
+        for parent in level:
+            children = []
+            for _ in range(branching):
+                counter += 1
+                children.append(f"N{counter}")
+            for child in children:
+                isa: Formula = Formula((Clause((Lit(parent),)),))
+                for sibling in children:
+                    if sibling != child:
+                        isa = isa & Clause((Lit(sibling, positive=False),))
+                attrs = []
+                if with_attributes and rng.random() < 0.5:
+                    attrs.append(Attr(f"a{counter}_{child}",
+                                      Card(1, rng.randint(1, 3)), "Root"))
+                classes.append(ClassDef(child, isa, attrs))
+            next_level.extend(children)
+        level = next_level
+    return Schema(classes)
+
+
+def adversarial_schema(n_classes: int, seed: int = 0) -> Schema:
+    """One densely connected cluster with union-rich isa parts.
+
+    Built so that compound classes proliferate: every class's isa is a
+    disjunction over earlier classes, keeping almost all subsets consistent
+    while connecting everything into a single cluster (category (α) —
+    Theorem 4.4's exponential regime).
+    """
+    rng = random.Random(seed)
+    classes: list[ClassDef] = [ClassDef("X0")]
+    for i in range(1, n_classes):
+        earlier = [f"X{j}" for j in range(i)]
+        width = min(len(earlier), rng.randint(2, 3))
+        picked = rng.sample(earlier, width)
+        clause = Clause(tuple(Lit(p) for p in picked))
+        classes.append(ClassDef(f"X{i}", Formula((clause,))))
+    return Schema(classes)
+
+
+def cardinality_chain_schema(length: int, fan_out: int = 2,
+                             seed: Optional[int] = None) -> Schema:
+    """A chain ``L0 → L1 → … `` of pairwise-disjoint levels where every
+    ``L_i`` object needs exactly ``fan_out`` links into ``L_{i+1}`` and every
+    ``L_{i+1}`` object accepts exactly one link.
+
+    Any model must satisfy ``|L_{i+1}| = fan_out · |L_i|``, so the linear
+    phase juggles geometric ratios — a stress test for Theorem 4.3 and for
+    model synthesis (models grow exponentially with ``length``).
+    """
+    classes: list[ClassDef] = []
+    for i in range(length + 1):
+        name = f"L{i}"
+        isa: Formula = TOP
+        for j in range(length + 1):
+            if j != i:
+                isa = isa & Clause((Lit(f"L{j}", positive=False),))
+        attrs = []
+        if i < length:
+            attrs.append(Attr(f"next{i}", Card(fan_out, fan_out), f"L{i + 1}"))
+        if i > 0:
+            attrs.append(Attr(inv(f"next{i - 1}"), Card(1, 1), f"L{i - 1}"))
+        classes.append(ClassDef(name, isa, attrs))
+    return Schema(classes)
+
+
+def random_schema(n_classes: int, seed: int = 0, *,
+                  p_attribute: float = 0.4,
+                  card_pool: tuple[Card, ...] = (
+                      Card(0, 1), Card(1, 1), Card(1, 2), Card(0, None)),
+                  ) -> Schema:
+    """An unconstrained random schema for differential/property testing."""
+    rng = random.Random(seed)
+    names = [f"R{i}" for i in range(n_classes)]
+    classes: list[ClassDef] = []
+    attr_counter = 0
+    for name in names:
+        clauses = []
+        for _ in range(rng.randint(0, 2)):
+            width = rng.randint(1, 2)
+            picked = rng.sample(names, min(width, len(names)))
+            clauses.append(Clause(tuple(
+                Lit(p, positive=rng.random() < 0.7) for p in picked)))
+        attrs = []
+        if rng.random() < p_attribute:
+            attr_counter += 1
+            filler = Lit(rng.choice(names), positive=rng.random() < 0.8)
+            attrs.append(Attr(f"attr{attr_counter}", rng.choice(card_pool),
+                              filler))
+        classes.append(ClassDef(name, Formula(tuple(clauses)), attrs))
+    return Schema(classes)

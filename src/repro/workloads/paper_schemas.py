@@ -1,0 +1,134 @@
+"""The paper's running example: Figures 1 and 2 in concrete syntax.
+
+:data:`FIGURE_1_SOURCE` is the plain object-oriented university schema of
+Figure 1 (classes, isa, typed attributes — no CAR extensions), where the
+enrolment of students in courses is still modeled by the class
+``Enrollment``.
+
+:data:`FIGURE_2_SOURCE` is the full CAR schema of Figure 2: disjointness
+(``Student isa Person and not Professor``), unions
+(``Professor or Grad_Student``), inverse attributes (``(inv taught_by)``),
+the binary relation ``Enrollment`` with a disjunctive role-clause, the
+ternary relation ``Exam``, and cardinality constraints throughout.
+"""
+
+from __future__ import annotations
+
+from functools import lru_cache
+
+from ..core.schema import Schema
+from ..parser.parser import parse_schema
+
+__all__ = ["FIGURE_1_SOURCE", "FIGURE_2_SOURCE", "figure1_schema", "figure2_schema"]
+
+FIGURE_1_SOURCE = """
+-- Figure 1: the basic object-oriented schema of the university example.
+class Person
+    attributes
+        name : String;
+        date_of_birth : String
+endclass
+
+class Professor
+    isa Person
+    attributes
+        teaches : Course
+endclass
+
+class Student
+    isa Person
+    attributes
+        student_id : String
+endclass
+
+class Grad_Student
+    isa Student
+endclass
+
+class Course
+    attributes
+        taught_by : Professor
+endclass
+
+class Adv_Course
+    isa Course
+endclass
+
+class Enrollment
+    attributes
+        enrolls : Student;
+        enrolled_in : Course
+endclass
+"""
+
+FIGURE_2_SOURCE = """
+-- Figure 2: the full CAR schema of the university example.
+class Person
+    attributes
+        name : (1, 1) String;
+        date_of_birth : (1, 1) String
+endclass
+
+class Professor
+    isa Person
+    attributes
+        (inv taught_by) : (1, 2) Course
+endclass
+
+class Student
+    isa Person and not Professor
+    attributes
+        student_id : (1, 1) String
+    participates in
+        Enrollment[enrolls] : (1, 6)
+endclass
+
+class Grad_Student
+    isa Student
+    attributes
+        (inv taught_by) : (0, 1) Course
+    participates in
+        Enrollment[enrolls] : (2, 3)
+endclass
+
+class Course
+    attributes
+        taught_by : (1, 1) Professor or Grad_Student
+    participates in
+        Enrollment[enrolled_in] : (5, 100)
+endclass
+
+class Adv_Course
+    isa Course
+    attributes
+        taught_by : (1, 1) Professor
+    participates in
+        Enrollment[enrolled_in] : (5, 20)
+endclass
+
+relation Enrollment(enrolled_in, enrolls)
+    constraints
+        (enrolled_in : Course);
+        (enrolls : Student);
+        (enrolled_in : not Adv_Course) or (enrolls : Grad_Student)
+endrelation
+
+relation Exam(of, by, in)
+    constraints
+        (of : Student);
+        (by : Professor);
+        (in : Course)
+endrelation
+"""
+
+
+@lru_cache(maxsize=None)
+def figure1_schema() -> Schema:
+    """The parsed schema of Figure 1."""
+    return parse_schema(FIGURE_1_SOURCE)
+
+
+@lru_cache(maxsize=None)
+def figure2_schema() -> Schema:
+    """The parsed schema of Figure 2."""
+    return parse_schema(FIGURE_2_SOURCE)

@@ -1,0 +1,60 @@
+"""Shared hypothesis strategies for schema generation."""
+
+from hypothesis import strategies as st
+
+from repro.core.cardinality import Card
+from repro.core.formulas import Clause, Formula, Lit
+from repro.core.schema import (
+    Attr,
+    AttrRef,
+    ClassDef,
+    Part,
+    RelationDef,
+    RoleClause,
+    RoleLiteral,
+    Schema,
+    inv,
+)
+
+CLASS_NAMES = ("Alpha", "Beta", "Gamma", "Delta")
+
+literals = st.builds(Lit, st.sampled_from(CLASS_NAMES), st.booleans())
+clauses = st.lists(literals, min_size=1, max_size=3).map(
+    lambda ls: Clause(tuple(ls)))
+formulas = st.lists(clauses, min_size=0, max_size=3).map(
+    lambda cs: Formula(tuple(cs)))
+cards = st.sampled_from([
+    Card(0, 0), Card(0, 1), Card(1, 1), Card(1, 2), Card(2, 2),
+    Card(2, 5), Card(0, None), Card(1, None),
+])
+
+
+@st.composite
+def rich_schemas(draw) -> Schema:
+    """Schemas with formulas, attributes (direct and inverse), and possibly
+    a binary relation with role clauses and participation constraints."""
+    class_defs = []
+    with_relation = draw(st.booleans())
+    relations = []
+    if with_relation:
+        role_formulas = [draw(formulas), draw(formulas)]
+        constraints = [
+            RoleClause(RoleLiteral(role, formula))
+            for role, formula in zip(("left", "right"), role_formulas)
+            if formula.clauses
+        ]
+        relations.append(RelationDef("Rel", ("left", "right"), constraints))
+    for name in CLASS_NAMES:
+        isa = draw(formulas)
+        attrs = []
+        if draw(st.booleans()):
+            ref = draw(st.sampled_from([AttrRef("edge"), inv("edge")]))
+            attrs.append(Attr(ref, draw(cards),
+                              draw(st.sampled_from(
+                                  [Lit(n) for n in CLASS_NAMES]))))
+        participations = []
+        if with_relation and draw(st.booleans()):
+            role = draw(st.sampled_from(["left", "right"]))
+            participations.append(Part("Rel", role, draw(cards)))
+        class_defs.append(ClassDef(name, isa, attrs, participations))
+    return Schema(class_defs, relations)

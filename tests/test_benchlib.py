@@ -1,0 +1,72 @@
+"""Unit tests for the benchmark helper library."""
+
+import sys
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "benchmarks"))
+
+from benchlib import (  # noqa: E402
+    Series,
+    growth_ratios,
+    is_subquadratic,
+    is_superlinear,
+    render_table,
+    timed,
+)
+
+
+class TestTimed:
+    def test_returns_result_and_positive_time(self):
+        seconds, value = timed(lambda: sum(range(1000)))
+        assert value == sum(range(1000))
+        assert seconds >= 0
+
+
+class TestGrowth:
+    def test_growth_ratios(self):
+        assert growth_ratios([1, 2, 8]) == [2.0, 4.0]
+
+    def test_zero_denominator(self):
+        assert growth_ratios([0, 5]) == [0.0]
+
+    def test_superlinear_exponential(self):
+        xs = [2, 4, 8, 16]
+        ys = [4, 16, 256, 65536]
+        assert is_superlinear(xs, ys)
+
+    def test_not_superlinear_when_linear(self):
+        xs = [2, 4, 8, 16]
+        ys = [20, 40, 80, 160]
+        assert not is_superlinear(xs, ys)
+
+    def test_subquadratic_linear(self):
+        xs = [1, 2, 4, 8]
+        ys = [3, 6, 12, 24]
+        assert is_subquadratic(xs, ys)
+
+    def test_not_subquadratic_cubic(self):
+        xs = [1, 2, 4, 8]
+        ys = [1, 8, 64, 512]
+        assert not is_subquadratic(xs, ys)
+
+    def test_degenerate_zero_start(self):
+        assert is_superlinear([0, 1], [0, 1])
+        assert is_subquadratic([0, 1], [0, 1])
+
+    def test_series_wrapper(self):
+        series = Series("demo", [1, 2], [3.0, 9.0])
+        assert series.ratios() == [3.0]
+
+
+class TestRenderTable:
+    def test_alignment_and_headers(self):
+        text = render_table("Title", ["a", "bb"], [[1, 2.5], [30, 4]])
+        lines = text.splitlines()
+        assert lines[0] == "Title"
+        assert "a" in lines[1] and "bb" in lines[1]
+        assert set(lines[2].strip()) <= {"-", " "}
+        assert "30" in text and "2.5" in text
+
+    def test_float_formatting(self):
+        text = render_table("t", ["x"], [[0.000123456]])
+        assert "0.0001235" in text or "0.0001234" in text

@@ -1,0 +1,118 @@
+"""Unit tests for the exhaustive tiny-domain oracle."""
+
+import pytest
+
+from repro.core.cardinality import Card
+from repro.core.formulas import Lit
+from repro.core.schema import Attr, ClassDef, Part, RelationDef, RoleClause, RoleLiteral, Schema, inv
+from repro.parser.parser import parse_schema
+from repro.semantics.bruteforce import (
+    BruteForceBudget,
+    brute_force_find_model,
+    brute_force_satisfiable,
+)
+from repro.semantics.checker import is_model
+from repro.core.errors import SemanticsError
+
+
+class TestBasics:
+    def test_primitive_class_satisfiable(self):
+        schema = Schema([ClassDef("C")])
+        assert brute_force_satisfiable(schema, "C", max_size=1)
+
+    def test_unknown_class_rejected(self):
+        schema = Schema([ClassDef("C")])
+        with pytest.raises(SemanticsError):
+            brute_force_satisfiable(schema, "Nope")
+
+    def test_found_model_is_verified(self):
+        schema = parse_schema("class Student isa Person and not Professor endclass")
+        model = brute_force_find_model(schema, "Student", max_size=1)
+        assert model is not None
+        assert is_model(model, schema)
+        assert model.class_ext("Student")
+
+    def test_direct_contradiction(self):
+        schema = parse_schema("""
+            class Student isa Person and not Professor endclass
+            class TA isa Student and Professor endclass
+        """)
+        assert not brute_force_satisfiable(schema, "TA", max_size=2)
+        assert brute_force_satisfiable(schema, "Student", max_size=2)
+
+    def test_budget_guard(self):
+        classes = [ClassDef(f"C{i}") for i in range(30)]
+        with pytest.raises(BruteForceBudget):
+            brute_force_satisfiable(Schema(classes), "C0", max_size=3,
+                                    work_limit=10)
+
+
+class TestCardinalityInteraction:
+    def test_mandatory_attribute_needs_filler(self):
+        schema = Schema([
+            ClassDef("C", attributes=[Attr("a", Card(1, 1), Lit("D") & ~Lit("C"))]),
+        ])
+        model = brute_force_find_model(schema, "C", max_size=2)
+        assert model is not None
+        assert model.class_ext("D")
+
+    def test_self_loop_ratio_conflict(self):
+        # att must have exactly 1 outgoing and exactly 3 incoming links per
+        # instance, and both ends must be C: globally #edges = |C| and
+        # #edges = 3|C| — unsatisfiable in finite models.  This is the kind
+        # of interaction only the linear phase (not local propagation) sees.
+        schema = Schema([
+            ClassDef("C", attributes=[Attr("a", Card(1, 1), "C"),
+                                      Attr(inv("a"), Card(3, 3), "C")]),
+        ])
+        assert not brute_force_satisfiable(schema, "C", max_size=3)
+
+    def test_self_loop_balanced_is_satisfiable(self):
+        schema = Schema([
+            ClassDef("C", attributes=[Attr("a", Card(1, 1), "C"),
+                                      Attr(inv("a"), Card(1, 1), "C")]),
+        ])
+        model = brute_force_find_model(schema, "C", max_size=2)
+        assert model is not None
+
+    def test_attribute_zero_card_conflict(self):
+        # C forces exactly one a-link, D forbids any; C ∧ D unsatisfiable,
+        # via cardinalities only (the paper's negation-free disjointness
+        # trick from Theorem 4.2's proof idea).
+        schema = Schema([
+            ClassDef("C", attributes=[Attr("a", Card(1, 1))]),
+            ClassDef("D", attributes=[Attr("a", Card(0, 0))]),
+            ClassDef("E", isa=Lit("C") & Lit("D")),
+        ])
+        assert not brute_force_satisfiable(schema, "E", max_size=2)
+        assert brute_force_satisfiable(schema, "C", max_size=2)
+
+
+class TestRelations:
+    def test_participation_forces_tuples(self):
+        schema = Schema(
+            [ClassDef("C", participates=[Part("R", "u", Card(1, 2))])],
+            [RelationDef("R", ("u", "v"))])
+        model = brute_force_find_model(schema, "C", max_size=2)
+        assert model is not None
+        assert model.relation_ext("R")
+
+    def test_role_clause_types_enforced(self):
+        schema = Schema(
+            [ClassDef("C", isa=~Lit("D"),
+                      participates=[Part("R", "u", Card(1, 1))])],
+            [RelationDef("R", ("u", "v"), [
+                RoleClause(RoleLiteral("u", "D")),
+            ])])
+        # Every tuple's u-component must be in D; C is disjoint from D yet
+        # must participate in role u: unsatisfiable.
+        assert not brute_force_satisfiable(schema, "C", max_size=2)
+
+    def test_ternary_relation(self):
+        schema = Schema(
+            [ClassDef("C", participates=[Part("R", "a", Card(1, 1))])],
+            [RelationDef("R", ("a", "b", "c"))])
+        model = brute_force_find_model(schema, "C", max_size=2)
+        assert model is not None
+        tup = next(iter(model.relation_ext("R")))
+        assert tup.roles() == {"a", "b", "c"}

@@ -1,0 +1,90 @@
+"""Unit tests for the fluent schema builder."""
+
+import pytest
+
+from repro.core.builder import SchemaBuilder
+from repro.core.cardinality import Card
+from repro.core.errors import SchemaError
+from repro.core.schema import AttrRef, inv
+from repro.parser.parser import parse_schema
+from repro.reasoner.satisfiability import Reasoner
+
+
+class TestBuilder:
+    def test_equivalent_to_parsed_schema(self):
+        built = (SchemaBuilder()
+                 .cls("Person")
+                 .cls("Student").isa("Person").isa_not("Professor")
+                     .attr("student_id", Card(1, 1), "String")
+                     .takes_part("Enrollment", "enrolls", Card(1, 6))
+                 .cls("Professor").isa("Person")
+                 .cls("Course")
+                     .attr("taught_by", Card(1, 1), "Professor")
+                 .rel("Enrollment", "enrolled_in", "enrolls")
+                     .role("enrolled_in", "Course")
+                     .role("enrolls", "Student")
+                 .build())
+        parsed = parse_schema("""
+            class Person endclass
+            class Student isa Person and not Professor
+                attributes student_id : (1, 1) String
+                participates in Enrollment[enrolls] : (1, 6)
+            endclass
+            class Professor isa Person endclass
+            class Course attributes taught_by : (1, 1) Professor endclass
+            relation Enrollment(enrolled_in, enrolls)
+                constraints (enrolled_in : Course); (enrolls : Student)
+            endrelation
+        """)
+        assert built == parsed
+
+    def test_isa_one_of(self):
+        schema = (SchemaBuilder()
+                  .cls("Course").isa_one_of("Lecture", "Seminar")
+                  .build())
+        isa = schema.definition("Course").isa
+        assert isa.satisfied_by({"Lecture"})
+        assert isa.satisfied_by({"Seminar"})
+        assert not isa.satisfied_by(set())
+
+    def test_inverse_attribute(self):
+        schema = (SchemaBuilder()
+                  .cls("Professor").inv_attr("taught_by", Card(1, 2), "Course")
+                  .build())
+        specs = schema.definition("Professor").attribute_specs
+        assert inv("taught_by") in specs
+        assert AttrRef("taught_by") not in specs
+
+    def test_disjunctive_role_clause(self):
+        schema = (SchemaBuilder()
+                  .rel("Enrollment", "enrolled_in", "enrolls")
+                      .role_clause(("enrolled_in", "Basic"),
+                                   ("enrolls", "Grad"))
+                  .build())
+        clause = schema.relation("Enrollment").constraints[0]
+        assert len(clause) == 2
+
+    def test_refinement_without_open_class_fails(self):
+        with pytest.raises(SchemaError):
+            SchemaBuilder().attr("x")
+        with pytest.raises(SchemaError):
+            SchemaBuilder().cls("A").role("u", "B")
+
+    def test_refinement_without_open_relation_fails(self):
+        with pytest.raises(SchemaError):
+            SchemaBuilder().role("u", "A")
+
+    def test_built_schema_is_validated(self):
+        with pytest.raises(SchemaError):
+            (SchemaBuilder()
+             .cls("C").takes_part("Missing", "u", Card(0, 1))
+             .build())
+
+    def test_built_schema_reasons(self):
+        schema = (SchemaBuilder()
+                  .cls("Student").isa("Person").isa_not("Professor")
+                  .cls("TA").isa("Student").isa("Professor")
+                  .build())
+        reasoner = Reasoner(schema)
+        assert not reasoner.is_satisfiable("TA")
+        assert reasoner.is_satisfiable("Student")

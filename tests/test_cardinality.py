@@ -1,0 +1,147 @@
+"""Unit tests for cardinality intervals."""
+
+import pytest
+
+from repro.core.cardinality import ANY, AT_LEAST_ONE, AT_MOST_ONE, EXACTLY_ONE, INFINITY, Card
+from repro.core.errors import SchemaError
+
+
+class TestConstruction:
+    def test_simple_interval(self):
+        card = Card(2, 5)
+        assert card.lower == 2
+        assert card.upper == 5
+        assert not card.unbounded
+
+    def test_unbounded_interval(self):
+        card = Card(3)
+        assert card.upper is INFINITY
+        assert card.unbounded
+
+    def test_negative_lower_rejected(self):
+        with pytest.raises(SchemaError):
+            Card(-1, 2)
+
+    def test_negative_upper_rejected(self):
+        with pytest.raises(SchemaError):
+            Card(0, -2)
+
+    def test_non_int_lower_rejected(self):
+        with pytest.raises(SchemaError):
+            Card("1", 2)
+
+    def test_bool_rejected(self):
+        with pytest.raises(SchemaError):
+            Card(True, 2)
+
+    def test_non_int_upper_rejected(self):
+        with pytest.raises(SchemaError):
+            Card(0, 2.5)
+
+    def test_empty_interval_representable(self):
+        assert Card(3, 1).is_empty()
+
+    def test_declared_empty_interval_rejected(self):
+        with pytest.raises(SchemaError):
+            Card(3, 1).validate_declared()
+
+    def test_declared_valid_returns_self(self):
+        card = Card(1, 2)
+        assert card.validate_declared() is card
+
+
+class TestContains:
+    def test_inside(self):
+        assert Card(1, 3).contains(2)
+
+    def test_boundaries(self):
+        card = Card(1, 3)
+        assert card.contains(1)
+        assert card.contains(3)
+
+    def test_outside(self):
+        card = Card(1, 3)
+        assert not card.contains(0)
+        assert not card.contains(4)
+
+    def test_unbounded_contains_large(self):
+        assert Card(2).contains(10 ** 9)
+
+    def test_unbounded_respects_lower(self):
+        assert not Card(2).contains(1)
+
+    def test_empty_contains_nothing(self):
+        card = Card(3, 1)
+        for count in range(6):
+            assert not card.contains(count)
+
+
+class TestIntersect:
+    def test_overlapping(self):
+        assert Card(1, 5).intersect(Card(3, 8)) == Card(3, 5)
+
+    def test_disjoint_gives_empty(self):
+        assert Card(0, 1).intersect(Card(3, 4)).is_empty()
+
+    def test_with_unbounded(self):
+        assert Card(2).intersect(Card(0, 7)) == Card(2, 7)
+
+    def test_both_unbounded(self):
+        merged = Card(2).intersect(Card(5))
+        assert merged == Card(5)
+        assert merged.unbounded
+
+    def test_commutative(self):
+        a, b = Card(1, 6), Card(4, 9)
+        assert a.intersect(b) == b.intersect(a)
+
+    def test_matches_paper_umax_vmin(self):
+        # Definition 3.1: u_max = max of lower bounds, v_min = min of uppers.
+        specs = [Card(1, 6), Card(2, 3)]
+        merged = specs[0].intersect(specs[1])
+        assert merged.lower == max(1, 2)
+        assert merged.upper == min(6, 3)
+
+
+class TestWidenAndRefines:
+    def test_widen_hull(self):
+        assert Card(1, 2).widen(Card(4, 6)) == Card(1, 6)
+
+    def test_widen_with_unbounded(self):
+        assert Card(1, 2).widen(Card(0)).unbounded
+
+    def test_refines_subinterval(self):
+        assert Card(2, 3).refines(Card(1, 6))
+
+    def test_refines_reflexive(self):
+        assert Card(1, 4).refines(Card(1, 4))
+
+    def test_not_refines_wider(self):
+        assert not Card(0, 9).refines(Card(1, 6))
+
+    def test_unbounded_never_refines_bounded(self):
+        assert not Card(1).refines(Card(1, 100))
+
+    def test_anything_refines_unbounded_with_lower(self):
+        assert Card(5, 7).refines(Card(2))
+
+    def test_figure2_grad_student_refinement(self):
+        # Grad_Student refines Student's Enrollment[enrolls] (1,6) to (2,3).
+        assert Card(2, 3).refines(Card(1, 6))
+
+
+class TestRenderingAndConstants:
+    def test_str_bounded(self):
+        assert str(Card(1, 2)) == "(1, 2)"
+
+    def test_str_unbounded(self):
+        assert str(Card(0)) == "(0, *)"
+
+    def test_constants(self):
+        assert ANY == Card(0)
+        assert EXACTLY_ONE == Card(1, 1)
+        assert AT_MOST_ONE == Card(0, 1)
+        assert AT_LEAST_ONE == Card(1)
+
+    def test_hashable(self):
+        assert len({Card(1, 2), Card(1, 2), Card(1, 3)}) == 2

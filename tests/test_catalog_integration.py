@@ -1,0 +1,115 @@
+"""Integration tests over the catalog workload: the whole pipeline on a
+second realistic domain."""
+
+import pytest
+
+from repro.core.cardinality import Card
+from repro.core.schema import AttrRef, inv
+from repro.parser.parser import parse_schema
+from repro.parser.printer import render_schema
+from repro.reasoner.implication import (
+    classify,
+    implied_attribute_bounds,
+    implied_attribute_filler,
+    implied_disjoint,
+    implied_role_constraint,
+    implied_subsumption,
+)
+from repro.reasoner.satisfiability import Reasoner
+from repro.reasoner.transform import reify_nonbinary_relations
+from repro.semantics.checker import is_model
+from repro.synthesis.builder import synthesize_model
+from repro.workloads.catalog_schema import catalog_schema
+from repro.core.formulas import Lit
+
+
+@pytest.fixture(scope="module")
+def reasoner():
+    return Reasoner(catalog_schema())
+
+
+class TestCoherence:
+    def test_every_class_satisfiable(self, reasoner):
+        report = reasoner.check_coherence()
+        assert report.is_coherent, report
+
+    def test_round_trip(self):
+        schema = catalog_schema()
+        assert parse_schema(render_schema(schema)) == schema
+
+
+class TestDerivedFacts:
+    def test_hierarchy(self, reasoner):
+        assert implied_subsumption(reasoner, "Bulky_Product", "Product")
+        assert implied_subsumption(reasoner, "Business_Customer", "Party")
+
+    def test_disjointness_propagates(self, reasoner):
+        assert implied_disjoint(reasoner, "Business_Customer",
+                                "Retail_Customer")
+        assert implied_disjoint(reasoner, "Bulky_Product", "Digital_Product")
+        assert implied_disjoint(reasoner, "Customer", "Product")
+
+    def test_inverse_bounds(self, reasoner):
+        assert implied_attribute_bounds(
+            reasoner, "Product", inv("supplies")) == Card(1, 3)
+
+    def test_bulky_shipping_refinement(self, reasoner):
+        # Bulky products ship in crates only; physical products in general
+        # may also use envelopes.
+        assert implied_attribute_filler(
+            reasoner, "Bulky_Product", AttrRef("shipped_in"), Lit("Crate"))
+        assert not implied_attribute_filler(
+            reasoner, "Physical_Product", AttrRef("shipped_in"), Lit("Crate"))
+
+    def test_role_constraints(self, reasoner):
+        assert implied_role_constraint(
+            reasoner, "Order_Line", "buyer", Lit("Customer"))
+        assert implied_role_constraint(
+            reasoner, "Order_Line", "buyer", Lit("Party"))
+        assert not implied_role_constraint(
+            reasoner, "Order_Line", "item", Lit("Physical_Product"))
+
+    def test_classification_has_no_surprises(self, reasoner):
+        result = classify(reasoner)
+        assert not result.unsatisfiable
+        assert ("Bulky_Product", "Physical_Product") in result.subsumptions
+        assert ("Instant_Slot", "Shipment_Slot") in result.subsumptions
+
+
+class TestPipelines:
+    def test_reification_rejects_disjunctive_role_clause(self):
+        # Order_Line carries a disjunctive role-clause, so Theorem 4.5's
+        # precondition fails and reification must refuse loudly.
+        from repro.core.errors import SchemaError
+
+        with pytest.raises(SchemaError):
+            reify_nonbinary_relations(catalog_schema())
+
+    def test_reification_of_simplified_catalog(self, reasoner):
+        # Dropping the conditional-typing clause makes Order_Line reifiable;
+        # verdicts on all classes must be preserved.
+        from repro.core.schema import RelationDef, RoleClause, RoleLiteral
+
+        schema = catalog_schema()
+        rdef = schema.relation("Order_Line")
+        simplified = schema.with_relation(RelationDef(
+            "Order_Line", rdef.roles,
+            [c for c in rdef.constraints if len(c) == 1]))
+        result = reify_nonbinary_relations(simplified)
+        assert result.was_changed()
+        before = Reasoner(simplified)
+        after = Reasoner(result.schema)
+        for name in sorted(simplified.class_symbols):
+            assert (before.is_satisfiable(name)
+                    == after.is_satisfiable(name)), name
+
+    @pytest.mark.slow
+    def test_synthesize_catalog_database(self, reasoner):
+        report = synthesize_model(reasoner, target="Bulky_Product")
+        interp = report.interpretation
+        assert is_model(interp, catalog_schema())
+        assert interp.class_ext("Bulky_Product")
+        # Every product has 1-3 suppliers in the synthesized state.
+        for product in interp.class_ext("Product"):
+            count = interp.attr_link_count(inv("supplies"), product)
+            assert 1 <= count <= 3

@@ -1,0 +1,117 @@
+"""Unit tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import main
+
+GOOD_SCHEMA = """
+class Person endclass
+class Student isa Person and not Professor endclass
+class Professor isa Person endclass
+"""
+
+BAD_SCHEMA = GOOD_SCHEMA + """
+class TA isa Student and Professor endclass
+"""
+
+CARD_SCHEMA = """
+class C isa not D attributes a : (1, 2) D endclass
+class D endclass
+"""
+
+
+@pytest.fixture
+def good_file(tmp_path):
+    path = tmp_path / "good.car"
+    path.write_text(GOOD_SCHEMA)
+    return str(path)
+
+
+@pytest.fixture
+def bad_file(tmp_path):
+    path = tmp_path / "bad.car"
+    path.write_text(BAD_SCHEMA)
+    return str(path)
+
+
+class TestValidate:
+    def test_coherent_schema_exits_zero(self, good_file, capsys):
+        assert main(["validate", good_file]) == 0
+        assert "coherent" in capsys.readouterr().out
+
+    def test_incoherent_schema_exits_nonzero(self, bad_file, capsys):
+        assert main(["validate", bad_file]) == 1
+        out = capsys.readouterr().out
+        assert "INCOHERENT" in out
+        assert "TA" in out
+        assert "unsatisfiable" in out  # the explanation is printed
+
+    def test_stdin_input(self, capsys, monkeypatch):
+        import io
+
+        monkeypatch.setattr("sys.stdin", io.StringIO(GOOD_SCHEMA))
+        assert main(["validate", "-"]) == 0
+
+
+class TestClassify:
+    def test_lists_subsumptions(self, good_file, capsys):
+        assert main(["classify", good_file]) == 0
+        out = capsys.readouterr().out
+        assert "Student isa Person" in out
+
+
+class TestSatisfiable:
+    def test_satisfiable_class(self, good_file, capsys):
+        assert main(["satisfiable", good_file, "Student"]) == 0
+        assert "satisfiable" in capsys.readouterr().out
+
+    def test_unsatisfiable_class_explained(self, bad_file, capsys):
+        assert main(["satisfiable", bad_file, "TA"]) == 1
+        assert "phase 1" in capsys.readouterr().out
+
+    def test_unknown_class_is_error(self, good_file, capsys):
+        assert main(["satisfiable", good_file, "Nope"]) == 2
+        assert "error" in capsys.readouterr().err
+
+
+class TestSynthesize:
+    def test_synthesizes_model(self, tmp_path, capsys):
+        path = tmp_path / "card.car"
+        path.write_text(CARD_SCHEMA)
+        assert main(["synthesize", str(path), "--target", "C"]) == 0
+        out = capsys.readouterr().out
+        assert "verified model" in out
+
+    def test_full_dump(self, tmp_path, capsys):
+        path = tmp_path / "card.car"
+        path.write_text(CARD_SCHEMA)
+        assert main(["synthesize", str(path), "--target", "C", "--full"]) == 0
+        out = capsys.readouterr().out
+        assert "a(" in out  # attribute pairs printed
+
+
+class TestRenderAndStats:
+    def test_render_round_trips(self, good_file, capsys):
+        assert main(["render", good_file]) == 0
+        out = capsys.readouterr().out
+        from repro.parser.parser import parse_schema
+
+        assert parse_schema(out) == parse_schema(GOOD_SCHEMA)
+
+    def test_stats_keys(self, good_file, capsys):
+        assert main(["stats", good_file]) == 0
+        out = capsys.readouterr().out
+        assert "compound_classes:" in out
+        assert "lp_backend:" in out
+
+    def test_parse_error_exit_code(self, tmp_path, capsys):
+        path = tmp_path / "broken.car"
+        path.write_text("class endclass")
+        assert main(["validate", str(path)]) == 2
+        assert "error" in capsys.readouterr().err
+
+    def test_missing_file(self, capsys):
+        assert main(["validate", "/nonexistent/schema.car"]) == 2
+
+    def test_strategy_flag(self, good_file):
+        assert main(["validate", good_file, "--strategy", "naive"]) == 0

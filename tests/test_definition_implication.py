@@ -1,0 +1,100 @@
+"""Unit tests for definition-level logical implication."""
+
+import pytest
+
+from repro.core.cardinality import Card
+from repro.core.errors import ReasoningError
+from repro.core.formulas import Lit
+from repro.core.schema import Attr, AttrRef, ClassDef, Part, inv
+from repro.parser.parser import parse_schema
+from repro.reasoner.implication import (
+    implied_attribute_filler,
+    implies_class_definition,
+)
+from repro.reasoner.satisfiability import Reasoner
+from repro.workloads.paper_schemas import figure2_schema
+
+
+@pytest.fixture(scope="module")
+def figure2_reasoner():
+    return Reasoner(figure2_schema())
+
+
+class TestImpliedAttributeFiller:
+    def test_declared_filler_implied(self, figure2_reasoner):
+        assert implied_attribute_filler(
+            figure2_reasoner, "Course", AttrRef("taught_by"),
+            Lit("Professor") | Lit("Grad_Student"))
+
+    def test_derived_filler(self, figure2_reasoner):
+        # Teachers are persons, even though no definition says so directly.
+        assert implied_attribute_filler(
+            figure2_reasoner, "Course", AttrRef("taught_by"), Lit("Person"))
+
+    def test_refined_filler_for_subclass(self, figure2_reasoner):
+        # Advanced courses are taught by professors only.
+        assert implied_attribute_filler(
+            figure2_reasoner, "Adv_Course", AttrRef("taught_by"),
+            Lit("Professor"))
+        # ... but courses in general are not.
+        assert not implied_attribute_filler(
+            figure2_reasoner, "Course", AttrRef("taught_by"),
+            Lit("Professor"))
+
+    def test_inverse_filler(self, figure2_reasoner):
+        assert implied_attribute_filler(
+            figure2_reasoner, "Professor", inv("taught_by"), Lit("Course"))
+
+    def test_unknown_symbol_rejected(self, figure2_reasoner):
+        with pytest.raises(ReasoningError):
+            implied_attribute_filler(
+                figure2_reasoner, "Course", AttrRef("taught_by"),
+                Lit("Martian"))
+
+
+class TestImpliesClassDefinition:
+    def test_weaker_definition_is_implied(self, figure2_reasoner):
+        # A Grad_Student is a Person with between 0 and 2 taught courses and
+        # between 1 and 6 enrolments — all weaker than what is declared.
+        candidate = ClassDef(
+            "Grad_Student",
+            isa=Lit("Person"),
+            attributes=[Attr(inv("taught_by"), Card(0, 2), "Course")],
+            participates=[Part("Enrollment", "enrolls", Card(1, 6))],
+        )
+        assert implies_class_definition(figure2_reasoner, candidate)
+
+    def test_stronger_cardinality_not_implied(self, figure2_reasoner):
+        candidate = ClassDef(
+            "Student",
+            participates=[Part("Enrollment", "enrolls", Card(2, 3))],
+        )
+        assert not implies_class_definition(figure2_reasoner, candidate)
+
+    def test_wrong_isa_not_implied(self, figure2_reasoner):
+        candidate = ClassDef("Person", isa=Lit("Student"))
+        assert not implies_class_definition(figure2_reasoner, candidate)
+
+    def test_stronger_filler_not_implied(self, figure2_reasoner):
+        candidate = ClassDef(
+            "Course",
+            attributes=[Attr("taught_by", Card(1, 1), Lit("Grad_Student"))],
+        )
+        assert not implies_class_definition(figure2_reasoner, candidate)
+
+    def test_unsatisfiable_class_implies_anything(self):
+        reasoner = Reasoner(parse_schema("""
+            class Bad isa Good and not Good endclass
+            class Good endclass
+        """))
+        candidate = ClassDef("Bad", isa=Lit("Good") & ~Lit("Good"))
+        assert implies_class_definition(reasoner, candidate)
+
+    def test_declared_definitions_are_implied(self, figure2_reasoner):
+        # Trivially: every definition of the schema is implied by it.
+        for cdef in figure2_schema().class_definitions:
+            assert implies_class_definition(figure2_reasoner, cdef), cdef.name
+
+    def test_non_classdef_rejected(self, figure2_reasoner):
+        with pytest.raises(ReasoningError):
+            implies_class_definition(figure2_reasoner, "Course")

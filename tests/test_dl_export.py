@@ -1,0 +1,99 @@
+"""Unit tests for the Description Logic TBox export."""
+
+import pytest
+
+from repro.interop.dl_export import export_tbox
+from repro.parser.parser import parse_schema
+from repro.workloads.paper_schemas import figure2_schema
+
+
+def axioms_of(source: str):
+    return export_tbox(parse_schema(source)).axioms
+
+
+class TestConceptTranslation:
+    def test_isa_inclusion(self):
+        axioms = axioms_of("class Student isa Person and not Professor endclass")
+        assert "Student ⊑ (¬Professor) ⊓ (Person)" in axioms or any(
+            axiom.startswith("Student ⊑") and "Person" in axiom
+            and "¬Professor" in axiom for axiom in axioms)
+
+    def test_union_concept(self):
+        axioms = axioms_of(
+            "class Course attributes taught_by : (1, 1) Professor or Grad endclass")
+        joined = "\n".join(axioms)
+        assert "∀taught_by.(Grad ⊔ Professor)" in joined \
+            or "∀taught_by.(Professor ⊔ Grad)" in joined
+
+    def test_number_restrictions(self):
+        axioms = axioms_of(
+            "class C attributes a : (2, 5) D endclass")
+        joined = "\n".join(axioms)
+        assert "(≥ 2 a.⊤)" in joined
+        assert "(≤ 5 a.⊤)" in joined
+
+    def test_unbounded_upper_omitted(self):
+        axioms = axioms_of("class C attributes a : (1, *) D endclass")
+        joined = "\n".join(axioms)
+        assert "(≥ 1 a.⊤)" in joined
+        assert "≤" not in joined
+
+    def test_inverse_role(self):
+        axioms = axioms_of(
+            "class Professor attributes (inv taught_by) : (1, 2) Course endclass")
+        joined = "\n".join(axioms)
+        assert "taught_by⁻" in joined
+
+
+class TestRelationTranslation:
+    def test_binary_role_typing(self):
+        tbox = export_tbox(parse_schema("""
+            relation R(u, v)
+                constraints (u : A); (v : B)
+            endrelation
+        """))
+        joined = "\n".join(tbox.axioms)
+        assert "∃R.⊤ ⊑ A" in joined
+        assert "∃R⁻.⊤ ⊑ B" in joined
+
+    def test_participation_as_number_restriction(self):
+        tbox = export_tbox(parse_schema("""
+            class C participates in R[u] : (1, 3) endclass
+            relation R(u, v) endrelation
+        """))
+        joined = "\n".join(tbox.axioms)
+        assert "C ⊑ (≥ 1 R.⊤) ⊓ (≤ 3 R.⊤)" in joined
+
+    def test_ternary_relation_reified(self):
+        tbox = export_tbox(parse_schema("""
+            relation Exam(of, by, in)
+                constraints (of : Student); (by : Professor)
+            endrelation
+        """))
+        assert any("reified" in w for w in tbox.warnings)
+
+    def test_disjunctive_role_clause_warned(self):
+        tbox = export_tbox(parse_schema("""
+            relation R(u, v)
+                constraints (u : A) or (v : B)
+            endrelation
+        """))
+        assert any("disjunctive" in w.lower() for w in tbox.warnings)
+
+    def test_finite_model_caveat_always_present(self):
+        tbox = export_tbox(parse_schema("class A endclass"))
+        assert any("finite-model" in w for w in tbox.warnings)
+
+
+class TestFigure2Export:
+    def test_exports_without_errors(self):
+        tbox = export_tbox(figure2_schema())
+        assert len(tbox.axioms) >= 8
+        joined = "\n".join(tbox.axioms)
+        # The ternary Exam was reified; the binary Enrollment kept.
+        assert any("Exam" in w and "reified" in w for w in tbox.warnings)
+        assert "∃Enrollment.⊤ ⊑ Course" in joined
+
+    def test_rendering_includes_warnings(self):
+        text = str(export_tbox(figure2_schema()))
+        assert "%%" in text

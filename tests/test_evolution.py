@@ -1,0 +1,84 @@
+"""Unit tests for schema-evolution analysis."""
+
+import pytest
+
+from repro.parser.parser import parse_schema
+from repro.reasoner.evolution import compare_schemas
+
+BASE = """
+class Person endclass
+class Student isa Person and not Professor
+    attributes advisor : (0, 1) Professor
+endclass
+class Professor isa Person endclass
+"""
+
+
+class TestCompareSchemas:
+    def test_identical_schemas_compatible(self):
+        old = parse_schema(BASE)
+        new = parse_schema(BASE)
+        report = compare_schemas(old, new)
+        assert report.is_backward_compatible
+        assert "no derived facts changed" in str(report)
+
+    def test_added_and_removed_classes(self):
+        old = parse_schema(BASE)
+        new = parse_schema(BASE + "class Course endclass")
+        report = compare_schemas(old, new)
+        assert report.added_classes == ("Course",)
+        assert report.is_backward_compatible
+        reverse = compare_schemas(new, old)
+        assert reverse.removed_classes == ("Course",)
+
+    def test_newly_unsatisfiable_class_detected(self):
+        old = parse_schema(BASE + "class TA isa Student endclass")
+        new = parse_schema(BASE + "class TA isa Student and Professor endclass")
+        report = compare_schemas(old, new)
+        assert "TA" in report.newly_unsatisfiable
+        assert not report.is_backward_compatible
+
+    def test_newly_satisfiable_class_detected(self):
+        old = parse_schema(BASE + "class TA isa Student and Professor endclass")
+        new = parse_schema(BASE + "class TA isa Student endclass")
+        report = compare_schemas(old, new)
+        assert "TA" in report.newly_satisfiable
+
+    def test_lost_subsumption_breaks_compatibility(self):
+        old = parse_schema(BASE)
+        new = parse_schema(BASE.replace("isa Person and not Professor",
+                                        "isa not Professor"))
+        report = compare_schemas(old, new)
+        assert ("Student", "Person") in report.lost_subsumptions
+        assert not report.is_backward_compatible
+
+    def test_gained_subsumption_is_compatible(self):
+        old = parse_schema(BASE + "class Tutor endclass")
+        new = parse_schema(BASE + "class Tutor isa Student endclass")
+        report = compare_schemas(old, new)
+        assert ("Tutor", "Student") in report.gained_subsumptions
+        assert report.is_backward_compatible
+
+    def test_lost_disjointness_detected(self):
+        old = parse_schema(BASE)
+        new = parse_schema(BASE.replace("isa Person and not Professor",
+                                        "isa Person"))
+        report = compare_schemas(old, new)
+        assert ("Professor", "Student") in report.lost_disjointness or \
+            ("Student", "Professor") in report.lost_disjointness
+        assert not report.is_backward_compatible
+
+    def test_changed_attribute_bounds_reported(self):
+        old = parse_schema(BASE)
+        new = parse_schema(BASE.replace("advisor : (0, 1)", "advisor : (1, 1)"))
+        report = compare_schemas(old, new)
+        changed = {(name, ref) for name, ref, _, _ in
+                   report.changed_attribute_bounds}
+        assert ("Student", "advisor") in changed
+
+    def test_report_rendering(self):
+        old = parse_schema(BASE + "class TA isa Student endclass")
+        new = parse_schema(BASE + "class TA isa Student and Professor endclass")
+        text = str(compare_schemas(old, new))
+        assert "NOT backward compatible" in text
+        assert "newly unsatisfiable: TA" in text

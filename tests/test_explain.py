@@ -1,0 +1,87 @@
+"""Unit tests for unsatisfiability explanations."""
+
+import pytest
+
+from repro.core.errors import ReasoningError
+from repro.parser.parser import parse_schema
+from repro.reasoner.explain import explain_unsatisfiability
+from repro.reasoner.satisfiability import Reasoner
+
+
+class TestPhase1:
+    def test_isa_contradiction(self):
+        reasoner = Reasoner(parse_schema("""
+            class Student isa Person and not Professor endclass
+            class TA isa Student and Professor endclass
+        """))
+        explanation = explain_unsatisfiability(reasoner, "TA")
+        assert explanation.phase == 1
+        assert explanation.class_name == "TA"
+        text = str(explanation)
+        assert "Student" in text and "Professor" in text
+
+    def test_direct_self_contradiction(self):
+        reasoner = Reasoner(parse_schema("class A isa not A endclass"))
+        explanation = explain_unsatisfiability(reasoner, "A")
+        assert explanation.phase == 1
+
+    def test_forced_memberships_listed(self):
+        reasoner = Reasoner(parse_schema("""
+            class A isa B endclass
+            class B isa C and not C endclass
+            class C endclass
+        """))
+        explanation = explain_unsatisfiability(reasoner, "A")
+        assert explanation.phase == 1
+        assert any("B" in d for d in explanation.details)
+
+
+class TestPhase2:
+    def test_empty_merged_interval(self):
+        reasoner = Reasoner(parse_schema("""
+            class Sup attributes x : (2, 2) T endclass
+            class Sub isa Sup attributes x : (0, 1) T endclass
+            class T endclass
+        """))
+        explanation = explain_unsatisfiability(reasoner, "Sub")
+        assert explanation.phase == 2
+        assert any("empty" in d for d in explanation.details)
+
+    def test_global_counting_conflict(self):
+        reasoner = Reasoner(parse_schema("""
+            class C
+                attributes a : (1, 1) C;
+                           (inv a) : (3, 3) C
+            endclass
+        """))
+        explanation = explain_unsatisfiability(reasoner, "C")
+        assert explanation.phase == 2
+        assert "finite database state" in explanation.headline
+
+    def test_missing_partner(self):
+        reasoner = Reasoner(parse_schema("""
+            class C attributes a : (1, 1) Ghost and not Ghost endclass
+            class Ghost endclass
+        """))
+        explanation = explain_unsatisfiability(reasoner, "C")
+        assert explanation.phase == 2
+        assert any("partner" in d for d in explanation.details)
+
+
+class TestGuards:
+    def test_satisfiable_class_rejected(self):
+        reasoner = Reasoner(parse_schema("class A endclass"))
+        with pytest.raises(ReasoningError):
+            explain_unsatisfiability(reasoner, "A")
+
+    def test_detail_cap(self):
+        # Many compounds die for the same reason; the explanation dedups.
+        reasoner = Reasoner(parse_schema("""
+            class Sup attributes x : (2, 2) T endclass
+            class Sub isa Sup attributes x : (0, 1) T endclass
+            class T endclass
+            class U endclass
+            class V endclass
+        """))
+        explanation = explain_unsatisfiability(reasoner, "Sub", max_details=2)
+        assert len(explanation.details) <= 2

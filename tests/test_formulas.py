@@ -1,0 +1,174 @@
+"""Unit tests for class-literals, clauses, and CNF formulae."""
+
+import pytest
+
+from repro.core.errors import SchemaError
+from repro.core.formulas import (
+    TOP,
+    Clause,
+    Formula,
+    Lit,
+    as_clause,
+    as_formula,
+    conjunction,
+    disjunction,
+)
+
+
+class TestLit:
+    def test_positive_default(self):
+        assert Lit("Person").positive
+
+    def test_invert(self):
+        lit = ~Lit("Person")
+        assert not lit.positive
+        assert ~lit == Lit("Person")
+
+    def test_empty_name_rejected(self):
+        with pytest.raises(SchemaError):
+            Lit("")
+
+    def test_satisfied_by_positive(self):
+        assert Lit("A").satisfied_by({"A", "B"})
+        assert not Lit("A").satisfied_by({"B"})
+
+    def test_satisfied_by_negative(self):
+        assert (~Lit("A")).satisfied_by(set())
+        assert not (~Lit("A")).satisfied_by({"A"})
+
+    def test_str(self):
+        assert str(Lit("A")) == "A"
+        assert str(~Lit("A")) == "not A"
+
+
+class TestClause:
+    def test_or_operator_builds_clause(self):
+        clause = Lit("A") | Lit("B")
+        assert isinstance(clause, Clause)
+        assert len(clause) == 2
+
+    def test_deduplication(self):
+        clause = Lit("A") | Lit("A") | Lit("B")
+        assert len(clause) == 2
+
+    def test_canonical_order_makes_equal(self):
+        assert (Lit("A") | Lit("B")) == (Lit("B") | Lit("A"))
+
+    def test_tautology_detection(self):
+        assert (Lit("A") | ~Lit("A")).is_tautology()
+        assert not (Lit("A") | ~Lit("B")).is_tautology()
+
+    def test_empty_clause_is_false(self):
+        clause = Clause(())
+        assert not clause.satisfied_by({"A"})
+        assert str(clause) == "false"
+
+    def test_satisfied_any_literal(self):
+        clause = Lit("A") | ~Lit("B")
+        assert clause.satisfied_by({"A", "B"})   # A true
+        assert clause.satisfied_by(set())        # not B true
+        assert not clause.satisfied_by({"B"})
+
+    def test_classes(self):
+        assert (Lit("A") | ~Lit("B")).classes() == {"A", "B"}
+
+    def test_non_literal_rejected(self):
+        with pytest.raises(SchemaError):
+            Clause(("A",))
+
+
+class TestFormula:
+    def test_and_operator_builds_formula(self):
+        formula = Lit("A") & Lit("B")
+        assert isinstance(formula, Formula)
+        assert len(formula) == 2
+
+    def test_mixed_cnf(self):
+        formula = (Lit("A") | Lit("B")) & ~Lit("C")
+        assert len(formula) == 2
+
+    def test_top_satisfied_by_anything(self):
+        assert TOP.satisfied_by(set())
+        assert TOP.satisfied_by({"A", "B"})
+
+    def test_clause_deduplication(self):
+        formula = Lit("A") & Lit("A")
+        assert len(formula) == 1
+
+    def test_satisfied_needs_all_clauses(self):
+        formula = Lit("A") & (Lit("B") | Lit("C"))
+        assert formula.satisfied_by({"A", "B"})
+        assert formula.satisfied_by({"A", "C"})
+        assert not formula.satisfied_by({"A"})
+        assert not formula.satisfied_by({"B", "C"})
+
+    def test_positive_negative_classes(self):
+        formula = (Lit("A") | ~Lit("B")) & Lit("C")
+        assert formula.positive_classes() == {"A", "C"}
+        assert formula.negative_classes() == {"B"}
+
+    def test_union_free(self):
+        assert (Lit("A") & Lit("B")).is_union_free()
+        assert not ((Lit("A") | Lit("B")) & Lit("C")).is_union_free()
+
+    def test_negation_free(self):
+        assert ((Lit("A") | Lit("B")) & Lit("C")).is_negation_free()
+        assert (Lit("A") & Lit("B")).is_negation_free()
+        assert not (Lit("A") & ~Lit("B")).is_negation_free()
+
+    def test_trivially_true(self):
+        assert TOP.is_trivially_true()
+        assert Formula(((Lit("A") | ~Lit("A")),)).is_trivially_true()
+        assert not as_formula("A").is_trivially_true()
+
+    def test_str_forms(self):
+        assert str(TOP) == "true"
+        assert str(as_formula("A")) == "A"
+        rendered = str((Lit("A") | Lit("B")) & ~Lit("C"))
+        assert "or" in rendered and "and" in rendered
+
+
+class TestCoercions:
+    def test_as_clause_from_str(self):
+        assert as_clause("A") == Clause((Lit("A"),))
+
+    def test_as_formula_from_str(self):
+        assert as_formula("A") == Formula((Clause((Lit("A"),)),))
+
+    def test_as_formula_idempotent(self):
+        formula = Lit("A") & Lit("B")
+        assert as_formula(formula) is formula
+
+    def test_as_formula_rejects_junk(self):
+        with pytest.raises(SchemaError):
+            as_formula(42)
+
+    def test_conjunction_empty_is_top(self):
+        assert conjunction([]) == TOP
+
+    def test_conjunction_merges(self):
+        formula = conjunction(["A", Lit("B") | Lit("C")])
+        assert len(formula) == 2
+
+    def test_disjunction(self):
+        clause = disjunction(["A", ~Lit("B")])
+        assert clause == (Lit("A") | ~Lit("B"))
+
+    def test_disjunction_rejects_junk(self):
+        with pytest.raises(SchemaError):
+            disjunction([1])
+
+
+class TestRealizationSemantics:
+    """The truth assignment Φ_C̄ of Section 3.1 is satisfied_by."""
+
+    def test_compound_class_realizes(self):
+        # C̄ = {Student, Person} realizes "Person and not Professor".
+        isa = Lit("Person") & ~Lit("Professor")
+        assert isa.satisfied_by(frozenset({"Student", "Person"}))
+        assert not isa.satisfied_by(frozenset({"Student", "Person", "Professor"}))
+
+    def test_empty_compound_class(self):
+        # The empty compound class realizes purely negative formulae.
+        assert (~Lit("Person")).satisfied_by(frozenset())
+        assert not as_formula("Person").satisfied_by(frozenset())

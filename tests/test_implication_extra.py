@@ -1,0 +1,101 @@
+"""Unit tests for participation bounds and role-constraint implication."""
+
+import pytest
+
+from repro.core.cardinality import Card, INFINITY
+from repro.core.errors import ReasoningError
+from repro.core.formulas import Lit
+from repro.parser.parser import parse_schema
+from repro.reasoner.implication import (
+    implied_participation_bounds,
+    implied_role_constraint,
+)
+from repro.reasoner.satisfiability import Reasoner
+from repro.workloads.paper_schemas import figure2_schema
+
+
+@pytest.fixture(scope="module")
+def figure2_reasoner():
+    return Reasoner(figure2_schema())
+
+
+class TestImpliedParticipationBounds:
+    def test_figure2_student_enrolment(self, figure2_reasoner):
+        bounds = implied_participation_bounds(
+            figure2_reasoner, "Student", "Enrollment", "enrolls")
+        assert bounds == Card(1, 6)
+
+    def test_figure2_grad_student_refinement(self, figure2_reasoner):
+        bounds = implied_participation_bounds(
+            figure2_reasoner, "Grad_Student", "Enrollment", "enrolls")
+        assert bounds == Card(2, 3)
+
+    def test_figure2_adv_course(self, figure2_reasoner):
+        bounds = implied_participation_bounds(
+            figure2_reasoner, "Adv_Course", "Enrollment", "enrolled_in")
+        assert bounds == Card(5, 20)
+
+    def test_unconstrained_role(self, figure2_reasoner):
+        # Person participation in Exam[of] is unconstrained but possible.
+        bounds = implied_participation_bounds(
+            figure2_reasoner, "Student", "Exam", "of")
+        assert bounds == Card(0, INFINITY)
+
+    def test_impossible_participation_is_zero(self):
+        reasoner = Reasoner(parse_schema("""
+            class C isa not D endclass
+            class D endclass
+            relation R(u, v) constraints (u : D) endrelation
+        """))
+        bounds = implied_participation_bounds(reasoner, "C", "R", "u")
+        assert bounds == Card(0, 0)
+
+    def test_unknown_role_rejected(self, figure2_reasoner):
+        with pytest.raises(ReasoningError):
+            implied_participation_bounds(
+                figure2_reasoner, "Student", "Enrollment", "nope")
+
+    def test_unsatisfiable_class_returns_none(self):
+        reasoner = Reasoner(parse_schema("""
+            class Bad isa Good and not Good endclass
+            relation R(u) endrelation
+        """))
+        assert implied_participation_bounds(reasoner, "Bad", "R", "u") is None
+
+
+class TestImpliedRoleConstraint:
+    def test_declared_constraint_implied(self, figure2_reasoner):
+        assert implied_role_constraint(
+            figure2_reasoner, "Enrollment", "enrolls", Lit("Student"))
+
+    def test_derived_constraint(self, figure2_reasoner):
+        # Every enroller is a Student, hence a Person and not a Professor.
+        assert implied_role_constraint(
+            figure2_reasoner, "Enrollment", "enrolls",
+            Lit("Person") & ~Lit("Professor"))
+
+    def test_non_implied_constraint(self, figure2_reasoner):
+        assert not implied_role_constraint(
+            figure2_reasoner, "Enrollment", "enrolls", Lit("Grad_Student"))
+
+    def test_disjunctive_clause_propagation(self):
+        # Tuples must satisfy (u : A) ∨ (v : B); neither side alone follows.
+        reasoner = Reasoner(parse_schema("""
+            class A endclass
+            class B endclass
+            relation R(u, v)
+                constraints (u : A) or (v : B)
+            endrelation
+        """))
+        assert not implied_role_constraint(reasoner, "R", "u", Lit("A"))
+        assert not implied_role_constraint(reasoner, "R", "v", Lit("B"))
+
+    def test_unknown_symbol_rejected(self, figure2_reasoner):
+        with pytest.raises(ReasoningError):
+            implied_role_constraint(
+                figure2_reasoner, "Enrollment", "enrolls", Lit("Martian"))
+
+    def test_unknown_role_rejected(self, figure2_reasoner):
+        with pytest.raises(ReasoningError):
+            implied_role_constraint(
+                figure2_reasoner, "Enrollment", "nope", Lit("Student"))

@@ -1,0 +1,104 @@
+"""Unit tests for JSON serialization of schemas and interpretations."""
+
+import json
+
+import pytest
+from hypothesis import HealthCheck, given, settings
+
+from repro.core.errors import SchemaError, SemanticsError
+from repro.core.io_json import (
+    interpretation_from_dict,
+    interpretation_to_dict,
+    schema_from_dict,
+    schema_from_json,
+    schema_to_dict,
+    schema_to_json,
+)
+from repro.semantics.interpretation import Interpretation, LabeledTuple
+from repro.workloads.paper_schemas import figure1_schema, figure2_schema
+
+from tests.strategies import rich_schemas
+
+
+class TestSchemaRoundTrip:
+    def test_figure1(self):
+        schema = figure1_schema()
+        assert schema_from_dict(schema_to_dict(schema)) == schema
+
+    def test_figure2(self):
+        schema = figure2_schema()
+        assert schema_from_dict(schema_to_dict(schema)) == schema
+
+    def test_json_string_round_trip(self):
+        schema = figure2_schema()
+        text = schema_to_json(schema)
+        json.loads(text)  # valid JSON
+        assert schema_from_json(text) == schema
+
+    def test_format_tag_checked(self):
+        with pytest.raises(SchemaError):
+            schema_from_dict({"format": "something-else"})
+
+    def test_dict_is_json_safe(self):
+        # No tuples/frozensets may leak into the payload.
+        payload = schema_to_dict(figure2_schema())
+        json.dumps(payload)
+
+    def test_bad_cardinality_rejected(self):
+        data = schema_to_dict(figure2_schema())
+        data["classes"][0]["attributes"][0]["card"] = [1]
+        with pytest.raises(SchemaError):
+            schema_from_dict(data)
+
+
+class TestSchemaRoundTripProperty:
+    @settings(max_examples=80, deadline=None,
+              suppress_health_check=[HealthCheck.too_slow])
+    @given(rich_schemas())
+    def test_generated_schemas(self, schema):
+        assert schema_from_dict(schema_to_dict(schema)) == schema
+
+
+class TestInterpretationRoundTrip:
+    def interpretation(self):
+        return Interpretation(
+            ["a", "b", "c"],
+            classes={"C": {"a", "b"}, "D": {"c"}},
+            attributes={"att": {("a", "b"), ("b", "c")}},
+            relations={"R": {LabeledTuple({"u": "a", "v": "c"})}},
+        )
+
+    def test_round_trip(self):
+        interp = self.interpretation()
+        rebuilt = interpretation_from_dict(interpretation_to_dict(interp))
+        assert rebuilt.universe == interp.universe
+        assert rebuilt.class_ext("C") == interp.class_ext("C")
+        assert rebuilt.attribute_ext("att") == interp.attribute_ext("att")
+        assert rebuilt.relation_ext("R") == interp.relation_ext("R")
+
+    def test_json_safe(self):
+        json.dumps(interpretation_to_dict(self.interpretation()))
+
+    def test_non_scalar_objects_rejected(self):
+        interp = Interpretation([("tuple", "object")])
+        with pytest.raises(SemanticsError):
+            interpretation_to_dict(interp)
+
+    def test_format_tag_checked(self):
+        with pytest.raises(SemanticsError):
+            interpretation_from_dict({"format": "nope", "universe": [1]})
+
+    def test_synthesized_model_round_trips(self):
+        from repro.parser.parser import parse_schema
+        from repro.reasoner.satisfiability import Reasoner
+        from repro.semantics.checker import is_model
+        from repro.synthesis.builder import synthesize_model
+
+        schema = parse_schema("""
+            class C isa not D attributes a : (1, 2) D endclass
+            class D endclass
+        """)
+        report = synthesize_model(Reasoner(schema), target="C")
+        payload = interpretation_to_dict(report.interpretation)
+        rebuilt = interpretation_from_dict(payload)
+        assert is_model(rebuilt, schema)

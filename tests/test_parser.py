@@ -1,0 +1,185 @@
+"""Unit tests for the lexer, parser, and pretty-printer."""
+
+import pytest
+
+from repro.core.cardinality import Card, INFINITY
+from repro.core.errors import ParseError
+from repro.core.formulas import Lit, TOP
+from repro.core.schema import AttrRef, inv
+from repro.parser.lexer import tokenize
+from repro.parser.parser import parse_formula, parse_schema
+from repro.parser.printer import render_formula, render_schema
+
+
+class TestLexer:
+    def test_simple_tokens(self):
+        kinds = [t.kind for t in tokenize("class C endclass")]
+        assert kinds == ["KEYWORD", "IDENT", "KEYWORD", "EOF"]
+
+    def test_numbers_and_punctuation(self):
+        texts = [t.text for t in tokenize("(1, 25)")]
+        assert texts == ["(", "1", ",", "25", ")", ""]
+
+    def test_line_comments(self):
+        tokens = tokenize("-- a comment\nclass # other\n")
+        assert [t.text for t in tokens] == ["class", ""]
+
+    def test_unicode_connectives(self):
+        texts = [t.text for t in tokenize("A ∧ ¬B ∨ C ∞")]
+        assert texts == ["A", "and", "not", "B", "or", "C", "inf", ""]
+
+    def test_positions(self):
+        token = tokenize("class\n  C")[1]
+        assert (token.line, token.column) == (2, 3)
+
+    def test_bad_character(self):
+        with pytest.raises(ParseError):
+            tokenize("class @")
+
+
+class TestFormulaParsing:
+    def test_atom(self):
+        assert parse_formula("Person") == Lit("Person") & TOP
+
+    def test_negation(self):
+        formula = parse_formula("not Person")
+        assert formula.satisfied_by(set())
+        assert not formula.satisfied_by({"Person"})
+
+    def test_cnf_precedence(self):
+        # or binds tighter than and.
+        formula = parse_formula("A or B and C")
+        assert len(formula) == 2
+        assert formula.satisfied_by({"B", "C"})
+        assert not formula.satisfied_by({"A"})
+
+    def test_parenthesized_clause(self):
+        formula = parse_formula("(A or B) and not C")
+        assert formula.satisfied_by({"A"})
+        assert not formula.satisfied_by({"A", "C"})
+
+    def test_top(self):
+        assert parse_formula("top") == TOP
+
+    def test_trailing_garbage_rejected(self):
+        with pytest.raises(ParseError):
+            parse_formula("A B")
+
+
+class TestClassParsing:
+    def test_minimal_class(self):
+        schema = parse_schema("class Person endclass")
+        assert schema.definition("Person").isa == TOP
+
+    def test_isa(self):
+        schema = parse_schema("class Student isa Person and not Professor endclass")
+        isa = schema.definition("Student").isa
+        assert isa.satisfied_by({"Person"})
+        assert not isa.satisfied_by({"Person", "Professor"})
+
+    def test_attributes_with_card(self):
+        schema = parse_schema("""
+            class Person
+                attributes name : (1, 1) String;
+                           nick : (0, inf) String
+            endclass
+        """)
+        specs = schema.definition("Person").attribute_specs
+        assert specs[AttrRef("name")].card == Card(1, 1)
+        assert specs[AttrRef("nick")].card == Card(0, INFINITY)
+
+    def test_attribute_without_card_defaults_to_any(self):
+        schema = parse_schema("class Person attributes name : String endclass")
+        spec = schema.definition("Person").attribute_specs[AttrRef("name")]
+        assert spec.card == Card(0, INFINITY)
+
+    def test_star_upper_bound(self):
+        schema = parse_schema("class C attributes a : (2, *) D endclass")
+        assert schema.definition("C").attribute_specs[AttrRef("a")].card == Card(2)
+
+    def test_inverse_attribute(self):
+        schema = parse_schema(
+            "class Professor attributes (inv taught_by) : (1, 2) Course endclass")
+        specs = schema.definition("Professor").attribute_specs
+        assert inv("taught_by") in specs
+
+    def test_union_filler(self):
+        schema = parse_schema(
+            "class Course attributes taught_by : (1, 1) Professor or Grad endclass")
+        filler = schema.definition("Course").attribute_specs[AttrRef("taught_by")].filler
+        assert filler.satisfied_by({"Professor"})
+        assert filler.satisfied_by({"Grad"})
+
+    def test_participates(self):
+        schema = parse_schema("""
+            relation R(u, v) endrelation
+            class C participates in R[u] : (1, 6) endclass
+        """)
+        spec = schema.definition("C").participation_specs[("R", "u")]
+        assert spec.card == Card(1, 6)
+
+    def test_participation_requires_card(self):
+        with pytest.raises(ParseError):
+            parse_schema("""
+                relation R(u) endrelation
+                class C participates in R[u] : D endclass
+            """)
+
+    def test_missing_endclass(self):
+        with pytest.raises(ParseError):
+            parse_schema("class C isa A")
+
+
+class TestRelationParsing:
+    def test_roles(self):
+        schema = parse_schema("relation Exam(of, by, in) endrelation")
+        assert schema.relation("Exam").roles == ("of", "by", "in")
+
+    def test_in_keyword_as_role(self):
+        schema = parse_schema("""
+            relation Exam(of, by, in)
+                constraints (in : Course)
+            endrelation
+        """)
+        clause = schema.relation("Exam").constraints[0]
+        assert clause.literals[0].role == "in"
+
+    def test_disjunctive_role_clause(self):
+        schema = parse_schema("""
+            relation Enrollment(enrolled_in, enrolls)
+                constraints
+                    (enrolled_in : not Adv_Course) or (enrolls : Grad_Student)
+            endrelation
+        """)
+        clause = schema.relation("Enrollment").constraints[0]
+        assert len(clause) == 2
+
+    def test_multiple_clauses(self):
+        schema = parse_schema("""
+            relation R(u, v)
+                constraints (u : A); (v : B)
+            endrelation
+        """)
+        assert len(schema.relation("R").constraints) == 2
+
+
+class TestRoundTrip:
+    def test_figure2_round_trip(self):
+        from repro.workloads.paper_schemas import figure2_schema
+
+        schema = figure2_schema()
+        assert parse_schema(render_schema(schema)) == schema
+
+    def test_figure1_round_trip(self):
+        from repro.workloads.paper_schemas import figure1_schema
+
+        schema = figure1_schema()
+        assert parse_schema(render_schema(schema)) == schema
+
+    def test_formula_round_trip(self):
+        source = "(A or not B) and C and (not D or E)"
+        formula = parse_formula(source)
+        assert parse_formula(render_formula(formula)) == formula
+
+    def test_top_round_trip(self):
+        assert parse_formula(render_formula(TOP)) == TOP

@@ -1,0 +1,86 @@
+"""Unit tests for defined-class placement."""
+
+import pytest
+
+from repro.core.errors import ReasoningError
+from repro.core.formulas import Lit
+from repro.parser.parser import parse_formula, parse_schema
+from repro.reasoner.placement import place_formula
+from repro.reasoner.satisfiability import Reasoner
+from repro.workloads.paper_schemas import figure2_schema
+
+
+@pytest.fixture(scope="module")
+def university():
+    return Reasoner(parse_schema("""
+        class Person endclass
+        class Student isa Person and not Professor endclass
+        class Professor isa Person endclass
+        class Grad_Student isa Student endclass
+    """))
+
+
+class TestPlacement:
+    def test_conjunction_lands_between(self, university):
+        placement = place_formula(
+            university, parse_formula("Person and not Professor"))
+        assert placement.satisfiable
+        # CAR isa parts are necessary conditions only: Student ⊑ F but a
+        # non-professor person need not be a student, so F sits strictly
+        # between Person and Student.
+        assert placement.parents == ("Person",)
+        assert placement.children == ("Student",)
+        assert placement.equivalents == ()
+
+    def test_fresh_intersection(self, university):
+        placement = place_formula(
+            university, parse_formula("Student and not Grad_Student"))
+        assert placement.parents == ("Student",)
+        assert placement.children == ()
+
+    def test_superclass_formula(self, university):
+        placement = place_formula(university, parse_formula("Person"))
+        assert "Person" in placement.equivalents
+        # Most general children: Student and Professor (not Grad_Student,
+        # which sits below Student).
+        assert set(placement.children) == {"Professor", "Student"}
+
+    def test_union_covers_children(self, university):
+        placement = place_formula(
+            university, parse_formula("Student or Professor"))
+        assert set(placement.children) == {"Professor", "Student"}
+        assert placement.parents == ("Person",)
+
+    def test_unsatisfiable_formula(self, university):
+        placement = place_formula(
+            university, parse_formula("Student and Professor"))
+        assert not placement.satisfiable
+        assert "unsatisfiable" in str(placement)
+
+    def test_top_formula(self, university):
+        from repro.core.formulas import TOP
+
+        placement = place_formula(university, TOP)
+        assert placement.satisfiable
+        assert placement.parents == ()  # nothing above top
+        assert "Person" in placement.children
+
+    def test_unknown_symbol_rejected(self, university):
+        with pytest.raises(ReasoningError):
+            place_formula(university, Lit("Martian"))
+
+    def test_figure2_definition_roundtrip(self):
+        reasoner = Reasoner(figure2_schema())
+        placement = place_formula(
+            reasoner, parse_formula("Person and not Professor"))
+        # In Figure 2 this is exactly what Student's isa says, but Student
+        # additionally requires enrolments — so it is a child or equivalent,
+        # never a parent.
+        assert "Student" not in placement.parents
+        assert ("Student" in placement.equivalents
+                or "Student" in placement.children)
+        assert "Person" in placement.parents or "Person" in placement.equivalents
+
+    def test_rendering(self, university):
+        text = str(place_formula(university, parse_formula("Person")))
+        assert "parents" in text and "children" in text

@@ -1,0 +1,143 @@
+"""Unit tests for the navigational query layer."""
+
+import pytest
+
+from repro.core.errors import SemanticsError
+from repro.core.formulas import Lit
+from repro.core.schema import AttrRef, inv
+from repro.parser.parser import parse_formula
+from repro.semantics.interpretation import Interpretation, LabeledTuple
+from repro.semantics.query import ObjectSet, objects
+
+
+@pytest.fixture
+def interp():
+    return Interpretation(
+        ["ada", "bob", "carol", "db", "os", "ml"],
+        classes={
+            "Person": {"ada", "bob", "carol"},
+            "Student": {"ada", "bob"},
+            "Professor": {"carol"},
+            "Course": {"db", "os", "ml"},
+            "Adv_Course": {"ml"},
+        },
+        attributes={
+            "taught_by": {("db", "carol"), ("os", "carol"), ("ml", "carol")},
+            "mentors": {("carol", "ada")},
+        },
+        relations={
+            "Enrollment": {
+                LabeledTuple({"enrolled_in": "db", "enrolls": "ada"}),
+                LabeledTuple({"enrolled_in": "db", "enrolls": "bob"}),
+                LabeledTuple({"enrolled_in": "ml", "enrolls": "ada"}),
+            },
+        },
+    )
+
+
+class TestConstruction:
+    def test_objects_covers_universe(self, interp):
+        assert len(objects(interp)) == 6
+
+    def test_prefiltered(self, interp):
+        assert objects(interp, of="Student").to_set() == {"ada", "bob"}
+
+    def test_outside_universe_rejected(self, interp):
+        with pytest.raises(SemanticsError):
+            ObjectSet(interp, ["ghost"])
+
+
+class TestFiltering:
+    def test_where_formula(self, interp):
+        students = objects(interp).where(parse_formula("Person and not Professor"))
+        assert students.to_set() == {"ada", "bob"}
+
+    def test_where_not(self, interp):
+        non_courses = objects(interp).where_not("Course")
+        assert non_courses.to_set() == {"ada", "bob", "carol"}
+
+    def test_filter_predicate(self, interp):
+        short = objects(interp).filter(lambda o: len(o) == 2)
+        assert short.to_set() == {"db", "os", "ml"}
+
+    def test_having_links(self, interp):
+        busy = objects(interp).having_links(inv("taught_by"), at_least=3)
+        assert busy.to_set() == {"carol"}
+        nobody = objects(interp).having_links(inv("taught_by"), at_least=4)
+        assert not nobody.to_set()
+
+    def test_having_links_upper(self, interp):
+        linkless = objects(interp).having_links(
+            AttrRef("mentors"), at_least=0, at_most=0)
+        assert "carol" not in linkless
+        assert "ada" in linkless
+
+
+class TestNavigation:
+    def test_follow_direct(self, interp):
+        teachers = objects(interp, of="Course").follow(AttrRef("taught_by"))
+        assert teachers.to_set() == {"carol"}
+
+    def test_follow_inverse(self, interp):
+        courses = objects(interp, of="Professor").follow(inv("taught_by"))
+        assert courses.to_set() == {"db", "os", "ml"}
+
+    def test_follow_path(self, interp):
+        mentees_of_teachers = objects(interp, of="Course").follow_path(
+            [AttrRef("taught_by"), AttrRef("mentors")])
+        assert mentees_of_teachers.to_set() == {"ada"}
+
+    def test_in_relation(self, interp):
+        enrolled = objects(interp, of="Student").in_relation(
+            "Enrollment", "enrolls")
+        assert enrolled.to_set() == {"ada", "bob"}
+
+    def test_partners_join(self, interp):
+        classmates_sources = objects(interp, of=Lit("Adv_Course"))
+        enrollees = classmates_sources.partners(
+            "Enrollment", at="enrolled_in", to="enrolls")
+        assert enrollees.to_set() == {"ada"}
+
+    def test_partners_bad_role(self, interp):
+        with pytest.raises(SemanticsError):
+            objects(interp).partners("Enrollment", at="nope", to="enrolls")
+
+
+class TestAlgebra:
+    def test_union_intersect_minus(self, interp):
+        students = objects(interp, of="Student")
+        professors = objects(interp, of="Professor")
+        assert students.union(professors).to_set() == {"ada", "bob", "carol"}
+        assert students.intersect(professors).to_set() == set()
+        persons = objects(interp, of="Person")
+        assert persons.minus(students).to_set() == {"carol"}
+
+    def test_cross_interpretation_rejected(self, interp):
+        other = Interpretation(["x"])
+        with pytest.raises(SemanticsError):
+            objects(interp).union(objects(other))
+
+    def test_repr_preview(self, interp):
+        text = repr(objects(interp))
+        assert "ObjectSet(6" in text
+
+
+class TestOnSynthesizedModel:
+    def test_pipeline_over_generated_state(self):
+        from repro.parser.parser import parse_schema
+        from repro.reasoner.satisfiability import Reasoner
+        from repro.synthesis.builder import synthesize_model
+
+        schema = parse_schema("""
+            class C isa not D attributes a : (2, 2) D endclass
+            class D endclass
+        """)
+        report = synthesize_model(Reasoner(schema), target="C")
+        interp = report.interpretation
+        sources = objects(interp, of="C")
+        assert len(sources) >= 1
+        targets = sources.follow(AttrRef("a"))
+        assert targets.to_set() <= interp.class_ext("D")
+        # Every C has exactly two links in the synthesized state.
+        assert sources.having_links(AttrRef("a"), at_least=2,
+                                    at_most=2).to_set() == sources.to_set()

@@ -1,0 +1,183 @@
+"""Unit tests for the Theorem 4.1 / 4.2 reduction machinery."""
+
+import pytest
+
+from repro.core.errors import CarError
+from repro.reasoner.satisfiability import Reasoner
+from repro.reductions.intersection_pattern import (
+    IntersectionPattern,
+    pattern_solvable_bruteforce,
+    pattern_to_schema,
+    solution_to_model,
+)
+from repro.reductions.sat_reduction import (
+    CnfFormula,
+    cnf_to_schema,
+    dpll_satisfiable,
+    random_cnf,
+)
+from repro.reductions.tm_reduction import machine_to_schema
+from repro.reductions.turing import (
+    MachineError,
+    TuringMachine,
+    never_accepts,
+    parity_machine,
+    starts_with_one,
+)
+from repro.semantics.checker import is_model
+
+
+class TestTuringMachine:
+    def test_accepting_run(self):
+        outcome = parity_machine().run("11", time=4, space=3)
+        assert outcome.accepted
+        assert outcome.trace[0].state == "even"
+
+    def test_rejecting_run(self):
+        assert not parity_machine().accepts("1", time=4, space=2)
+
+    def test_time_bound_respected(self):
+        # Parity of "11" needs 3 steps (two moves + blank step).
+        assert not parity_machine().accepts("11", time=2, space=3)
+        assert parity_machine().accepts("11", time=4, space=3)
+
+    def test_space_bound_halts(self):
+        # The head runs off the 1-cell tape before seeing the blank.
+        assert not parity_machine().accepts("1", time=10, space=1)
+
+    def test_never_accepts(self):
+        assert not never_accepts().accepts("1", time=50, space=2)
+
+    def test_accept_state_must_be_sink(self):
+        with pytest.raises(MachineError):
+            TuringMachine.build({("acc", "_"): ("acc", "_", 0)},
+                                initial="q0", accept="acc")
+
+    def test_input_must_fit(self):
+        with pytest.raises(MachineError):
+            starts_with_one().run("111", time=1, space=2)
+
+    def test_bad_move_rejected(self):
+        with pytest.raises(MachineError):
+            TuringMachine.build({("q0", "_"): ("q0", "_", 2)},
+                                initial="q0", accept="acc")
+
+
+class TestTmReduction:
+    CASES = [
+        (starts_with_one, "1", 1, 1),
+        (starts_with_one, "0", 1, 1),
+        (parity_machine, "1", 3, 2),
+        (never_accepts, "0", 2, 1),
+        (parity_machine, "0", 3, 2),
+    ]
+
+    @pytest.mark.parametrize("factory,word,time,space", CASES)
+    def test_satisfiability_matches_acceptance(self, factory, word, time, space):
+        machine = factory()
+        reduction = machine_to_schema(machine, word, time, space)
+        reasoner = Reasoner(reduction.schema)
+        assert reasoner.is_satisfiable(reduction.target) == \
+            machine.accepts(word, time, space)
+
+    def test_numbers_are_zero_or_one(self):
+        # Theorem 4.1 holds with only 0/1 cardinalities and no relations.
+        reduction = machine_to_schema(starts_with_one(), "1", 1, 1)
+        assert not reduction.schema.relation_symbols
+        for cdef in reduction.schema.class_definitions:
+            for spec in cdef.attributes:
+                assert spec.card.lower in (0, 1)
+                assert spec.card.upper in (0, 1)
+
+    def test_input_too_long_rejected(self):
+        with pytest.raises(CarError):
+            machine_to_schema(starts_with_one(), "11", 1, 1)
+
+    @pytest.mark.slow
+    def test_parity_accepting_run(self):
+        machine = parity_machine()
+        reduction = machine_to_schema(machine, "11", 4, 3)
+        assert Reasoner(reduction.schema).is_satisfiable(reduction.target)
+
+
+class TestIntersectionPattern:
+    def test_matrix_validation(self):
+        with pytest.raises(CarError):
+            IntersectionPattern.of([[1, 2], [3, 1]])  # not symmetric
+        with pytest.raises(CarError):
+            IntersectionPattern.of([[1, 2]])  # not square
+
+    def test_bruteforce_positive(self):
+        pattern = IntersectionPattern.of([[2, 1], [1, 2]])
+        assert pattern_solvable_bruteforce(pattern)
+
+    def test_bruteforce_negative(self):
+        # |S1 ∩ S2| = 3 > min(|S1|, |S2|) = 2 is impossible.
+        pattern = IntersectionPattern.of([[2, 3], [3, 3]])
+        assert not pattern_solvable_bruteforce(pattern)
+
+    def test_schema_shape(self):
+        schema = pattern_to_schema(IntersectionPattern.of([[1, 0], [0, 1]]))
+        assert schema.is_union_free()
+        assert schema.is_negation_free()
+        assert not schema.relation_symbols
+
+    def test_solution_to_model_is_verified_model(self):
+        pattern = IntersectionPattern.of([[2, 1], [1, 2]])
+        sets = [frozenset({"x", "y"}), frozenset({"y", "z"})]
+        schema = pattern_to_schema(pattern)
+        interp = solution_to_model(pattern, sets)
+        assert is_model(interp, schema)
+        assert interp.class_ext("W")
+
+    def test_solvable_pattern_gives_satisfiable_w(self):
+        pattern = IntersectionPattern.of([[2, 1], [1, 2]])
+        reasoner = Reasoner(pattern_to_schema(pattern))
+        assert reasoner.is_satisfiable("W")
+
+    def test_pairwise_infeasible_pattern_unsatisfiable(self):
+        pattern = IntersectionPattern.of([[2, 3], [3, 3]])
+        reasoner = Reasoner(pattern_to_schema(pattern))
+        assert not reasoner.is_satisfiable("W")
+
+    def test_set_sizes_forced(self):
+        # In every model |C_i| = a_ii · |W|; check via synthesized model.
+        from repro.synthesis.builder import synthesize_model
+
+        pattern = IntersectionPattern.of([[3, 1], [1, 2]])
+        reasoner = Reasoner(pattern_to_schema(pattern))
+        report = synthesize_model(reasoner, target="W")
+        interp = report.interpretation
+        w = len(interp.class_ext("W"))
+        assert len(interp.class_ext("C0")) == 3 * w
+        assert len(interp.class_ext("C1")) == 2 * w
+
+
+class TestSatReduction:
+    def test_dpll_simple(self):
+        formula = CnfFormula.of(2, [[(0, True)], [(1, False)]])
+        assignment = dpll_satisfiable(formula)
+        assert assignment == {0: True, 1: False}
+
+    def test_dpll_unsat(self):
+        formula = CnfFormula.of(1, [[(0, True)], [(0, False)]])
+        assert dpll_satisfiable(formula) is None
+
+    def test_empty_clause_rejected(self):
+        with pytest.raises(CarError):
+            CnfFormula.of(1, [[]])
+
+    def test_out_of_range_literal_rejected(self):
+        with pytest.raises(CarError):
+            CnfFormula.of(1, [[(3, True)]])
+
+    @pytest.mark.parametrize("seed", range(12))
+    def test_reduction_matches_dpll(self, seed):
+        formula = random_cnf(n_vars=4, n_clauses=6, seed=seed)
+        expected = dpll_satisfiable(formula) is not None
+        reasoner = Reasoner(cnf_to_schema(formula))
+        assert reasoner.is_satisfiable("World") == expected
+
+    def test_random_cnf_deterministic(self):
+        assert random_cnf(5, 7, seed=3) == random_cnf(5, 7, seed=3)
+        assert random_cnf(5, 7, seed=3) != random_cnf(5, 7, seed=4)

@@ -1,0 +1,227 @@
+"""Unit tests for schema definitions and the Schema container."""
+
+import pytest
+
+from repro.core.cardinality import ANY, Card
+from repro.core.errors import SchemaError
+from repro.core.formulas import Lit, TOP
+from repro.core.schema import (
+    Attr,
+    AttrRef,
+    ClassDef,
+    Part,
+    RelationDef,
+    RoleClause,
+    RoleLiteral,
+    Schema,
+    inv,
+)
+
+
+class TestAttrRef:
+    def test_direct(self):
+        ref = AttrRef("teaches")
+        assert not ref.inverse
+        assert str(ref) == "teaches"
+
+    def test_inverse_helper(self):
+        ref = inv("teaches")
+        assert ref.inverse
+        assert str(ref) == "(inv teaches)"
+
+    def test_flipped(self):
+        assert AttrRef("a").flipped() == inv("a")
+        assert inv("a").flipped() == AttrRef("a")
+
+    def test_empty_name_rejected(self):
+        with pytest.raises(SchemaError):
+            AttrRef("")
+
+
+class TestAttributeSpec:
+    def test_defaults(self):
+        spec = Attr("name")
+        assert spec.card == ANY
+        assert spec.filler == TOP
+
+    def test_string_ref_coerced(self):
+        assert Attr("name").ref == AttrRef("name")
+
+    def test_filler_coerced(self):
+        assert Attr("name", Card(1, 1), "String").filler.satisfied_by({"String"})
+
+    def test_empty_card_rejected(self):
+        with pytest.raises(SchemaError):
+            Attr("name", Card(3, 1))
+
+    def test_non_card_rejected(self):
+        with pytest.raises(SchemaError):
+            Attr("name", (1, 1))
+
+
+class TestParticipationSpec:
+    def test_fields(self):
+        spec = Part("Enrollment", "enrolls", Card(1, 6))
+        assert (spec.relation, spec.role) == ("Enrollment", "enrolls")
+
+    def test_empty_card_rejected(self):
+        with pytest.raises(SchemaError):
+            Part("R", "u", Card(2, 1))
+
+
+class TestClassDef:
+    def test_minimal(self):
+        cdef = ClassDef("Person")
+        assert cdef.isa == TOP
+        assert not cdef.attributes
+
+    def test_duplicate_attr_ref_rejected(self):
+        with pytest.raises(SchemaError):
+            ClassDef("C", attributes=[Attr("a"), Attr("a")])
+
+    def test_direct_and_inverse_of_same_attribute_allowed(self):
+        cdef = ClassDef("C", attributes=[Attr("a"), Attr(inv("a"))])
+        assert len(cdef.attributes) == 2
+
+    def test_duplicate_participation_rejected(self):
+        with pytest.raises(SchemaError):
+            ClassDef("C", participates=[Part("R", "u", Card(0, 1)),
+                                        Part("R", "u", Card(1, 2))])
+
+    def test_mentioned_classes(self):
+        cdef = ClassDef("C", isa=Lit("A") & ~Lit("B"),
+                        attributes=[Attr("x", ANY, "D")])
+        assert cdef.mentioned_classes() == {"A", "B", "D"}
+
+    def test_replace(self):
+        cdef = ClassDef("C", isa="A")
+        replaced = cdef.replace(isa="B")
+        assert replaced.name == "C"
+        assert replaced.isa.satisfied_by({"B"})
+        assert cdef.isa.satisfied_by({"A"})
+
+
+class TestRelationDef:
+    def test_roles_must_be_distinct(self):
+        with pytest.raises(SchemaError):
+            RelationDef("R", ("u", "u"))
+
+    def test_at_least_one_role(self):
+        with pytest.raises(SchemaError):
+            RelationDef("R", ())
+
+    def test_constraint_roles_must_be_declared(self):
+        with pytest.raises(SchemaError):
+            RelationDef("R", ("u",), [RoleClause(RoleLiteral("v", "A"))])
+
+    def test_role_clause_duplicate_role_rejected(self):
+        with pytest.raises(SchemaError):
+            RoleClause(RoleLiteral("u", "A"), RoleLiteral("u", "B"))
+
+    def test_bare_role_literal_promoted(self):
+        rdef = RelationDef("R", ("u",), [RoleLiteral("u", "A")])
+        assert len(rdef.constraints) == 1
+
+    def test_arity(self):
+        assert RelationDef("R", ("a", "b", "c")).arity == 3
+
+    def test_mentioned_classes(self):
+        rdef = RelationDef("R", ("u", "v"), [
+            RoleClause(RoleLiteral("u", Lit("A") | ~Lit("B"))),
+        ])
+        assert rdef.mentioned_classes() == {"A", "B"}
+
+
+class TestSchema:
+    def test_duplicate_class_rejected(self):
+        with pytest.raises(SchemaError):
+            Schema([ClassDef("A"), ClassDef("A")])
+
+    def test_duplicate_relation_rejected(self):
+        with pytest.raises(SchemaError):
+            Schema([], [RelationDef("R", ("u",)), RelationDef("R", ("u",))])
+
+    def test_participation_needs_defined_relation(self):
+        with pytest.raises(SchemaError):
+            Schema([ClassDef("C", participates=[Part("R", "u", Card(0, 1))])])
+
+    def test_participation_needs_declared_role(self):
+        with pytest.raises(SchemaError):
+            Schema([ClassDef("C", participates=[Part("R", "bad", Card(0, 1))])],
+                   [RelationDef("R", ("u",))])
+
+    def test_mentioned_only_classes_in_alphabet(self):
+        schema = Schema([ClassDef("C", isa=Lit("Mentioned"))])
+        assert "Mentioned" in schema.class_symbols
+        assert schema.definition("Mentioned").isa == TOP
+
+    def test_unknown_class_raises(self):
+        schema = Schema([ClassDef("C")])
+        with pytest.raises(SchemaError):
+            schema.definition("Nope")
+
+    def test_alphabet_partition_class_vs_relation(self):
+        with pytest.raises(SchemaError):
+            Schema([ClassDef("X")], [RelationDef("X", ("u",))])
+
+    def test_alphabet_partition_class_vs_attribute(self):
+        with pytest.raises(SchemaError):
+            Schema([ClassDef("C", attributes=[Attr("C")])])
+
+    def test_alphabet_partition_attribute_vs_relation(self):
+        with pytest.raises(SchemaError):
+            Schema([ClassDef("C", attributes=[Attr("R")])],
+                   [RelationDef("R", ("u",))])
+
+    def test_union_free_detection(self):
+        union_free = Schema([ClassDef("C", isa=Lit("A") & Lit("B"))])
+        assert union_free.is_union_free()
+        not_union_free = Schema([ClassDef("C", isa=Lit("A") | Lit("B"))])
+        assert not not_union_free.is_union_free()
+
+    def test_union_free_checks_role_clauses(self):
+        schema = Schema([], [RelationDef("R", ("u", "v"), [
+            RoleClause(RoleLiteral("u", "A"), RoleLiteral("v", "B")),
+        ])])
+        assert not schema.is_union_free()
+
+    def test_negation_free_detection(self):
+        assert Schema([ClassDef("C", isa="A")]).is_negation_free()
+        assert not Schema([ClassDef("C", isa=~Lit("A"))]).is_negation_free()
+
+    def test_max_arity(self):
+        schema = Schema([], [RelationDef("R", ("a", "b")),
+                             RelationDef("S", ("a", "b", "c"))])
+        assert schema.max_arity() == 3
+        assert Schema([]).max_arity() == 0
+
+    def test_with_class_replaces(self):
+        schema = Schema([ClassDef("C", isa="A")])
+        updated = schema.with_class(ClassDef("C", isa="B"))
+        assert updated.definition("C").isa.satisfied_by({"B"})
+        # Original untouched.
+        assert schema.definition("C").isa.satisfied_by({"A"})
+
+    def test_without_class(self):
+        schema = Schema([ClassDef("C"), ClassDef("D")])
+        trimmed = schema.without_class("C")
+        assert "C" not in {c.name for c in trimmed.class_definitions}
+        assert "D" in {c.name for c in trimmed.class_definitions}
+
+    def test_attribute_refs(self):
+        schema = Schema([ClassDef("C", attributes=[Attr("a"), Attr(inv("b"))])])
+        assert schema.attribute_refs() == {AttrRef("a"), inv("b")}
+        assert schema.attribute_symbols == {"a", "b"}
+
+    def test_syntactic_size_monotone(self):
+        small = Schema([ClassDef("C", isa="A")])
+        large = Schema([ClassDef("C", isa="A"),
+                        ClassDef("D", isa=Lit("A") | Lit("B"),
+                                 attributes=[Attr("x", Card(1, 2), "C")])])
+        assert large.syntactic_size() > small.syntactic_size()
+
+    def test_equality(self):
+        a = Schema([ClassDef("C", isa="A")])
+        b = Schema([ClassDef("C", isa="A")])
+        assert a == b
+        assert a != Schema([ClassDef("C", isa="B")])

@@ -1,0 +1,176 @@
+"""Unit tests for interpretations and the model checker."""
+
+import pytest
+
+from repro.core.cardinality import Card
+from repro.core.errors import SemanticsError
+from repro.core.formulas import Lit
+from repro.core.schema import Attr, AttrRef, ClassDef, Part, RelationDef, RoleClause, RoleLiteral, Schema, inv
+from repro.parser.parser import parse_schema
+from repro.semantics.checker import check_model, is_model
+from repro.semantics.interpretation import Interpretation, LabeledTuple, restrict_to_schema
+
+
+class TestLabeledTuple:
+    def test_lookup(self):
+        tup = LabeledTuple({"of": 1, "by": 2})
+        assert tup["of"] == 1
+        assert tup["by"] == 2
+
+    def test_missing_role(self):
+        with pytest.raises(KeyError):
+            LabeledTuple({"of": 1})["by"]
+
+    def test_canonical_equality(self):
+        assert LabeledTuple({"a": 1, "b": 2}) == LabeledTuple([("b", 2), ("a", 1)])
+
+    def test_hashable_set_semantics(self):
+        tuples = {LabeledTuple({"a": 1}), LabeledTuple({"a": 1})}
+        assert len(tuples) == 1
+
+    def test_empty_rejected(self):
+        with pytest.raises(SemanticsError):
+            LabeledTuple({})
+
+    def test_duplicate_role_rejected(self):
+        with pytest.raises(SemanticsError):
+            LabeledTuple([("a", 1), ("a", 2)])
+
+
+class TestInterpretation:
+    def test_empty_universe_rejected(self):
+        with pytest.raises(SemanticsError):
+            Interpretation([])
+
+    def test_class_must_stay_in_universe(self):
+        with pytest.raises(SemanticsError):
+            Interpretation([1], classes={"C": {2}})
+
+    def test_attribute_pairs_validated(self):
+        with pytest.raises(SemanticsError):
+            Interpretation([1], attributes={"a": {(1, 2)}})
+        with pytest.raises(SemanticsError):
+            Interpretation([1], attributes={"a": {(1,)}})
+
+    def test_relation_tuples_validated(self):
+        with pytest.raises(SemanticsError):
+            Interpretation([1], relations={"R": {LabeledTuple({"u": 9})}})
+
+    def test_unmentioned_symbols_empty(self):
+        interp = Interpretation([1, 2])
+        assert interp.class_ext("C") == frozenset()
+        assert interp.attribute_ext("a") == frozenset()
+        assert interp.relation_ext("R") == frozenset()
+
+    def test_inverse_extension(self):
+        interp = Interpretation([1, 2], attributes={"a": {(1, 2)}})
+        assert interp.attr_ref_ext(inv("a")) == frozenset({(2, 1)})
+
+    def test_formula_ext(self):
+        interp = Interpretation([1, 2, 3], classes={"A": {1, 2}, "B": {2}})
+        formula = Lit("A") & ~Lit("B")
+        assert interp.formula_ext(formula) == frozenset({1})
+
+    def test_link_counts(self):
+        interp = Interpretation([1, 2, 3], attributes={"a": {(1, 2), (1, 3), (2, 3)}})
+        assert interp.attr_link_count(AttrRef("a"), 1) == 2
+        assert interp.attr_link_count(inv("a"), 3) == 2
+        assert interp.attr_fillers(AttrRef("a"), 1) == frozenset({2, 3})
+
+    def test_participation_count(self):
+        tuples = {LabeledTuple({"u": 1, "v": 2}), LabeledTuple({"u": 1, "v": 3})}
+        interp = Interpretation([1, 2, 3], relations={"R": tuples})
+        assert interp.participation_count("R", "u", 1) == 2
+        assert interp.participation_count("R", "v", 1) == 0
+
+
+def university() -> Schema:
+    return parse_schema("""
+        class Person endclass
+        class Student isa Person and not Professor endclass
+        class Professor isa Person endclass
+    """)
+
+
+class TestChecker:
+    def test_empty_interpretation_is_model(self):
+        # The paper: the everything-empty interpretation satisfies any schema.
+        schema = university()
+        assert is_model(Interpretation([0]), schema)
+
+    def test_isa_violation(self):
+        schema = university()
+        interp = Interpretation([0], classes={"Student": {0}})
+        violations = check_model(interp, schema)
+        assert any(v.kind == "isa" for v in violations)
+
+    def test_isa_satisfied(self):
+        schema = university()
+        interp = Interpretation([0], classes={"Student": {0}, "Person": {0}})
+        assert is_model(interp, schema)
+
+    def test_disjointness_violation(self):
+        schema = university()
+        interp = Interpretation([0], classes={
+            "Student": {0}, "Professor": {0}, "Person": {0}})
+        assert not is_model(interp, schema)
+
+    def test_attribute_cardinality_violation(self):
+        schema = Schema([ClassDef("C", attributes=[Attr("a", Card(2, 3), "D")])])
+        interp = Interpretation([0, 1], classes={"C": {0}, "D": {1}},
+                                attributes={"a": {(0, 1)}})
+        violations = check_model(interp, schema)
+        assert any(v.kind == "attribute-cardinality" for v in violations)
+
+    def test_attribute_type_violation(self):
+        schema = Schema([ClassDef("C", attributes=[Attr("a", Card(0, 5), "D")])])
+        interp = Interpretation([0, 1], classes={"C": {0}},
+                                attributes={"a": {(0, 1)}})
+        violations = check_model(interp, schema)
+        assert any(v.kind == "attribute-type" for v in violations)
+
+    def test_inverse_attribute_counting(self):
+        schema = Schema([
+            ClassDef("Professor",
+                     attributes=[Attr(inv("taught_by"), Card(1, 2), "Course")]),
+        ])
+        # Professor 0 is taught_by-filler of zero courses: violates (1, 2).
+        interp = Interpretation([0], classes={"Professor": {0}})
+        assert not is_model(interp, schema)
+        # With one course pointing at the professor it is fine.
+        interp = Interpretation([0, 1],
+                                classes={"Professor": {0}, "Course": {1}},
+                                attributes={"taught_by": {(1, 0)}})
+        assert is_model(interp, schema)
+
+    def test_participation_cardinality(self):
+        schema = Schema(
+            [ClassDef("C", participates=[Part("R", "u", Card(1, 1))])],
+            [RelationDef("R", ("u", "v"))])
+        interp = Interpretation([0, 1], classes={"C": {0}})
+        assert not is_model(interp, schema)
+        interp = Interpretation([0, 1], classes={"C": {0}},
+                                relations={"R": {LabeledTuple({"u": 0, "v": 1})}})
+        assert is_model(interp, schema)
+
+    def test_role_clause_violation(self):
+        schema = Schema([], [RelationDef("R", ("u", "v"), [
+            RoleClause(RoleLiteral("u", "A"), RoleLiteral("v", "B")),
+        ])])
+        bad = Interpretation([0, 1], relations={"R": {LabeledTuple({"u": 0, "v": 1})}})
+        assert any(v.kind == "role-clause" for v in check_model(bad, schema))
+        good = Interpretation([0, 1], classes={"B": {1}},
+                              relations={"R": {LabeledTuple({"u": 0, "v": 1})}})
+        assert is_model(good, schema)
+
+    def test_relation_arity_violation(self):
+        schema = Schema([], [RelationDef("R", ("u", "v"))])
+        interp = Interpretation([0], relations={"R": {LabeledTuple({"u": 0})}})
+        assert any(v.kind == "relation-arity" for v in check_model(interp, schema))
+
+    def test_restrict_to_schema(self):
+        schema = university()
+        interp = Interpretation([0], classes={"Person": {0}, "Alien": {0}})
+        restricted = restrict_to_schema(interp, schema)
+        assert restricted.class_ext("Alien") == frozenset()
+        assert restricted.class_ext("Person") == frozenset({0})

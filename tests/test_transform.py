@@ -1,0 +1,148 @@
+"""Unit tests for Theorem 4.5's arity reduction (reification)."""
+
+import pytest
+
+from repro.core.cardinality import Card
+from repro.core.errors import SchemaError
+from repro.core.formulas import Lit
+from repro.core.schema import ClassDef, Part, RelationDef, RoleClause, RoleLiteral, Schema
+from repro.expansion.expansion import build_expansion
+from repro.reasoner.satisfiability import Reasoner
+from repro.reasoner.transform import reify_nonbinary_relations
+
+
+def ternary_schema(card=Card(1, 2)) -> Schema:
+    return Schema(
+        [ClassDef("Student", participates=[Part("Exam", "of", card)]),
+         ClassDef("Professor"), ClassDef("Course")],
+        [RelationDef("Exam", ("of", "by", "in"), [
+            RoleClause(RoleLiteral("of", "Student")),
+            RoleClause(RoleLiteral("by", "Professor")),
+            RoleClause(RoleLiteral("in", "Course")),
+        ])])
+
+
+class TestReification:
+    def test_binary_relations_untouched(self):
+        schema = Schema([], [RelationDef("R", ("u", "v"))])
+        result = reify_nonbinary_relations(schema)
+        assert not result.was_changed()
+        assert result.schema is schema
+
+    def test_ternary_gets_rewritten(self):
+        result = reify_nonbinary_relations(ternary_schema())
+        assert result.was_changed()
+        reified = result.reified[0]
+        assert reified.relation == "Exam"
+        assert set(reified.role_relations) == {"of", "by", "in"}
+        # The ternary relation is gone; three binary ones appear.
+        assert "Exam" not in result.schema.relation_symbols
+        for binary in reified.role_relations.values():
+            assert result.schema.relation(binary).arity == 2
+
+    def test_tuple_class_disjoint_from_everything(self):
+        result = reify_nonbinary_relations(ternary_schema())
+        tuple_class = result.reified[0].tuple_class
+        isa = result.schema.definition(tuple_class).isa
+        for other in ("Student", "Professor", "Course"):
+            assert not isa.satisfied_by({tuple_class, other})
+        assert isa.satisfied_by({tuple_class})
+
+    def test_participations_rewritten(self):
+        result = reify_nonbinary_relations(ternary_schema())
+        student = result.schema.definition("Student")
+        assert len(student.participates) == 1
+        spec = student.participates[0]
+        assert spec.role == "filler"
+        assert spec.card == Card(1, 2)
+
+    def test_disjunctive_role_clause_rejected(self):
+        schema = Schema([], [RelationDef("R", ("a", "b", "c"), [
+            RoleClause(RoleLiteral("a", "X"), RoleLiteral("b", "Y")),
+        ])])
+        with pytest.raises(SchemaError):
+            reify_nonbinary_relations(schema)
+
+    def test_satisfiability_preserved(self):
+        schema = ternary_schema()
+        result = reify_nonbinary_relations(schema)
+        before = Reasoner(schema)
+        after = Reasoner(result.schema)
+        for name in ("Student", "Professor", "Course"):
+            assert before.is_satisfiable(name) == after.is_satisfiable(name)
+
+    def test_unsatisfiability_preserved(self):
+        # Student must take an exam whose 'of' filler is in the empty class.
+        schema = Schema(
+            [ClassDef("Student", isa=~Lit("Ghost"),
+                      participates=[Part("Exam", "of", Card(1, 1))]),
+             ClassDef("Ghost")],
+            [RelationDef("Exam", ("of", "by", "in"), [
+                RoleClause(RoleLiteral("of", "Ghost")),
+            ])])
+        result = reify_nonbinary_relations(schema)
+        assert not Reasoner(schema).is_satisfiable("Student")
+        assert not Reasoner(result.schema).is_satisfiable("Student")
+
+    def test_expansion_shrinks(self):
+        # The point of the theorem: the K-ary compound-relation blow-up
+        # disappears after reification.
+        schema = ternary_schema()
+        before = build_expansion(schema)
+        after = build_expansion(reify_nonbinary_relations(schema).schema)
+        ternary_compounds = len(before.compound_relations["Exam"])
+        binary_compounds = sum(
+            len(v) for v in after.compound_relations.values())
+        assert ternary_compounds > 0
+        assert binary_compounds <= 3 * max(
+            len(v) for v in before.compound_relations.values()) or \
+            binary_compounds < ternary_compounds
+
+    def test_fresh_names_avoid_collisions(self):
+        schema = Schema(
+            [ClassDef("Exam__tuple"),
+             ClassDef("Student", isa=~Lit("Exam__tuple"),
+                      participates=[Part("Exam", "of", Card(0, 1))])],
+            [RelationDef("Exam", ("of", "by", "in"))])
+        result = reify_nonbinary_relations(schema)
+        tuple_class = result.reified[0].tuple_class
+        assert tuple_class != "Exam__tuple"
+        assert tuple_class in result.schema.class_symbols
+
+
+class TestGenerators:
+    def test_clustered_structure(self):
+        from repro.expansion.graph import clusters
+        from repro.workloads.generators import clustered_schema
+
+        schema = clustered_schema(n_clusters=3, cluster_size=3, seed=1)
+        assert len(schema.class_symbols) == 9
+        assert len(clusters(schema)) == 3
+
+    def test_hierarchy_is_detected(self):
+        from repro.expansion.graph import hierarchy_compound_classes
+        from repro.workloads.generators import hierarchy_schema
+
+        schema = hierarchy_schema(depth=2, branching=2)
+        closed = hierarchy_compound_classes(schema)
+        assert closed is not None
+        assert len(closed) == len(schema.class_symbols) + 1
+
+    def test_adversarial_is_single_cluster(self):
+        from repro.expansion.graph import clusters
+        from repro.workloads.generators import adversarial_schema
+
+        schema = adversarial_schema(6, seed=2)
+        assert len(clusters(schema)) == 1
+
+    def test_cardinality_chain_growth(self):
+        from repro.workloads.generators import cardinality_chain_schema
+
+        schema = cardinality_chain_schema(2, fan_out=3)
+        reasoner = Reasoner(schema)
+        assert reasoner.is_satisfiable("L0")
+
+    def test_generators_deterministic(self):
+        from repro.workloads.generators import random_schema
+
+        assert random_schema(5, seed=9) == random_schema(5, seed=9)
