@@ -9,12 +9,15 @@ output and transcribed into EXPERIMENTS.md.
 
 from __future__ import annotations
 
+import json
+import platform
 import time
 from dataclasses import dataclass
+from pathlib import Path
 from typing import Callable, Sequence
 
-__all__ = ["timed", "growth_ratios", "is_superlinear", "is_subquadratic",
-           "render_table", "Series"]
+__all__ = ["timed", "best_of", "growth_ratios", "is_superlinear",
+           "is_subquadratic", "render_table", "Series", "Recorder"]
 
 
 def timed(fn: Callable[[], object]) -> tuple[float, object]:
@@ -22,6 +25,12 @@ def timed(fn: Callable[[], object]) -> tuple[float, object]:
     start = time.perf_counter()
     result = fn()
     return time.perf_counter() - start, result
+
+
+def best_of(fn: Callable[[], object], rounds: int = 3) -> float:
+    """Minimum wall-clock over ``rounds`` calls — the noise-robust timing
+    for speedup assertions."""
+    return min(timed(fn)[0] for _ in range(rounds))
 
 
 @dataclass
@@ -66,6 +75,58 @@ def is_subquadratic(xs: Sequence[float], ys: Sequence[float],
     if ys[0] <= 0 or xs[0] <= 0:
         return True
     return (ys[-1] / ys[0]) < slack * (xs[-1] / xs[0]) ** 2
+
+
+def _jsonable(value):
+    if isinstance(value, (str, int, float, bool)) or value is None:
+        return value
+    return str(value)
+
+
+class Recorder:
+    """Collects every table a benchmark run prints into a JSON document.
+
+    ``run_experiments.py --json PATH`` threads one instance through its
+    sections; each rendered table is also recorded structurally, so CI and
+    regression tooling can diff ``BENCH_<name>.json`` files instead of
+    scraping stdout.  The document shape::
+
+        {"command": "...", "python": "3.x.y", "platform": "...",
+         "sections": [{"title": ...,
+                       "tables": [{"title": ..., "headers": [...],
+                                   "rows": [[...], ...]}]}]}
+    """
+
+    def __init__(self, command: str = ""):
+        self.command = command
+        self._sections: list[dict] = []
+        self._current: dict | None = None
+
+    def start_section(self, title: str) -> None:
+        self._current = {"title": title, "tables": []}
+        self._sections.append(self._current)
+
+    def record(self, title: str, headers: Sequence[str],
+               rows: Sequence[Sequence]) -> None:
+        if self._current is None:
+            self.start_section("(untitled)")
+        self._current["tables"].append({
+            "title": title,
+            "headers": [str(h) for h in headers],
+            "rows": [[_jsonable(v) for v in row] for row in rows],
+        })
+
+    def document(self) -> dict:
+        return {
+            "command": self.command,
+            "python": platform.python_version(),
+            "platform": platform.platform(),
+            "sections": self._sections,
+        }
+
+    def dump(self, path: str | Path) -> None:
+        Path(path).write_text(
+            json.dumps(self.document(), indent=2) + "\n", encoding="utf-8")
 
 
 def render_table(title: str, headers: Sequence[str],

@@ -7,17 +7,37 @@ the tables land on stdout, ready to be pasted into EXPERIMENTS.md:
     python benchmarks/run_experiments.py
 
 One section per experiment of the DESIGN.md index (Figures 1–2,
-Theorems 4.1–4.6, Section 4.4).
+Theorems 4.1–4.6, Section 4.4), plus the expansion-pipeline section
+covering the indexed Ψ_S construction and binding-endpoint pruning.
+
+``--only KEYWORD`` restricts the run to sections whose title contains the
+keyword (case-insensitive); ``--json PATH`` additionally records every
+table into a machine-readable document (see ``benchlib.Recorder``), the
+format committed as ``BENCH_expansion.json``:
+
+    python benchmarks/run_experiments.py --only expansion \\
+        --json BENCH_expansion.json
 """
 
 from __future__ import annotations
 
+import argparse
 import sys
 from pathlib import Path
+from typing import Optional
 
 sys.path.insert(0, str(Path(__file__).resolve().parent))
 
-from benchlib import render_table, timed
+from benchlib import Recorder, best_of, render_table, timed
+
+RECORDER: Optional[Recorder] = None
+
+
+def emit(title, headers, rows) -> None:
+    """Print one table and, when ``--json`` is active, record it."""
+    print(render_table(title, headers, rows))
+    if RECORDER is not None:
+        RECORDER.record(title, headers, rows)
 
 from repro import AttrRef, Reasoner, inv, parse_schema
 from repro.expansion.enumerate import naive_compound_classes, strategic_compound_classes
@@ -50,10 +70,10 @@ def figures() -> None:
         rows.append((label, stats["classes"], stats["compound_classes"],
                      stats["psi_unknowns"], stats["psi_constraints"],
                      report.is_coherent, seconds))
-    print(render_table(
+    emit(
         "Figures 1 & 2 — end-to-end reasoning over the paper's schemas",
         ["schema", "classes", "compounds", "unknowns", "disequations",
-         "coherent", "seconds"], rows))
+         "coherent", "seconds"], rows)
 
     reasoner = Reasoner(parse_schema(FIGURE_2_SOURCE))
     facts = [
@@ -64,8 +84,8 @@ def figures() -> None:
         ("courses per Grad_Student", implied_attribute_bounds(reasoner, "Grad_Student", inv("taught_by"))),
     ]
     print()
-    print(render_table("Figure 2 — implied facts",
-                       ["fact", "derived value"], facts))
+    emit("Figure 2 — implied facts",
+                       ["fact", "derived value"], facts)
 
 
 def theorem41() -> None:
@@ -82,10 +102,10 @@ def theorem41() -> None:
                      len(reasoner.expansion.compound_classes),
                      verdict, machine.accepts(word, time_bound, space),
                      seconds))
-    print(render_table(
+    emit(
         "Theorem 4.1 — TM reduction (parity machine), growing tape",
         ["space S", "classes", "compounds", "schema verdict",
-         "machine verdict", "seconds"], rows))
+         "machine verdict", "seconds"], rows)
 
 
 def theorem42() -> None:
@@ -98,10 +118,10 @@ def theorem42() -> None:
         rows.append((n_vars, len(schema.class_symbols),
                      len(reasoner.expansion.compound_classes),
                      verdict, dpll_satisfiable(formula) is not None, seconds))
-    print(render_table(
+    emit(
         "Theorem 4.2a — 3SAT→CAR, ratio-2 random formulas",
         ["vars", "classes", "compounds", "schema verdict", "DPLL verdict",
-         "seconds"], rows))
+         "seconds"], rows)
 
     rows = []
     for n in (2, 3):
@@ -119,9 +139,9 @@ def theorem42() -> None:
     rows.append(("2 (infeasible)", len(reasoner.schema.class_symbols),
                  len(reasoner.expansion.compound_classes), verdict, seconds))
     print()
-    print(render_table(
+    emit(
         "Theorem 4.2b — Intersection Pattern (union- & negation-free)",
-        ["n", "classes", "compounds", "W satisfiable", "seconds"], rows))
+        ["n", "classes", "compounds", "W satisfiable", "seconds"], rows)
 
 
 def theorem43() -> None:
@@ -146,9 +166,9 @@ def theorem43() -> None:
         seconds, _ = timed(lambda s=system: acceptable_support(s))
         rows.append((n_clusters, system.size(), system.n_unknowns(),
                      system.n_constraints(), seconds))
-    print(render_table(
+    emit(
         "Theorem 4.3 — acceptable-solution check vs |Psi_S|",
-        ["clusters", "|Psi_S|", "unknowns", "disequations", "seconds"], rows))
+        ["clusters", "|Psi_S|", "unknowns", "disequations", "seconds"], rows)
 
 
 def theorem44() -> None:
@@ -160,9 +180,9 @@ def theorem44() -> None:
         stats = reasoner.stats()
         rows.append((n_classes, stats["compound_classes"],
                      stats["expansion_size"], seconds))
-    print(render_table(
+    emit(
         "Theorem 4.4 — adversarial single-cluster schemas",
-        ["classes", "compounds", "expansion", "seconds"], rows))
+        ["classes", "compounds", "expansion", "seconds"], rows)
 
 
 def theorem45() -> None:
@@ -179,10 +199,10 @@ def theorem45() -> None:
         after_rel = sum(len(v) for v in after.compound_relations.values())
         rows.append((arity, before_rel, before.size(), after_rel,
                      after.size()))
-    print(render_table(
+    emit(
         "Theorem 4.5 — K-ary expansion, original vs reified",
         ["arity K", "K-ary comp. rels", "expansion", "binary comp. rels",
-         "reified expansion"], rows))
+         "reified expansion"], rows)
 
 
 def theorem46() -> None:
@@ -195,10 +215,10 @@ def theorem46() -> None:
             lambda s=schema: strategic_compound_classes(s))
         rows.append((n_clusters * 3, len(naive), naive_seconds,
                      len(strategic), strategic_seconds))
-    print(render_table(
+    emit(
         "Theorem 4.6 / §4.3 — naive vs strategic enumeration",
         ["classes", "naive compounds", "naive s", "strategic compounds",
-         "strategic s"], rows))
+         "strategic s"], rows)
 
 
 def section44() -> None:
@@ -212,9 +232,9 @@ def section44() -> None:
             lambda s=schema: compound_classes(s, "auto"))
         rows.append((f"{depth}/{branching}", n_classes, len(compounds),
                      seconds))
-    print(render_table(
+    emit(
         "Section 4.4 — generalization hierarchies (depth/branching)",
-        ["shape", "classes", "compounds", "seconds"], rows))
+        ["shape", "classes", "compounds", "seconds"], rows)
 
 
 def synthesis() -> None:
@@ -231,9 +251,9 @@ def synthesis() -> None:
             lambda s=scale: synthesize_model(reasoner, target="L0", scale=s))
         assert is_model(report.interpretation, schema)
         rows.append((scale, report.n_objects, seconds))
-    print(render_table(
+    emit(
         "Theorem 3.3 (constructive) — synthesis vs witness scale",
-        ["scale", "objects", "seconds"], rows))
+        ["scale", "objects", "seconds"], rows)
     rows = []
     for length in (1, 2, 3, 4):
         chain = cardinality_chain_schema(length, fan_out=2)
@@ -241,9 +261,9 @@ def synthesis() -> None:
             lambda c=chain: synthesize_model(Reasoner(c), target="L0"))
         rows.append((length, report.n_objects, seconds))
     print()
-    print(render_table(
+    emit(
         "Theorem 3.3 (constructive) — synthesis vs chain depth",
-        ["chain length", "objects", "seconds"], rows))
+        ["chain length", "objects", "seconds"], rows)
 
 
 def ablations() -> None:
@@ -260,9 +280,9 @@ def ablations() -> None:
         seconds = min(timed(lambda k=kwargs: acceptable_support(
             expansion, **k))[0] for _ in range(3))
         rows.append((label, seconds))
-    print(render_table(
+    emit(
         "Ablations — support computation on Figure 2",
-        ["variant", "seconds"], rows))
+        ["variant", "seconds"], rows)
     rows = []
     for label, schema in (("Figure 1", figure1_schema()),
                           ("Figure 2", parse_schema(FIGURE_2_SOURCE))):
@@ -270,9 +290,102 @@ def ablations() -> None:
         verbatim = build_expansion(schema, include_unconstrained=True).size()
         rows.append((label, filtered, verbatim))
     print()
-    print(render_table(
+    emit(
         "Ablations — binding-entry filtering (expansion size)",
-        ["schema", "filtered", "Definition 3.1 verbatim"], rows))
+        ["schema", "filtered", "Definition 3.1 verbatim"], rows)
+
+
+def expansion_pipeline() -> None:
+    from dataclasses import replace
+
+    from repro.core.formulas import Clause, Formula, Lit
+    from repro.workloads.generators import random_schema, wide_attribute_schema
+
+    # Indexed endpoint lookups vs linear scans during Ψ_S construction.
+    # wide_attribute_schema concentrates quadratically many compound
+    # attributes on linearly many compound classes, the scans' worst case.
+    rows = []
+    for n in (60, 120, 200, 260):
+        expansion = build_expansion(wide_attribute_schema(n))
+        scanning = replace(expansion, indexed=False)
+        expansion.attributes_with_left("link", frozenset(("C0",)))  # warm index
+        indexed_s = best_of(lambda e=expansion: build_system(e), rounds=5)
+        scan_s = best_of(lambda e=scanning: build_system(e), rounds=2)
+        rows.append((n, len(expansion.compound_classes), expansion.size(),
+                     indexed_s, scan_s,
+                     scan_s / indexed_s if indexed_s else 0.0))
+    emit("Ψ_S construction — endpoint indexes vs linear scans",
+         ["chain n", "compounds", "expansion", "indexed s", "scan s",
+          "speedup"], rows)
+
+    # Binding-endpoint pruning vs the Definition 3.1 verbatim enumeration.
+    rows = []
+    for n in (40, 80, 120):
+        schema = wide_attribute_schema(n, binding=False)
+        pruned_s, pruned = timed(lambda s=schema: build_expansion(s))
+        verbatim_s, verbatim = timed(
+            lambda s=schema: build_expansion(s, include_unconstrained=True))
+        rows.append((n, pruned.size(), pruned_s, verbatim.size(), verbatim_s))
+    print()
+    emit("Enumeration — binding-endpoint pruning vs Definition 3.1 verbatim",
+         ["chain n", "pruned size", "pruned s", "verbatim size",
+          "verbatim s"], rows)
+
+    # Incremental augmented queries: the seeding reuses untouched clusters'
+    # compound classes and extends the tables by one row, so the measured
+    # quantity is the augmented *pipeline build* (tables + enumeration);
+    # verdicts are checked against full rebuilds end to end.
+    from repro.core.schema import ClassDef
+
+    rows = []
+    for n_clusters, cluster_size in ((6, 4), (10, 4), (8, 5)):
+        schema = clustered_schema(n_clusters, cluster_size, seed=5)
+        names = sorted(schema.class_symbols)
+        base = Reasoner(schema, strategy="strategic")
+        base.support  # warm the base pipeline outside the timing
+        cdefs = [
+            ClassDef(base.fresh_class_name(f"Q{i}"),
+                     isa=Formula((Clause((Lit(names[i]),)),
+                                  Clause((Lit(names[-1 - i]),)))))
+            for i in range(8)
+        ]
+        seeded_s, _ = timed(lambda: [
+            base.augmented_with(cdef).expansion for cdef in cdefs])
+        cold_s, _ = timed(lambda: [
+            Reasoner(schema.with_class(cdef), strategy="strategic").expansion
+            for cdef in cdefs])
+        identical = all(
+            base.augmented_with(cdef).is_satisfiable(cdef.name)
+            == Reasoner(schema.with_class(cdef),
+                        strategy="strategic").is_satisfiable(cdef.name)
+            for cdef in cdefs)
+        rows.append((n_clusters * cluster_size, len(cdefs), seeded_s,
+                     cold_s, identical))
+    print()
+    emit("Augmented queries — incremental seeding vs cold rebuilds "
+         "(pipeline build)",
+         ["classes", "queries", "seeded s", "cold s",
+          "identical verdicts"], rows)
+
+    # Verdict equivalence: naive vs strategic vs indexed-off pipelines.
+    rows = []
+    for seed in range(6):
+        schema = random_schema(6, seed=seed)
+        verdict_sets = []
+        for strategy in ("naive", "strategic"):
+            reasoner = Reasoner(schema, strategy=strategy)
+            verdict_sets.append(frozenset(reasoner.satisfiable_classes()))
+        scanning = replace(build_expansion(schema), indexed=False)
+        populated = set(
+            acceptable_support(scanning).supported_compound_classes())
+        verdict_sets.append(frozenset(
+            name for name in schema.class_symbols
+            if any(name in members for members in populated)))
+        rows.append((seed, len(verdict_sets[0]),
+                     len(set(verdict_sets)) == 1))
+    print()
+    emit("Verdict equivalence — naive vs strategic vs unindexed",
+         ["seed", "satisfiable classes", "identical"], rows)
 
 
 SECTIONS = [
@@ -285,17 +398,53 @@ SECTIONS = [
     ("Theorem 4.6 / Section 4.3 (strategies)", theorem46),
     ("Section 4.4 (hierarchies)", section44),
     ("Theorem 3.3 constructive (synthesis)", synthesis),
+    ("Expansion pipeline (indexes, pruning, incremental queries)",
+     expansion_pipeline),
     ("Ablations", ablations),
 ]
 
 
-def main() -> None:
-    for title, runner in SECTIONS:
+def main(argv: Optional[list] = None) -> None:
+    parser = argparse.ArgumentParser(
+        description="Regenerate the experiment tables for EXPERIMENTS.md.")
+    parser.add_argument(
+        "--only", metavar="KEYWORD",
+        help="run only sections whose title contains KEYWORD "
+             "(case-insensitive)")
+    parser.add_argument(
+        "--json", metavar="PATH",
+        help="additionally write every table to PATH as JSON "
+             "(e.g. BENCH_expansion.json)")
+    args = parser.parse_args(argv)
+
+    sections = SECTIONS
+    if args.only:
+        keyword = args.only.lower()
+        sections = [(title, runner) for title, runner in SECTIONS
+                    if keyword in title.lower()]
+        if not sections:
+            parser.error(f"no section title contains {args.only!r}")
+
+    global RECORDER
+    if args.json:
+        try:
+            Path(args.json).touch()  # fail before the sections run, not after
+        except OSError as exc:
+            parser.error(f"cannot write {args.json}: {exc}")
+        RECORDER = Recorder(command="run_experiments.py "
+                            + " ".join(argv if argv is not None
+                                       else sys.argv[1:]))
+    for title, runner in sections:
+        if RECORDER is not None:
+            RECORDER.start_section(title)
         print("=" * 72)
         print(title)
         print("=" * 72)
         runner()
         print()
+    if RECORDER is not None:
+        RECORDER.dump(args.json)
+        print(f"wrote {args.json}")
 
 
 if __name__ == "__main__":

@@ -1,0 +1,58 @@
+"""A lightweight phase-timing layer for the reasoning pipeline.
+
+:class:`StageTimer` accumulates wall-clock seconds per named pipeline stage
+(``tables``, ``expansion``, ``system``, ``support``, …).  The reasoner
+threads one instance through its lazy pipeline properties and merges the
+readings into :meth:`Reasoner.stats`, so the benchmarks can report
+phase-level speedups without wrapping the pipeline themselves.
+"""
+
+from __future__ import annotations
+
+import time
+from contextlib import contextmanager
+
+__all__ = ["StageTimer"]
+
+
+class StageTimer:
+    """Accumulates wall-clock time per named stage.
+
+    Stages may run repeatedly (e.g. per augmented query); readings
+    accumulate.  ``as_stats()`` renders them with a ``time_`` prefix for
+    merging into a flat stats dictionary.
+    """
+
+    __slots__ = ("_seconds", "_counts")
+
+    def __init__(self) -> None:
+        self._seconds: dict[str, float] = {}
+        self._counts: dict[str, int] = {}
+
+    @contextmanager
+    def stage(self, name: str):
+        start = time.perf_counter()
+        try:
+            yield
+        finally:
+            elapsed = time.perf_counter() - start
+            self._seconds[name] = self._seconds.get(name, 0.0) + elapsed
+            self._counts[name] = self._counts.get(name, 0) + 1
+
+    def seconds(self, name: str) -> float:
+        """Accumulated seconds for ``name`` (0.0 when it never ran)."""
+        return self._seconds.get(name, 0.0)
+
+    def count(self, name: str) -> int:
+        """How many times stage ``name`` ran."""
+        return self._counts.get(name, 0)
+
+    def readings(self) -> dict[str, float]:
+        """All accumulated readings, keyed by stage name."""
+        return dict(self._seconds)
+
+    def as_stats(self) -> dict[str, float]:
+        """Readings with a ``time_`` key prefix, ready to merge into a
+        ``stats()``-style dictionary."""
+        return {f"time_{name}": seconds
+                for name, seconds in sorted(self._seconds.items())}

@@ -31,6 +31,8 @@ __all__ = [
     "CompoundClass",
     "CompoundAttribute",
     "CompoundRelation",
+    "AttributeTyping",
+    "RelationTyping",
     "is_consistent_compound_class",
     "is_consistent_compound_attribute",
     "is_consistent_compound_relation",
@@ -157,6 +159,94 @@ def is_consistent_compound_relation(schema: Schema, compound: CompoundRelation,
         if not any(lit.formula.satisfied_by(compound[lit.role]) for lit in clause):
             return False
     return True
+
+
+class AttributeTyping:
+    """Memoized per-endpoint typing checks for one attribute.
+
+    The expansion builder probes ``O(|binding| · |classes|)`` candidate
+    ``⟨C̄1, C̄2⟩_A`` pairs; the naive check re-fetches every member's
+    attribute spec per pair.  This helper caches, per endpoint compound
+    class, the tuple of filler formulae it imposes (source side for the
+    direct reference, target side for the inverse), and caches each
+    ``filler ⊨ endpoint`` evaluation, so a pair check degenerates to a few
+    dictionary hits.  ``consistent(left, right)`` equals
+    :func:`is_consistent_compound_attribute` with
+    ``endpoints_consistent=True`` — an equivalence the test suite asserts.
+    """
+
+    __slots__ = ("_schema", "attr", "_direct", "_inverse",
+                 "_forward", "_backward", "_satisfied")
+
+    def __init__(self, schema: Schema, attr: str):
+        self._schema = schema
+        self.attr = attr
+        self._direct = AttrRef(attr)
+        self._inverse = AttrRef(attr, inverse=True)
+        self._forward: dict[frozenset, tuple] = {}
+        self._backward: dict[frozenset, tuple] = {}
+        self._satisfied: dict[tuple, bool] = {}
+
+    def _fillers(self, members: frozenset, ref: AttrRef,
+                 cache: dict[frozenset, tuple]) -> tuple:
+        fillers = cache.get(members)
+        if fillers is None:
+            collected = []
+            for name in members:
+                spec = self._schema.definition(name).attribute_specs.get(ref)
+                if spec is not None:
+                    collected.append(spec.filler)
+            fillers = cache[members] = tuple(collected)
+        return fillers
+
+    def _holds(self, filler, members: frozenset) -> bool:
+        key = (filler, members)
+        verdict = self._satisfied.get(key)
+        if verdict is None:
+            verdict = self._satisfied[key] = filler.satisfied_by(members)
+        return verdict
+
+    def consistent(self, left: frozenset, right: frozenset) -> bool:
+        """Typing consistency of ``⟨left, right⟩`` for this attribute,
+        assuming both endpoints are already consistent compound classes."""
+        return (all(self._holds(filler, right)
+                    for filler in self._fillers(left, self._direct, self._forward))
+                and all(self._holds(filler, left)
+                        for filler in self._fillers(right, self._inverse,
+                                                    self._backward)))
+
+
+class RelationTyping:
+    """Memoized role-clause checks for one relation's compound candidates.
+
+    Caches every ``role-literal ⊨ compound class`` evaluation, keyed by the
+    literal's position and the endpoint, so enumerating the Cartesian
+    candidate space re-evaluates no formula twice.  ``consistent`` over a
+    role assignment equals :func:`is_consistent_compound_relation` with
+    ``endpoints_consistent=True`` (roles assumed complete)."""
+
+    __slots__ = ("_constraints", "_satisfied")
+
+    def __init__(self, schema: Schema, relation: str):
+        self._constraints = schema.relation(relation).constraints
+        self._satisfied: dict[tuple, bool] = {}
+
+    def _lit_holds(self, clause_index: int, lit_index: int, lit,
+                   members: frozenset) -> bool:
+        key = (clause_index, lit_index, members)
+        verdict = self._satisfied.get(key)
+        if verdict is None:
+            verdict = self._satisfied[key] = lit.formula.satisfied_by(members)
+        return verdict
+
+    def consistent(self, assignment: Mapping[str, frozenset]) -> bool:
+        """Every role-clause has a realized role-literal under ``assignment``."""
+        for clause_index, clause in enumerate(self._constraints):
+            if not any(self._lit_holds(clause_index, lit_index, lit,
+                                       assignment[lit.role])
+                       for lit_index, lit in enumerate(clause)):
+                return False
+        return True
 
 
 def merged_attr_card(schema: Schema, members: AbstractSet[str],

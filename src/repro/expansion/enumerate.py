@@ -147,7 +147,8 @@ def strategic_compound_classes(schema: Schema,
     return results
 
 
-def compound_classes(schema: Schema, strategy: str = "auto") -> list[frozenset[str]]:
+def compound_classes(schema: Schema, strategy: str = "auto",
+                     tables: Optional[SchemaTables] = None) -> list[frozenset[str]]:
     """Enumerate consistent compound classes with the requested strategy.
 
     * ``"naive"`` — filter all subsets (Section 4.2's trivial method);
@@ -156,15 +157,19 @@ def compound_classes(schema: Schema, strategy: str = "auto") -> list[frozenset[s
       (Section 4.4); falls back to ``"strategic"`` when the schema is not a
       hierarchy;
     * ``"auto"`` — ``"hierarchy"`` when applicable, else ``"strategic"``.
+
+    ``tables`` optionally supplies prebuilt preselection tables, shared by
+    the caller across pipeline stages so the preselection pass runs once per
+    schema (the naive strategy ignores them).
     """
     if strategy not in ("auto", "naive", "strategic", "hierarchy"):
         raise ValueError(f"unknown enumeration strategy {strategy!r}")
     if strategy == "naive":
         return naive_compound_classes(schema)
+    if tables is None:
+        tables = build_tables(schema)
     if strategy in ("auto", "hierarchy"):
-        from_hierarchy = hierarchy_compound_classes(schema)
+        from_hierarchy = hierarchy_compound_classes(schema, tables)
         if from_hierarchy is not None:
             return from_hierarchy
-        if strategy == "hierarchy":
-            return strategic_compound_classes(schema)
-    return strategic_compound_classes(schema)
+    return strategic_compound_classes(schema, tables)

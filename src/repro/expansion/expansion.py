@@ -12,11 +12,28 @@ touches are omitted by default (binding: positive lower bound or finite
 upper bound).  Such compound objects occur in no disequation of ``Ψ_S``, so
 they can always be interpreted freely; set ``include_unconstrained=True`` to
 build Definition 3.1 verbatim, which the unit tests do on small schemas.
+
+Two throughput devices shape this module:
+
+* **Binding-endpoint pruning** — instead of filtering the full Cartesian
+  candidate space ``classes × classes`` (resp. ``classes^arity``), the
+  builder precomputes the compound classes carrying a *binding* ``Natt`` /
+  ``Nrel`` entry per attribute reference / relation role and enumerates only
+  ``binding_left × classes ∪ classes × binding_right`` (resp. the per-role
+  first-binding-position decomposition) — exactly the candidates the default
+  filter would keep.
+* **Endpoint indexes** — :meth:`Expansion.attributes_with_left`,
+  :meth:`Expansion.attributes_with_right`, and
+  :meth:`Expansion.relations_with_role` answer from prebuilt
+  ``(symbol, endpoint) → tuple`` dictionaries instead of scanning the
+  compound-object lists, which keeps the ``Ψ_S`` build linear in the number
+  of summands instead of quadratic.  ``dataclasses.replace(expansion,
+  indexed=False)`` restores the linear scans for the ablation benchmarks.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 from itertools import product
 from typing import Optional, Sequence
 
@@ -24,10 +41,10 @@ from ..core.cardinality import Card, INFINITY
 from ..core.errors import ReasoningError
 from ..core.schema import AttrRef, Schema
 from .compound import (
+    AttributeTyping,
     CompoundAttribute,
     CompoundRelation,
-    is_consistent_compound_attribute,
-    is_consistent_compound_relation,
+    RelationTyping,
     merged_attr_card,
     merged_participation_card,
 )
@@ -45,7 +62,12 @@ def is_binding(card: Card) -> bool:
 
 @dataclass(frozen=True)
 class Expansion:
-    """The expansion ``S̄``: compound objects plus ``Natt`` / ``Nrel``."""
+    """The expansion ``S̄``: compound objects plus ``Natt`` / ``Nrel``.
+
+    ``indexed`` controls the endpoint-lookup implementation: prebuilt
+    dictionaries (default) versus the legacy linear scans, kept for the
+    ablation benchmarks and the index-equivalence tests.
+    """
 
     schema: Schema
     compound_classes: tuple[frozenset, ...]
@@ -54,6 +76,9 @@ class Expansion:
     natt: dict[tuple[frozenset, AttrRef], Card]
     nrel: dict[tuple[frozenset, str, str], Card]
     strategy: str = "strategic"
+    indexed: bool = True
+    #: Lazily built endpoint indexes (not part of equality/representation).
+    _indexes: Optional[dict] = field(default=None, repr=False, compare=False)
 
     def size(self) -> int:
         """Total number of compound objects (the paper's expansion size)."""
@@ -65,23 +90,64 @@ class Expansion:
         """The compound classes whose member set includes ``class_name``."""
         return [members for members in self.compound_classes if class_name in members]
 
-    def attributes_with_left(self, attr: str, members: frozenset) -> list[CompoundAttribute]:
+    # ------------------------------------------------------------------
+    # Endpoint lookups (the summand sets of the Ψ_S disequations)
+    # ------------------------------------------------------------------
+    def _endpoint_indexes(self) -> dict:
+        """Build (once) the endpoint → compound-object indexes.
+
+        Three dictionaries: ``left[(attr, C̄)]`` and ``right[(attr, C̄)]``
+        over compound attributes, ``role[(relation, role, C̄)]`` over
+        compound relations.  One linear pass over the expansion replaces the
+        per-entry linear scans that made the Ψ_S build quadratic.
+        """
+        indexes = self._indexes
+        if indexes is None:
+            left: dict[tuple, list] = {}
+            right: dict[tuple, list] = {}
+            by_role: dict[tuple, list] = {}
+            for attr, compounds in self.compound_attributes.items():
+                for ca in compounds:
+                    left.setdefault((attr, ca.left), []).append(ca)
+                    right.setdefault((attr, ca.right), []).append(ca)
+            for relation, compounds in self.compound_relations.items():
+                for cr in compounds:
+                    for role, members in cr.assignment:
+                        by_role.setdefault((relation, role, members),
+                                           []).append(cr)
+            indexes = {
+                "left": {key: tuple(v) for key, v in left.items()},
+                "right": {key: tuple(v) for key, v in right.items()},
+                "role": {key: tuple(v) for key, v in by_role.items()},
+            }
+            object.__setattr__(self, "_indexes", indexes)
+        return indexes
+
+    def attributes_with_left(self, attr: str,
+                             members: frozenset) -> tuple[CompoundAttribute, ...]:
         """Compound attributes of ``attr`` whose source endpoint is ``members``
         (the summands of ``S(A, C̄)``)."""
-        return [ca for ca in self.compound_attributes.get(attr, ())
-                if ca.left == members]
+        if not self.indexed:
+            return tuple(ca for ca in self.compound_attributes.get(attr, ())
+                         if ca.left == members)
+        return self._endpoint_indexes()["left"].get((attr, members), ())
 
-    def attributes_with_right(self, attr: str, members: frozenset) -> list[CompoundAttribute]:
+    def attributes_with_right(self, attr: str,
+                              members: frozenset) -> tuple[CompoundAttribute, ...]:
         """Compound attributes of ``attr`` whose target endpoint is ``members``
         (the summands of ``S((inv A), C̄)``)."""
-        return [ca for ca in self.compound_attributes.get(attr, ())
-                if ca.right == members]
+        if not self.indexed:
+            return tuple(ca for ca in self.compound_attributes.get(attr, ())
+                         if ca.right == members)
+        return self._endpoint_indexes()["right"].get((attr, members), ())
 
     def relations_with_role(self, relation: str, role: str,
-                            members: frozenset) -> list[CompoundRelation]:
+                            members: frozenset) -> tuple[CompoundRelation, ...]:
         """Compound relations of ``relation`` assigning ``members`` to ``role``."""
-        return [cr for cr in self.compound_relations.get(relation, ())
-                if cr[role] == members]
+        if not self.indexed:
+            return tuple(cr for cr in self.compound_relations.get(relation, ())
+                         if cr[role] == members)
+        return self._endpoint_indexes()["role"].get((relation, role, members), ())
 
     def summary(self) -> str:
         lines = [
@@ -103,9 +169,36 @@ class Expansion:
 _FREE = Card(0, INFINITY)
 
 
+class _SizeBudget:
+    """Cumulative compound-object counter enforcing ``size_limit``.
+
+    One bound over the *total* number of compound objects (classes +
+    attributes + relations), charged as each object materializes — the
+    guard the ``size_limit`` parameter documents, replacing the historical
+    inconsistent mix of a total bound on classes and per-attribute /
+    per-relation bounds on the rest.
+    """
+
+    __slots__ = ("limit", "count")
+
+    def __init__(self, limit: Optional[int]):
+        self.limit = limit
+        self.count = 0
+
+    def charge(self, amount: int, what: str) -> None:
+        self.count += amount
+        if self.limit is not None and self.count > self.limit:
+            raise ReasoningError(
+                f"expansion exceeds size limit while building {what}: "
+                f"{self.count} compound objects > {self.limit}")
+
+
 def build_expansion(schema: Schema, strategy: str = "auto", *,
                     include_unconstrained: bool = False,
-                    size_limit: Optional[int] = None) -> Expansion:
+                    size_limit: Optional[int] = None,
+                    tables=None,
+                    precomputed_classes: Optional[Sequence[frozenset]] = None
+                    ) -> Expansion:
     """Build the expansion of ``schema``.
 
     Parameters
@@ -117,14 +210,25 @@ def build_expansion(schema: Schema, strategy: str = "auto", *,
         Also include compound attributes/relations that no ``Natt``/``Nrel``
         entry mentions (Definition 3.1 verbatim).
     size_limit:
-        Abort with :class:`ReasoningError` when the number of compound
-        objects would exceed this bound — a guard for adversarial schemas.
+        Abort with :class:`ReasoningError` when the cumulative number of
+        compound objects (classes + attributes + relations) would exceed
+        this bound — a guard for adversarial schemas.
+    tables:
+        Optional prebuilt :class:`~repro.expansion.tables.SchemaTables`,
+        reused by the strategic enumeration instead of running the
+        preselection pass again.
+    precomputed_classes:
+        Optional compound classes to use verbatim (skipping enumeration) —
+        the incremental augmented-query path of the reasoner supplies the
+        merged-cluster result here.
     """
-    classes = tuple(enumerate_compound_classes(schema, strategy))
-    if size_limit is not None and len(classes) > size_limit:
-        raise ReasoningError(
-            f"expansion exceeds size limit: {len(classes)} compound classes > {size_limit}"
-        )
+    budget = _SizeBudget(size_limit)
+    if precomputed_classes is not None:
+        classes = tuple(precomputed_classes)
+    else:
+        classes = tuple(enumerate_compound_classes(schema, strategy,
+                                                   tables=tables))
+    budget.charge(len(classes), "compound classes")
 
     natt: dict[tuple[frozenset, AttrRef], Card] = {}
     for members in classes:
@@ -145,9 +249,9 @@ def build_expansion(schema: Schema, strategy: str = "auto", *,
                 nrel[(members, relation, role)] = merged
 
     compound_attributes = _build_compound_attributes(
-        schema, classes, natt, include_unconstrained, size_limit)
+        schema, classes, natt, include_unconstrained, budget)
     compound_relations = _build_compound_relations(
-        schema, classes, nrel, include_unconstrained, size_limit)
+        schema, classes, nrel, include_unconstrained, budget)
 
     return Expansion(
         schema=schema,
@@ -162,52 +266,84 @@ def build_expansion(schema: Schema, strategy: str = "auto", *,
 
 def _build_compound_attributes(schema: Schema, classes: Sequence[frozenset],
                                natt, include_unconstrained: bool,
-                               size_limit: Optional[int]
+                               budget: _SizeBudget
                                ) -> dict[str, tuple[CompoundAttribute, ...]]:
     result: dict[str, tuple[CompoundAttribute, ...]] = {}
     for attr in sorted(schema.attribute_symbols):
         direct = AttrRef(attr)
         inverse = AttrRef(attr, inverse=True)
+        typing = AttributeTyping(schema, attr)
+        if include_unconstrained:
+            candidates = product(classes, classes)
+        else:
+            # Only pairs with a binding endpoint yield a disequation:
+            # binding_left × classes ∪ (classes ∖ binding_left) × binding_right
+            # partitions exactly the relevant candidates, skipping the rest
+            # of the Cartesian product without a filter pass over it.
+            binding_left = [members for members in classes
+                            if is_binding(natt.get((members, direct), _FREE))]
+            binding_right = [members for members in classes
+                             if is_binding(natt.get((members, inverse), _FREE))]
+            left_set = set(binding_left)
+            rest = [members for members in classes if members not in left_set]
+            candidates = _chain_products(
+                (binding_left, classes), (rest, binding_right))
         found: list[CompoundAttribute] = []
-        for left, right in product(classes, classes):
-            relevant = (include_unconstrained
-                        or is_binding(natt.get((left, direct), _FREE))
-                        or is_binding(natt.get((right, inverse), _FREE)))
-            if not relevant:
-                continue
-            candidate = CompoundAttribute(attr, left, right)
-            if is_consistent_compound_attribute(schema, candidate,
-                                                endpoints_consistent=True):
-                found.append(candidate)
-                if size_limit is not None and len(found) > size_limit:
-                    raise ReasoningError(
-                        f"expansion exceeds size limit on attribute {attr}"
-                    )
+        for left, right in candidates:
+            if typing.consistent(left, right):
+                found.append(CompoundAttribute(attr, left, right))
+                budget.charge(1, f"attribute {attr}")
         result[attr] = tuple(found)
     return result
 
 
+def _chain_products(*pools: tuple[Sequence, Sequence]):
+    for lefts, rights in pools:
+        if lefts and rights:
+            yield from product(lefts, rights)
+
+
 def _build_compound_relations(schema: Schema, classes: Sequence[frozenset],
                               nrel, include_unconstrained: bool,
-                              size_limit: Optional[int]
+                              budget: _SizeBudget
                               ) -> dict[str, tuple[CompoundRelation, ...]]:
     result: dict[str, tuple[CompoundRelation, ...]] = {}
     for rdef in schema.relation_definitions:
+        typing = RelationTyping(schema, rdef.name)
+        roles = rdef.roles
+        if include_unconstrained:
+            candidate_pools = [tuple([classes] * rdef.arity)]
+        else:
+            # Partition the relevant candidates by the *first* role position
+            # carrying a binding Nrel member: positions before it draw from
+            # the non-binding members, the position itself from the binding
+            # ones, later positions from everything.  Each relevant tuple is
+            # generated exactly once.
+            binding = {
+                role: [members for members in classes
+                       if is_binding(nrel.get((members, rdef.name, role), _FREE))]
+                for role in roles
+            }
+            nonbinding = {
+                role: [members for members in classes
+                       if not is_binding(nrel.get((members, rdef.name, role),
+                                                  _FREE))]
+                for role in roles
+            }
+            candidate_pools = []
+            for position, role in enumerate(roles):
+                pools = ([nonbinding[r] for r in roles[:position]]
+                         + [binding[role]]
+                         + [list(classes) for _ in roles[position + 1:]])
+                candidate_pools.append(tuple(pools))
         found: list[CompoundRelation] = []
-        for combo in product(classes, repeat=rdef.arity):
-            relevant = include_unconstrained or any(
-                is_binding(nrel.get((members, rdef.name, role), _FREE))
-                for role, members in zip(rdef.roles, combo)
-            )
-            if not relevant:
+        for pools in candidate_pools:
+            if any(not pool for pool in pools):
                 continue
-            candidate = CompoundRelation(rdef.name, dict(zip(rdef.roles, combo)))
-            if is_consistent_compound_relation(schema, candidate,
-                                               endpoints_consistent=True):
-                found.append(candidate)
-                if size_limit is not None and len(found) > size_limit:
-                    raise ReasoningError(
-                        f"expansion exceeds size limit on relation {rdef.name}"
-                    )
+            for combo in product(*pools):
+                assignment = dict(zip(roles, combo))
+                if typing.consistent(assignment):
+                    found.append(CompoundRelation(rdef.name, assignment))
+                    budget.charge(1, f"relation {rdef.name}")
         result[rdef.name] = tuple(found)
     return result

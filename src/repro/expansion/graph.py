@@ -196,7 +196,9 @@ def hierarchy_forest(schema: Schema) -> Optional[dict[str, Optional[str]]]:
     return parent
 
 
-def hierarchy_compound_classes(schema: Schema) -> Optional[list[frozenset[str]]]:
+def hierarchy_compound_classes(schema: Schema,
+                               tables: Optional[SchemaTables] = None
+                               ) -> Optional[list[frozenset[str]]]:
     """Compound classes of a generalization hierarchy: root-to-node paths.
 
     The closed form is sound only under the hierarchy assumption the paper
@@ -220,9 +222,10 @@ def hierarchy_compound_classes(schema: Schema) -> Optional[list[frozenset[str]]]
             current = parent[current]
         return frozenset(path)
 
-    from .tables import build_tables
+    if tables is None:
+        from .tables import build_tables
 
-    tables = build_tables(schema)
+        tables = build_tables(schema)
     symbols = sorted(schema.class_symbols)
     paths = {name: ancestors(name) for name in symbols}
     for i, c1 in enumerate(symbols):

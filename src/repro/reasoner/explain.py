@@ -20,7 +20,6 @@ from __future__ import annotations
 from dataclasses import dataclass
 
 from ..core.errors import ReasoningError
-from ..expansion.tables import build_tables
 from .satisfiability import Reasoner
 
 __all__ = ["Explanation", "explain_unsatisfiability"]
@@ -69,7 +68,7 @@ def explain_unsatisfiability(reasoner: Reasoner, class_name: str,
 
 def _explain_phase1(reasoner: Reasoner, class_name: str,
                     max_details: int) -> Explanation:
-    tables = build_tables(reasoner.schema)
+    tables = reasoner.tables  # shared with the enumeration pipeline
     details: list[str] = []
     derivation = tables.why_empty(class_name)
     if derivation is not None:

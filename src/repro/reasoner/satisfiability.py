@@ -14,13 +14,16 @@ at no extra solving cost.
 
 from __future__ import annotations
 
+from collections import OrderedDict
 from dataclasses import dataclass
 from typing import Optional
 
 from ..core.errors import ReasoningError
 from ..core.formulas import Formula, FormulaLike, as_formula
 from ..core.schema import Schema
+from ..core.timing import StageTimer
 from ..expansion.expansion import Expansion, build_expansion
+from ..expansion.tables import SchemaTables, build_tables
 from ..linear.support import SupportResult, acceptable_support
 from ..linear.system import PsiSystem, build_system
 
@@ -63,20 +66,35 @@ class Reasoner:
         Optional guard on the expansion size; exceeding it raises
         :class:`~repro.core.errors.ReasoningError` instead of running out of
         memory on adversarial schemas.
+    incremental_augmented:
+        Reuse the compound classes of clusters untouched by a query class
+        when answering augmented (cross-cluster) queries, re-enumerating
+        only the merged cluster.  On by default; the ablation benchmarks and
+        equivalence tests turn it off to compare against full rebuilds.
     """
 
+    #: Bound on the memoized formula-verdict cache (LRU eviction beyond it).
+    AUGMENTED_CACHE_LIMIT = 256
+
     def __init__(self, schema: Schema, strategy: str = "auto",
-                 size_limit: Optional[int] = None):
+                 size_limit: Optional[int] = None, *,
+                 incremental_augmented: bool = True):
         self._schema = schema
         self._strategy = strategy
         self._size_limit = size_limit
+        self._incremental_augmented = incremental_augmented
         self._expansion: Optional[Expansion] = None
         self._system: Optional[PsiSystem] = None
         self._support: Optional[SupportResult] = None
+        self._tables: Optional[SchemaTables] = None
+        self._clusters: Optional[list[frozenset]] = None
         self._cluster_map: Optional[dict] = None
+        self._cluster_compound_map: Optional[dict] = None
         self._hierarchy_effective: Optional[bool] = None
-        self._augmented_cache: dict[Formula, bool] = {}
+        self._precomputed_classes: Optional[tuple] = None
+        self._augmented_cache: OrderedDict[Formula, bool] = OrderedDict()
         self._min_witness: Optional[dict] = None
+        self._timer = StageTimer()
 
     # ------------------------------------------------------------------
     # Lazily computed pipeline stages
@@ -86,23 +104,45 @@ class Reasoner:
         return self._schema
 
     @property
+    def tables(self) -> SchemaTables:
+        """The preselection tables of the schema, built once and shared by
+        every pipeline stage (enumeration, clusters, explanations)."""
+        if self._tables is None:
+            with self._timer.stage("tables"):
+                self._tables = build_tables(self._schema)
+        return self._tables
+
+    @property
     def expansion(self) -> Expansion:
         if self._expansion is None:
-            self._expansion = build_expansion(
-                self._schema, self._strategy, size_limit=self._size_limit)
+            tables = None
+            if self._strategy != "naive" and self._precomputed_classes is None:
+                tables = self.tables
+            with self._timer.stage("expansion"):
+                self._expansion = build_expansion(
+                    self._schema, self._strategy, size_limit=self._size_limit,
+                    tables=tables,
+                    precomputed_classes=self._precomputed_classes)
         return self._expansion
 
     @property
     def system(self) -> PsiSystem:
         if self._system is None:
-            self._system = build_system(self.expansion)
+            with self._timer.stage("system"):
+                self._system = build_system(self.expansion)
         return self._system
 
     @property
     def support(self) -> SupportResult:
         if self._support is None:
-            self._support = acceptable_support(self.system)
+            with self._timer.stage("support"):
+                self._support = acceptable_support(self.system)
         return self._support
+
+    def timings(self) -> dict[str, float]:
+        """Accumulated wall-clock seconds per pipeline stage (``tables``,
+        ``expansion``, ``system``, ``support``, ``augmented_query``, …)."""
+        return self._timer.readings()
 
     def supported_compound_classes(self) -> list[frozenset]:
         """Compound classes that are nonempty in some model (all of them
@@ -175,23 +215,44 @@ class Reasoner:
                 from ..expansion.graph import hierarchy_compound_classes
 
                 self._hierarchy_effective = (
-                    hierarchy_compound_classes(self._schema) is not None)
+                    hierarchy_compound_classes(self._schema, self.tables)
+                    is not None)
             else:
                 self._hierarchy_effective = False
         return self._hierarchy_effective
 
+    def clusters(self) -> list[frozenset]:
+        """The clusters of ``G_S`` (Theorem 4.6), computed once over the
+        shared preselection tables and cached."""
+        if self._clusters is None:
+            from ..expansion.graph import clusters
+
+            self._clusters = clusters(self._schema, self.tables)
+        return self._clusters
+
     def _cluster_of(self) -> dict:
         if self._cluster_map is None:
-            from ..expansion.graph import clusters
-            from ..expansion.tables import build_tables
-
             mapping: dict = {}
-            for index, component in enumerate(
-                    clusters(self._schema, build_tables(self._schema))):
+            for index, component in enumerate(self.clusters()):
                 for name in component:
                     mapping[name] = index
             self._cluster_map = mapping
         return self._cluster_map
+
+    def _compounds_by_cluster(self) -> dict:
+        """Nonempty compound classes of the expansion grouped by the cluster
+        containing them — the reuse units of incremental augmented queries.
+        Only meaningful when the enumeration was cluster-confined (strategic)."""
+        if self._cluster_compound_map is None:
+            mapping = self._cluster_of()
+            grouped: dict = {}
+            for members in self.expansion.compound_classes:
+                if not members:
+                    continue
+                grouped.setdefault(mapping[next(iter(members))],
+                                   []).append(members)
+            self._cluster_compound_map = grouped
+        return self._cluster_compound_map
 
     def fresh_class_name(self, base: str = "Query") -> str:
         """A class symbol not clashing with any symbol of the schema."""
@@ -206,21 +267,75 @@ class Reasoner:
         return candidate
 
     def augmented_with(self, cdef) -> "Reasoner":
-        """A reasoner over this schema plus one query class definition."""
-        return Reasoner(self._schema.with_class(cdef),
-                        strategy=self._strategy,
-                        size_limit=self._size_limit)
+        """A reasoner over this schema plus one query class definition.
+
+        When this reasoner enumerated strategically and has its pipeline
+        built, the augmented reasoner is *seeded incrementally*: preselection
+        tables are extended by one row instead of rebuilt, and compound
+        classes of every cluster the query class does not touch are reused
+        verbatim — only the merged cluster is re-enumerated.  The seeding is
+        an optimization only; verdicts are identical to a cold rebuild (the
+        equivalence suite asserts this).
+        """
+        augmented = Reasoner(self._schema.with_class(cdef),
+                             strategy=self._strategy,
+                             size_limit=self._size_limit,
+                             incremental_augmented=self._incremental_augmented)
+        if self._can_seed_augmented(cdef):
+            self._seed_augmented(augmented, cdef)
+        return augmented
+
+    def _can_seed_augmented(self, cdef) -> bool:
+        """Is the incremental path applicable?  Requires a fresh query class
+        and a cluster-confined (strategic) base enumeration that has already
+        been built — otherwise a cold build is both needed and cheapest."""
+        return (self._incremental_augmented
+                and self._expansion is not None
+                and self._strategy in ("auto", "strategic")
+                and not self._is_hierarchy()
+                and cdef.name not in self._schema.class_symbols)
+
+    def _seed_augmented(self, augmented: "Reasoner", cdef) -> None:
+        from ..expansion.enumerate import dpll_compound_classes
+        from ..expansion.graph import clusters as compute_clusters
+
+        with self._timer.stage("augmented_seed"):
+            aug_tables = self.tables.extended_with(augmented._schema, cdef.name)
+            aug_clusters = compute_clusters(augmented._schema, aug_tables)
+            base_index = {component: index
+                          for index, component in enumerate(self.clusters())}
+            grouped = self._compounds_by_cluster()
+            combined: list[frozenset] = [frozenset()]
+            for component in aug_clusters:
+                base_at = base_index.get(component)
+                if base_at is not None:
+                    # Untouched cluster: same universe, same definitions,
+                    # same table rows — the enumeration result is reusable.
+                    combined.extend(grouped.get(base_at, ()))
+                else:
+                    combined.extend(
+                        members for members in dpll_compound_classes(
+                            augmented._schema, sorted(component), aug_tables)
+                        if members)
+        augmented._tables = aug_tables
+        augmented._clusters = aug_clusters
+        augmented._hierarchy_effective = False
+        augmented._precomputed_classes = tuple(combined)
 
     def _augmented_satisfiable(self, formula: Formula) -> bool:
         from ..core.schema import ClassDef
 
         cached = self._augmented_cache.get(formula)
         if cached is not None:
+            self._augmented_cache.move_to_end(formula)
             return cached
         name = self.fresh_class_name()
-        verdict = self.augmented_with(
-            ClassDef(name, isa=formula)).is_satisfiable(name)
+        with self._timer.stage("augmented_query"):
+            verdict = self.augmented_with(
+                ClassDef(name, isa=formula)).is_satisfiable(name)
         self._augmented_cache[formula] = verdict
+        if len(self._augmented_cache) > self.AUGMENTED_CACHE_LIMIT:
+            self._augmented_cache.popitem(last=False)
         return verdict
 
     def satisfiable_classes(self) -> list[str]:
@@ -282,8 +397,12 @@ class Reasoner:
         return population_ratio_bounds(self.support, numerator, denominator)
 
     def stats(self) -> dict:
-        """Pipeline size measurements used by the complexity benchmarks."""
-        return {
+        """Pipeline size measurements used by the complexity benchmarks,
+        plus per-stage wall-clock readings (``time_tables``,
+        ``time_expansion``, ``time_system``, ``time_support``, and — once
+        augmented queries ran — ``time_augmented_seed`` /
+        ``time_augmented_query``)."""
+        stats = {
             "classes": len(self._schema.class_symbols),
             "schema_size": self._schema.syntactic_size(),
             "compound_classes": len(self.expansion.compound_classes),
@@ -294,3 +413,5 @@ class Reasoner:
             "lp_rounds": self.support.rounds,
             "supported": len(self.support.support),
         }
+        stats.update(self._timer.as_stats())
+        return stats

@@ -15,6 +15,9 @@ paper's complexity analysis distinguishes:
   attributes forcing geometric population growth: exercises the linear
   phase (Theorem 4.3) with nontrivial ratios.
 * :func:`random_schema` — unconstrained random mix for property tests.
+* :func:`wide_attribute_schema` — one deep specialization chain sharing a
+  single attribute: quadratically many compound attributes over linearly
+  many compound classes, the worst case for the Ψ_S endpoint scans.
 """
 
 from __future__ import annotations
@@ -32,6 +35,7 @@ __all__ = [
     "adversarial_schema",
     "cardinality_chain_schema",
     "random_schema",
+    "wide_attribute_schema",
 ]
 
 
@@ -140,6 +144,34 @@ def cardinality_chain_schema(length: int, fan_out: int = 2,
         if i > 0:
             attrs.append(Attr(inv(f"next{i - 1}"), Card(1, 1), f"L{i - 1}"))
         classes.append(ClassDef(name, isa, attrs))
+    return Schema(classes)
+
+
+def wide_attribute_schema(n_specializations: int, *,
+                          binding: bool = True) -> Schema:
+    """A specialization chain ``Cn ⊑ … ⊑ C1 ⊑ C0`` sharing one attribute.
+
+    The root declares ``link`` (and its inverse), so every one of the
+    ``n+1`` compound classes — which all contain ``C0`` — is a legal
+    endpoint on both sides: ``(n+1)²`` compound attributes over ``n+1``
+    compound classes, all in a single cluster.  With ``binding=True`` the
+    root's cardinalities are exact, so every compound class carries a
+    binding ``Natt`` entry and the Ψ_S construction must resolve each
+    against the full compound-attribute pool — quadratic with endpoint
+    indexes, cubic with linear scans.  With ``binding=False`` both
+    references are unconstrained ``(0, ∞)``: the binding-endpoint pruning
+    enumerates no compound attributes at all, while the Definition 3.1
+    verbatim expansion still materializes all ``(n+1)²``.
+    """
+    direct = Card(1, 1) if binding else Card(0, None)
+    inverse = Card(0, n_specializations) if binding else Card(0, None)
+    classes = [ClassDef("C0", attributes=[
+        Attr("link", direct, Lit("C0")),
+        Attr(inv("link"), inverse, Lit("C0")),
+    ])]
+    for i in range(1, n_specializations + 1):
+        classes.append(
+            ClassDef(f"C{i}", Formula((Clause((Lit(f"C{i - 1}"),)),))))
     return Schema(classes)
 
 
