@@ -9,7 +9,7 @@ asserts about the example.  The benchmark times the full pipeline.
 
 import pytest
 
-from repro import AttrRef, Card, Lit, Reasoner, inv, parse_schema
+from repro import AttrRef, Card, Reasoner, inv, parse_schema
 from repro.reasoner import (
     classify,
     implied_attribute_bounds,

@@ -62,7 +62,6 @@ def test_exponential_expansion_in_space(benchmark):
         "Theorem 4.1 — parity machine, growing tape",
         ["space S", "schema classes", "compound classes", "seconds"], rows))
 
-    spaces = [r[0] for r in rows]
     schema_sizes = [r[1] for r in rows]
     compounds = [r[2] for r in rows]
     # Schema grows polynomially; the expansion outpaces it clearly.

@@ -11,7 +11,7 @@ reified expansion wins by a growing factor.
 
 import pytest
 
-from benchlib import render_table, timed
+from benchlib import render_table
 from repro.core.cardinality import Card
 from repro.core.formulas import Clause, Formula, Lit
 from repro.core.schema import ClassDef, Part, RelationDef, RoleClause, RoleLiteral, Schema

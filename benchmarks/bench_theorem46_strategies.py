@@ -39,7 +39,6 @@ def test_strategies_crossover(benchmark):
         ["classes", "naive compounds", "naive s",
          "strategic compounds", "strategic s"], rows))
 
-    classes = [float(r[0]) for r in rows]
     naive_counts = [float(r[1]) for r in rows]
     strategic_counts = [float(r[3]) for r in rows]
     # Naive grows exponentially with total classes, strategic linearly with

@@ -40,6 +40,7 @@ def emit(title, headers, rows) -> None:
         RECORDER.record(title, headers, rows)
 
 from repro import AttrRef, Reasoner, inv, parse_schema
+from repro.engine import EngineConfig, SchemaSession
 from repro.expansion.enumerate import naive_compound_classes, strategic_compound_classes
 from repro.expansion.expansion import build_expansion
 from repro.linear.support import acceptable_support
@@ -60,11 +61,12 @@ from repro.workloads.generators import adversarial_schema, clustered_schema, hie
 
 
 def figures() -> None:
+    session = SchemaSession()
     rows = []
     for label, source in (("Figure 1", FIGURE_1_SOURCE),
                           ("Figure 2", FIGURE_2_SOURCE)):
         schema = parse_schema(source)
-        reasoner = Reasoner(schema)
+        reasoner = session.reasoner(schema)
         seconds, report = timed(reasoner.check_coherence)
         stats = reasoner.stats()
         rows.append((label, stats["classes"], stats["compound_classes"],
@@ -75,7 +77,9 @@ def figures() -> None:
         ["schema", "classes", "compounds", "unknowns", "disequations",
          "coherent", "seconds"], rows)
 
-    reasoner = Reasoner(parse_schema(FIGURE_2_SOURCE))
+    # Re-parsing Figure 2 hits the session's fingerprint cache: the warm
+    # pipeline (expansion + support) is reused for the implied facts.
+    reasoner = session.reasoner(parse_schema(FIGURE_2_SOURCE))
     facts = [
         ("Student ⟂ Professor", implied_disjoint(reasoner, "Student", "Professor")),
         ("Grad_Student ⟂ Professor", implied_disjoint(reasoner, "Grad_Student", "Professor")),
@@ -388,6 +392,71 @@ def expansion_pipeline() -> None:
          ["seed", "satisfiable classes", "identical"], rows)
 
 
+def session_reuse() -> None:
+    from repro.core.formulas import Clause, Formula, Lit
+    from repro.workloads.generators import random_schema
+
+    # Warm vs cold: repeated class-satisfiability queries against one
+    # schema.  Cold pays a full Reasoner construction (expansion + Ψ_S +
+    # support) per query; warm queries are membership tests against the
+    # session's cached pipeline, found by fingerprint.
+    rows = []
+    for n_clusters, cluster_size in ((4, 3), (6, 4), (8, 4)):
+        schema = clustered_schema(n_clusters, cluster_size, seed=9)
+        names = sorted(schema.class_symbols)
+        queries = [names[i % len(names)] for i in range(24)]
+        session = SchemaSession()
+        cold_s, cold = timed(lambda: [
+            Reasoner(schema).is_satisfiable(q) for q in queries])
+        session.satisfiable(schema, queries[0])  # the one cold build
+        warm_s, warm = timed(lambda: [
+            session.satisfiable(schema, q) for q in queries])
+        rows.append((n_clusters * cluster_size, len(queries), cold_s, warm_s,
+                     cold_s / warm_s if warm_s else 0.0, warm == cold))
+    emit("Session reuse — warm cached pipeline vs cold per-query reasoners",
+         ["classes", "queries", "cold s", "warm s", "speedup",
+          "identical verdicts"], rows)
+
+    # Batched cross-cluster formula queries: check_many reuses the one
+    # support computation plus the incremental augmented-query seeding.
+    rows = []
+    for n_clusters, cluster_size in ((6, 4), (8, 5)):
+        schema = clustered_schema(n_clusters, cluster_size, seed=5)
+        names = sorted(schema.class_symbols)
+        formulas = [
+            Formula((Clause((Lit(names[i]),)),
+                     Clause((Lit(names[-1 - i]),))))
+            for i in range(6)
+        ]
+        session = SchemaSession(EngineConfig(strategy="strategic"))
+        session.reasoner(schema).support  # warm the pipeline
+        warm_s, warm = timed(lambda: session.check_many(schema, formulas))
+        cold_s, cold = timed(lambda: [
+            Reasoner(schema, strategy="strategic").is_formula_satisfiable(f)
+            for f in formulas])
+        rows.append((n_clusters * cluster_size, len(formulas), cold_s,
+                     warm_s, cold_s / warm_s if warm_s else 0.0,
+                     warm == cold))
+    print()
+    emit("Session reuse — batched formula queries (check_many) vs cold",
+         ["classes", "formulas", "cold s", "warm s", "speedup",
+          "identical verdicts"], rows)
+
+    # The fingerprint LRU under an evolving fleet of schemas: six distinct
+    # schemas through a limit-4 cache, then two repeats of the most recent.
+    session = SchemaSession(EngineConfig(session_cache_limit=4))
+    schemas = [random_schema(5, seed=seed) for seed in range(6)]
+    for schema in schemas + schemas[-2:]:
+        session.check_coherence(schema)
+    info = session.cache_info()
+    print()
+    emit("Session reuse — fingerprint LRU across an evolving schema fleet",
+         ["schemas seen", "cache limit", "hits", "misses", "evictions",
+          "resident"],
+         [(len(schemas) + 2, info.limit, info.hits, info.misses,
+           info.evictions, info.size)])
+
+
 SECTIONS = [
     ("Figures 1 & 2", figures),
     ("Theorem 4.1 (EXPTIME-hardness shape)", theorem41),
@@ -400,6 +469,7 @@ SECTIONS = [
     ("Theorem 3.3 constructive (synthesis)", synthesis),
     ("Expansion pipeline (indexes, pruning, incremental queries)",
      expansion_pipeline),
+    ("Session reuse (SchemaSession warm vs cold)", session_reuse),
     ("Ablations", ablations),
 ]
 

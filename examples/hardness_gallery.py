@@ -19,7 +19,6 @@ from repro.reductions import (
     machine_to_schema,
     parity_machine,
     pattern_to_schema,
-    starts_with_one,
 )
 
 

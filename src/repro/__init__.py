@@ -42,6 +42,13 @@ from .core.schema import (
     Schema,
     inv,
 )
+from .engine import (
+    EngineConfig,
+    Pipeline,
+    SchemaSession,
+    SessionCacheInfo,
+    schema_fingerprint,
+)
 from .expansion.expansion import Expansion, build_expansion
 from .parser.parser import parse_formula, parse_schema
 from .parser.printer import render_schema
@@ -80,6 +87,9 @@ __all__ = [
     "Schema", "inv",
     # pipeline
     "Expansion", "build_expansion",
+    # engine layer
+    "EngineConfig", "Pipeline", "SchemaSession", "SessionCacheInfo",
+    "schema_fingerprint",
     # concrete syntax
     "parse_formula", "parse_schema", "render_schema",
     # reasoning

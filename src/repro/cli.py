@@ -14,17 +14,25 @@ syntax:
 
 Every command reads the schema from a file (or ``-`` for stdin) and returns
 a nonzero exit status on validation failures, so the tool slots into CI.
+All reasoning commands go through the engine layer's
+:class:`~repro.engine.session.SchemaSession`; ``--strategy`` and
+``--backend`` configure its :class:`~repro.engine.config.EngineConfig`, and
+``validate``/``satisfiable``/``stats`` accept ``--json`` for
+machine-readable output in CI pipelines.
 """
 
 from __future__ import annotations
 
 import argparse
+import json
 import sys
 from pathlib import Path
 from typing import Optional, Sequence
 
 from .core.errors import CarError
 from .core.schema import Schema
+from .engine.config import EngineConfig
+from .engine.session import SchemaSession
 from .parser.parser import parse_schema
 from .parser.printer import render_schema
 from .reasoner.explain import explain_unsatisfiability
@@ -42,12 +50,36 @@ def _read_schema(path: str) -> Schema:
     return parse_schema(source)
 
 
+def _make_session(args: argparse.Namespace) -> SchemaSession:
+    """One engine session configured from the shared CLI flags."""
+    return SchemaSession(EngineConfig(
+        strategy=args.strategy,
+        lp_backend=getattr(args, "backend", "auto")))
+
+
+def _session_reasoner(args: argparse.Namespace) -> Reasoner:
+    """The shared handler prologue: read the schema, enter the session."""
+    return _make_session(args).reasoner(_read_schema(args.schema))
+
+
+def _emit_json(payload: dict) -> None:
+    print(json.dumps(payload, indent=2, sort_keys=True))
+
+
 def _cmd_validate(args: argparse.Namespace) -> int:
-    schema = _read_schema(args.schema)
-    reasoner = Reasoner(schema, strategy=args.strategy)
+    reasoner = _session_reasoner(args)
     report = reasoner.check_coherence()
+    status = 0 if report.is_coherent else 1
+    if args.json:
+        _emit_json({
+            "command": "validate",
+            "coherent": report.is_coherent,
+            "satisfiable": list(report.satisfiable),
+            "unsatisfiable": list(report.unsatisfiable),
+        })
+        return status
     if report.is_coherent:
-        print(f"coherent: all {len(report.satisfiable)} classes satisfiable")
+        print(report)
         return 0
     print("INCOHERENT")
     for name in report.unsatisfiable:
@@ -57,17 +89,23 @@ def _cmd_validate(args: argparse.Namespace) -> int:
 
 
 def _cmd_classify(args: argparse.Namespace) -> int:
-    schema = _read_schema(args.schema)
-    reasoner = Reasoner(schema, strategy=args.strategy)
-    result = classify(reasoner)
-    print(result)
+    print(classify(_session_reasoner(args)))
     return 0
 
 
 def _cmd_satisfiable(args: argparse.Namespace) -> int:
-    schema = _read_schema(args.schema)
-    reasoner = Reasoner(schema, strategy=args.strategy)
-    if reasoner.is_satisfiable(args.class_name):
+    reasoner = _session_reasoner(args)
+    verdict = reasoner.is_satisfiable(args.class_name)
+    if args.json:
+        _emit_json({
+            "command": "satisfiable",
+            "class": args.class_name,
+            "satisfiable": verdict,
+            "explanation": None if verdict else str(
+                explain_unsatisfiability(reasoner, args.class_name)),
+        })
+        return 0 if verdict else 1
+    if verdict:
         print(f"{args.class_name}: satisfiable")
         return 0
     print(explain_unsatisfiability(reasoner, args.class_name))
@@ -77,8 +115,7 @@ def _cmd_satisfiable(args: argparse.Namespace) -> int:
 def _cmd_synthesize(args: argparse.Namespace) -> int:
     from .synthesis.builder import synthesize_model
 
-    schema = _read_schema(args.schema)
-    reasoner = Reasoner(schema, strategy=args.strategy)
+    reasoner = _session_reasoner(args)
     report = synthesize_model(reasoner, target=args.target, scale=args.scale)
     print(f"verified model (scale {report.scale}, "
           f"{report.n_objects} objects):")
@@ -105,11 +142,15 @@ def _cmd_render(args: argparse.Namespace) -> int:
 
 
 def _cmd_stats(args: argparse.Namespace) -> int:
-    schema = _read_schema(args.schema)
-    reasoner = Reasoner(schema, strategy=args.strategy)
-    for key, value in reasoner.stats().items():
+    reasoner = _session_reasoner(args)
+    stats = reasoner.stats()
+    backend = reasoner.support.backend_used
+    if args.json:
+        _emit_json({"command": "stats", "lp_backend": backend, **stats})
+        return 0
+    for key, value in stats.items():
         print(f"{key}: {value}")
-    print(f"lp_backend: {reasoner.support.backend_used}")
+    print(f"lp_backend: {backend}")
     return 0
 
 
@@ -120,21 +161,28 @@ def build_parser() -> argparse.ArgumentParser:
                     "PODS 1994)")
     subparsers = parser.add_subparsers(dest="command", required=True)
 
-    def add(name: str, handler, help_text: str) -> argparse.ArgumentParser:
+    def add(name: str, handler, help_text: str, *,
+            json_output: bool = False) -> argparse.ArgumentParser:
         sub = subparsers.add_parser(name, help=help_text)
         sub.add_argument("schema", help="schema file in CAR concrete syntax "
                                         "('-' for stdin)")
         sub.add_argument("--strategy", default="auto",
                          choices=("auto", "naive", "strategic", "hierarchy"),
                          help="compound-class enumeration strategy")
+        sub.add_argument("--backend", default="auto",
+                         choices=("auto", "exact", "float-fallback"),
+                         help="LP backend for the support computation")
+        if json_output:
+            sub.add_argument("--json", action="store_true",
+                             help="print a machine-readable JSON document")
         sub.set_defaults(handler=handler)
         return sub
 
     add("validate", _cmd_validate,
-        "check that every defined class is satisfiable")
+        "check that every defined class is satisfiable", json_output=True)
     add("classify", _cmd_classify, "compute the implied subsumptions")
     sat = add("satisfiable", _cmd_satisfiable,
-              "decide satisfiability of one class")
+              "decide satisfiability of one class", json_output=True)
     sat.add_argument("class_name", help="the class symbol to test")
     synth = add("synthesize", _cmd_synthesize,
                 "generate a verified sample database state")
@@ -145,7 +193,8 @@ def build_parser() -> argparse.ArgumentParser:
     synth.add_argument("--full", action="store_true",
                        help="print the entire database state")
     add("render", _cmd_render, "parse and pretty-print the schema")
-    add("stats", _cmd_stats, "print pipeline size measurements")
+    add("stats", _cmd_stats, "print pipeline size measurements",
+        json_output=True)
     return parser
 
 

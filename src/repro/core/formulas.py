@@ -79,7 +79,7 @@ class Clause:
             if not isinstance(lit, Lit):
                 raise SchemaError(f"clause members must be class-literals, got {lit!r}")
             seen.setdefault(lit, None)
-        canonical = tuple(sorted(seen, key=lambda l: (l.name, not l.positive)))
+        canonical = tuple(sorted(seen, key=lambda lt: (lt.name, not lt.positive)))
         object.__setattr__(self, "literals", canonical)
 
     def __or__(self, other: Union[Lit, "Clause"]) -> "Clause":
@@ -133,7 +133,7 @@ class Formula:
             if not isinstance(clause, Clause):
                 raise SchemaError(f"formula members must be class-clauses, got {clause!r}")
             seen.setdefault(clause, None)
-        canonical = tuple(sorted(seen, key=lambda c: tuple((l.name, not l.positive) for l in c)))
+        canonical = tuple(sorted(seen, key=lambda c: tuple((lt.name, not lt.positive) for lt in c)))
         object.__setattr__(self, "clauses", canonical)
 
     def __and__(self, other: "FormulaLike") -> "Formula":

@@ -1,0 +1,29 @@
+"""The engine layer: pipeline configuration, staged artifacts, sessions.
+
+``core``/``expansion``/``linear`` implement the paper's mathematics; the
+engine layer turns them into a configurable, reusable machine:
+
+* :class:`~repro.engine.config.EngineConfig` — every pipeline knob in one
+  frozen value;
+* :class:`~repro.engine.pipeline.Pipeline` — the staged decision procedure
+  (tables → expansion → Ψ_S → support) with uniform lazy construction and
+  per-stage timing;
+* :class:`~repro.engine.session.SchemaSession` — fingerprint-keyed caching
+  of warm pipelines plus batched query entry points.
+
+:class:`~repro.reasoner.satisfiability.Reasoner` is a thin query façade
+over a pipeline; the CLI and benchmarks go through sessions.
+"""
+
+from .config import EngineConfig
+from .pipeline import Pipeline, PipelineStage
+from .session import SchemaSession, SessionCacheInfo, schema_fingerprint
+
+__all__ = [
+    "EngineConfig",
+    "Pipeline",
+    "PipelineStage",
+    "SchemaSession",
+    "SessionCacheInfo",
+    "schema_fingerprint",
+]

@@ -1,0 +1,99 @@
+"""One frozen configuration object for the whole reasoning engine.
+
+Before the engine layer existed, pipeline knobs were threaded ad hoc:
+``strategy`` and ``size_limit`` through ``Reasoner.__init__`` into
+``build_expansion``, the LP backend hard-wired inside
+``acceptable_support``, cache bounds as class attributes.  An
+:class:`EngineConfig` gathers every knob into a single immutable value that
+:class:`~repro.engine.pipeline.Pipeline`,
+:class:`~repro.reasoner.satisfiability.Reasoner`, and
+:class:`~repro.engine.session.SchemaSession` all share — one object to
+construct, log, and compare.
+
+Being frozen (and hashable) it can key caches and travel between sessions
+without defensive copying; :meth:`EngineConfig.replace` derives variants.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, fields, replace
+from typing import ClassVar, Optional
+
+from ..core.errors import ReasoningError
+
+__all__ = ["EngineConfig"]
+
+
+@dataclass(frozen=True)
+class EngineConfig:
+    """Every knob of the two-phase reasoning pipeline, in one place.
+
+    Parameters
+    ----------
+    strategy:
+        Compound-class enumeration strategy — ``"auto"`` (default),
+        ``"naive"``, ``"strategic"``, or ``"hierarchy"``.
+    size_limit:
+        Optional guard on the expansion size; exceeding it raises
+        :class:`~repro.core.errors.ReasoningError` instead of running out
+        of memory on adversarial schemas.
+    lp_backend:
+        Name of the registered LP backend answering the max-support rounds
+        (``"auto"``, ``"exact"``, ``"float-fallback"`` — see
+        :mod:`repro.linear.backends`).
+    incremental_augmented:
+        Reuse the compound classes of clusters untouched by a query class
+        when answering augmented (cross-cluster) queries.
+    use_propagation / merge_columns:
+        The two support-computation optimizations; disabled only by the
+        ablation benchmarks, never changing verdicts.
+    augmented_cache_limit:
+        Bound on the per-reasoner memoized formula-verdict cache.
+    session_cache_limit:
+        Bound on the per-session LRU of warm reasoner pipelines.
+    """
+
+    strategy: str = "auto"
+    size_limit: Optional[int] = None
+    lp_backend: str = "auto"
+    incremental_augmented: bool = True
+    use_propagation: bool = True
+    merge_columns: bool = True
+    augmented_cache_limit: int = 256
+    session_cache_limit: int = 32
+
+    #: The recognized enumeration strategies (see ``repro.expansion``).
+    STRATEGIES: ClassVar[tuple[str, ...]] = (
+        "auto", "naive", "strategic", "hierarchy")
+
+    def __post_init__(self) -> None:
+        if self.strategy not in self.STRATEGIES:
+            raise ReasoningError(
+                f"unknown enumeration strategy {self.strategy!r}; "
+                f"expected one of {', '.join(self.STRATEGIES)}")
+        if self.size_limit is not None and self.size_limit < 1:
+            raise ReasoningError(
+                f"size_limit must be positive, got {self.size_limit}")
+        if self.augmented_cache_limit < 1:
+            raise ReasoningError(
+                "augmented_cache_limit must be positive, got "
+                f"{self.augmented_cache_limit}")
+        if self.session_cache_limit < 1:
+            raise ReasoningError(
+                "session_cache_limit must be positive, got "
+                f"{self.session_cache_limit}")
+        # Resolving the backend validates the name against the registry
+        # (raising LinearSystemError on an unknown one) without importing
+        # the linear layer at module-import time.
+        from ..linear.backends import get_backend
+
+        get_backend(self.lp_backend)
+
+    def replace(self, **overrides) -> "EngineConfig":
+        """A copy with the given fields replaced (validation re-runs)."""
+        return replace(self, **overrides)
+
+    def as_dict(self) -> dict:
+        """A plain-dict rendering (stable key order) for logs and JSON."""
+        return {field.name: getattr(self, field.name)
+                for field in fields(self)}

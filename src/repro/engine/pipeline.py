@@ -1,0 +1,271 @@
+"""The staged reasoning pipeline: tables → expansion → Ψ_S → support.
+
+The paper's two-phase procedure factors into four artifacts, each a pure
+function of the schema, the :class:`~repro.engine.config.EngineConfig`, and
+the previous artifact:
+
+====================  ==================================================
+stage                 artifact
+====================  ==================================================
+``tables``            preselection tables (inclusion/disjointness, §4.3)
+``expansion``         the expansion ``S̄`` (Definition 3.1)
+``system``            the disequation system ``Ψ_S`` (Theorem 3.3)
+``support``           the maximal acceptable support + witness
+====================  ==================================================
+
+:class:`Pipeline` makes each stage an explicit, lazily built, cached, and
+timed artifact via the :class:`PipelineStage` descriptor: first access
+resolves the stage's prerequisites (outside its own timing window), builds
+the artifact inside a named :class:`~repro.core.timing.StageTimer` stage,
+and caches it for the pipeline's lifetime.  A pipeline is append-only —
+artifacts are never invalidated; build a new pipeline for a new schema or
+config (sessions handle the caching of whole pipelines).
+
+Schema-level derived structures that several consumers share — the clusters
+of ``G_S``, the per-cluster compound-class grouping, the effective-hierarchy
+test — live here too, as do the *seeding* hooks of the incremental
+augmented-query optimization (a seeded pipeline starts with prebuilt tables
+and precomputed compound classes instead of cold stages).
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Optional, Union
+
+from ..core.schema import Schema
+from ..core.timing import StageTimer
+from ..expansion.expansion import Expansion, build_expansion
+from ..expansion.tables import SchemaTables, build_tables
+from ..linear.support import SupportResult, acceptable_support
+from ..linear.system import PsiSystem, build_system
+from .config import EngineConfig
+
+__all__ = ["Pipeline", "PipelineStage"]
+
+#: A stage prerequisite: a stage name, or a callable mapping the pipeline to
+#: a stage name (or None to skip) — for config-dependent prerequisites.
+Prerequisite = Union[str, Callable[["Pipeline"], Optional[str]]]
+
+
+class PipelineStage:
+    """Descriptor: one lazily built, cached, timed pipeline artifact.
+
+    ``requires`` names the stages to resolve *before* this stage's timing
+    window opens, so per-stage readings never nest (the expansion reading
+    excludes the tables build it depends on).  Entries may be callables for
+    prerequisites that depend on the configuration.
+    """
+
+    def __init__(self, *requires: Prerequisite):
+        self._requires = requires
+
+    def __call__(self, build):
+        self._build = build
+        self.__doc__ = build.__doc__
+        return self
+
+    def __set_name__(self, owner, name: str) -> None:
+        self._name = name
+
+    def __get__(self, pipeline: Optional["Pipeline"], owner=None):
+        if pipeline is None:
+            return self
+        artifacts = pipeline._artifacts
+        if self._name not in artifacts:
+            for requirement in self._requires:
+                if callable(requirement):
+                    requirement = requirement(pipeline)
+                if requirement is not None:
+                    getattr(pipeline, requirement)
+            with pipeline.timer.stage(self._name):
+                artifacts[self._name] = self._build(pipeline)
+        return artifacts[self._name]
+
+
+def _expansion_needs_tables(pipeline: "Pipeline") -> Optional[str]:
+    if (pipeline.config.strategy != "naive"
+            and pipeline._precomputed_classes is None):
+        return "tables"
+    return None
+
+
+class Pipeline:
+    """The staged decision procedure for one schema under one config.
+
+    All stages are lazy: constructing a pipeline costs nothing, and each
+    artifact is built on first access (``pipeline.support`` pulls the whole
+    chain).  ``pipeline.timer`` accumulates per-stage wall-clock readings.
+    """
+
+    #: Stage names in build order (artifact attributes on instances).
+    STAGES = ("tables", "expansion", "system", "support")
+
+    def __init__(self, schema: Schema, config: Optional[EngineConfig] = None,
+                 *, timer: Optional[StageTimer] = None):
+        self.schema = schema
+        self.config = config if config is not None else EngineConfig()
+        self.timer = timer if timer is not None else StageTimer()
+        self._artifacts: dict[str, object] = {}
+        # Seeds of the incremental augmented-query path (see seed_augmented).
+        self._precomputed_classes: Optional[tuple] = None
+        # Schema-level derived structures, shared by several consumers.
+        self._clusters: Optional[list[frozenset]] = None
+        self._cluster_map: Optional[dict] = None
+        self._cluster_compound_map: Optional[dict] = None
+        self._hierarchy_effective: Optional[bool] = None
+
+    def built_stages(self) -> tuple[str, ...]:
+        """The stages whose artifacts exist already (in build order)."""
+        return tuple(name for name in self.STAGES if name in self._artifacts)
+
+    # ------------------------------------------------------------------
+    # The four artifacts
+    # ------------------------------------------------------------------
+    @PipelineStage()
+    def tables(self) -> SchemaTables:
+        """The preselection tables of the schema, built once and shared by
+        every pipeline stage (enumeration, clusters, explanations)."""
+        return build_tables(self.schema)
+
+    @PipelineStage(_expansion_needs_tables)
+    def expansion(self) -> Expansion:
+        """The expansion ``S̄``: compound classes, attributes, relations,
+        and the merged ``Natt``/``Nrel`` entries."""
+        tables = None
+        if _expansion_needs_tables(self) is not None:
+            tables = self.tables  # prebuilt by the prerequisite hook
+        return build_expansion(
+            self.schema, self.config.strategy,
+            size_limit=self.config.size_limit, tables=tables,
+            precomputed_classes=self._precomputed_classes)
+
+    @PipelineStage("expansion")
+    def system(self) -> PsiSystem:
+        """The homogeneous disequation system ``Ψ_S`` over the expansion."""
+        return build_system(self.expansion)
+
+    @PipelineStage("system")
+    def support(self) -> SupportResult:
+        """The maximal acceptable support of ``Ψ_S`` plus a witness,
+        computed by the configured LP backend."""
+        return acceptable_support(
+            self.system, backend=self.config.lp_backend,
+            use_propagation=self.config.use_propagation,
+            merge_columns=self.config.merge_columns)
+
+    # ------------------------------------------------------------------
+    # Shared schema-level structures
+    # ------------------------------------------------------------------
+    def is_hierarchy(self) -> bool:
+        """Does the §4.4 closed form apply (strategy permitting)?"""
+        if self._hierarchy_effective is None:
+            if self.config.strategy in ("auto", "hierarchy"):
+                from ..expansion.graph import hierarchy_compound_classes
+
+                self._hierarchy_effective = (
+                    hierarchy_compound_classes(self.schema, self.tables)
+                    is not None)
+            else:
+                self._hierarchy_effective = False
+        return self._hierarchy_effective
+
+    def clusters(self) -> list[frozenset]:
+        """The clusters of ``G_S`` (Theorem 4.6), computed once over the
+        shared preselection tables and cached."""
+        if self._clusters is None:
+            from ..expansion.graph import clusters
+
+            self._clusters = clusters(self.schema, self.tables)
+        return self._clusters
+
+    def cluster_of(self) -> dict:
+        """Class name → index of its cluster in :meth:`clusters`."""
+        if self._cluster_map is None:
+            mapping: dict = {}
+            for index, component in enumerate(self.clusters()):
+                for name in component:
+                    mapping[name] = index
+            self._cluster_map = mapping
+        return self._cluster_map
+
+    def compounds_by_cluster(self) -> dict:
+        """Nonempty compound classes of the expansion grouped by the cluster
+        containing them — the reuse units of incremental augmented queries.
+        Only meaningful when the enumeration was cluster-confined
+        (strategic)."""
+        if self._cluster_compound_map is None:
+            mapping = self.cluster_of()
+            grouped: dict = {}
+            for members in self.expansion.compound_classes:
+                if not members:
+                    continue
+                grouped.setdefault(mapping[next(iter(members))],
+                                   []).append(members)
+            self._cluster_compound_map = grouped
+        return self._cluster_compound_map
+
+    # ------------------------------------------------------------------
+    # Incremental augmented-query seeding
+    # ------------------------------------------------------------------
+    def can_seed_augmented(self, cdef) -> bool:
+        """Is the incremental path applicable?  Requires a fresh query class
+        and a cluster-confined (strategic) base enumeration that has already
+        been built — otherwise a cold build is both needed and cheapest."""
+        return (self.config.incremental_augmented
+                and "expansion" in self._artifacts
+                and self.config.strategy in ("auto", "strategic")
+                and not self.is_hierarchy()
+                and cdef.name not in self.schema.class_symbols)
+
+    def seed_augmented(self, target: "Pipeline", cdef) -> None:
+        """Seed ``target`` (the pipeline of this schema plus ``cdef``)
+        incrementally: preselection tables are extended by one row instead
+        of rebuilt, and compound classes of every cluster the query class
+        does not touch are reused verbatim — only the merged cluster is
+        re-enumerated.  The seeding is an optimization only; verdicts are
+        identical to a cold rebuild (the equivalence suite asserts this)."""
+        from ..expansion.enumerate import dpll_compound_classes
+        from ..expansion.graph import clusters as compute_clusters
+
+        with self.timer.stage("augmented_seed"):
+            aug_tables = self.tables.extended_with(target.schema, cdef.name)
+            aug_clusters = compute_clusters(target.schema, aug_tables)
+            base_index = {component: index
+                          for index, component in enumerate(self.clusters())}
+            grouped = self.compounds_by_cluster()
+            combined: list[frozenset] = [frozenset()]
+            for component in aug_clusters:
+                base_at = base_index.get(component)
+                if base_at is not None:
+                    # Untouched cluster: same universe, same definitions,
+                    # same table rows — the enumeration result is reusable.
+                    combined.extend(grouped.get(base_at, ()))
+                else:
+                    combined.extend(
+                        members for members in dpll_compound_classes(
+                            target.schema, sorted(component), aug_tables)
+                        if members)
+        target._artifacts["tables"] = aug_tables
+        target._clusters = aug_clusters
+        target._hierarchy_effective = False
+        target._precomputed_classes = tuple(combined)
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+    def stats(self) -> dict:
+        """Pipeline size measurements (builds any missing stage), plus the
+        per-stage wall-clock readings of :attr:`timer`."""
+        stats = {
+            "classes": len(self.schema.class_symbols),
+            "schema_size": self.schema.syntactic_size(),
+            "compound_classes": len(self.expansion.compound_classes),
+            "expansion_size": self.expansion.size(),
+            "psi_unknowns": self.system.n_unknowns(),
+            "psi_constraints": self.system.n_constraints(),
+            "psi_size": self.system.size(),
+            "lp_rounds": self.support.rounds,
+            "supported": len(self.support.support),
+        }
+        stats.update(self.timer.as_stats())
+        return stats

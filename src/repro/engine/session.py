@@ -1,0 +1,184 @@
+"""Schema sessions: cached, reusable reasoning pipelines across queries.
+
+A CLI invocation builds a pipeline, answers one question, and throws the
+work away.  A service answering many satisfiability/implication queries
+over evolving schemas cannot afford that: Phase 1 (the expansion) and
+Phase 2 (the support) dominate the cost, yet are pure functions of the
+schema and the engine configuration.  :class:`SchemaSession` is the layer
+that exploits this:
+
+* schemas are **fingerprinted** by a canonical-form hash
+  (:func:`schema_fingerprint`) — definition order, not meaning, is
+  normalized away, so a re-parsed or re-serialized schema hits the cache;
+* warm :class:`~repro.reasoner.satisfiability.Reasoner` pipelines are kept
+  in a **bounded LRU** (``config.session_cache_limit``), so an evolving
+  fleet of schemas cannot exhaust memory;
+* batched entry points (:meth:`SchemaSession.check_many`,
+  :meth:`SchemaSession.classify`) reuse **one** support computation — and,
+  through the reasoner's incremental augmented-query seeding, repeated
+  formula queries against the same schema reuse warm tables and untouched
+  clusters instead of rebuilding.
+
+The CLI and the benchmark driver both construct their reasoners through a
+session, so every entry point exercises the same engine path.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from collections import OrderedDict
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Iterable, Optional, Union
+
+from ..core.formulas import FormulaLike
+from ..core.schema import Schema
+from ..parser.printer import render_schema
+from .config import EngineConfig
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard, typing only
+    from ..reasoner.satisfiability import CoherenceReport, Reasoner
+
+__all__ = ["SchemaSession", "SessionCacheInfo", "schema_fingerprint"]
+
+#: Entry points accept either a parsed schema or concrete-syntax source.
+SchemaLike = Union[Schema, str]
+
+
+def schema_fingerprint(schema: SchemaLike) -> str:
+    """A canonical-form hash of a schema.
+
+    The schema is re-ordered canonically (class and relation definitions
+    sorted by name — reordering definitions never changes the semantics),
+    rendered to concrete syntax, and hashed.  Two schemas with equal
+    definitions therefore share a fingerprint regardless of definition
+    order or the textual route they arrived by; structurally different
+    schemas collide only with SHA-256 probability.
+    """
+    schema = _as_schema(schema)
+    canonical = Schema(
+        sorted(schema.class_definitions, key=lambda cdef: cdef.name),
+        sorted(schema.relation_definitions, key=lambda rdef: rdef.name))
+    return hashlib.sha256(
+        render_schema(canonical).encode("utf-8")).hexdigest()
+
+
+def _as_schema(schema: SchemaLike) -> Schema:
+    if isinstance(schema, Schema):
+        return schema
+    from ..parser.parser import parse_schema
+
+    return parse_schema(schema)
+
+
+@dataclass(frozen=True)
+class SessionCacheInfo:
+    """A snapshot of the session's pipeline-cache counters."""
+
+    hits: int
+    misses: int
+    evictions: int
+    size: int
+    limit: int
+
+    @property
+    def hit_rate(self) -> float:
+        total = self.hits + self.misses
+        return self.hits / total if total else 0.0
+
+
+class SchemaSession:
+    """A service-facing façade over the engine: warm pipelines per schema.
+
+    One session holds one :class:`~repro.engine.config.EngineConfig` and a
+    bounded LRU of reasoners keyed by schema fingerprint.  All entry points
+    accept a :class:`~repro.core.schema.Schema` or concrete-syntax source
+    text.
+
+    >>> session = SchemaSession()
+    >>> session.satisfiable("class A isa not A endclass", "A")
+    False
+    """
+
+    def __init__(self, config: Optional[EngineConfig] = None):
+        self.config = config if config is not None else EngineConfig()
+        self._cache: "OrderedDict[str, Reasoner]" = OrderedDict()
+        self._hits = 0
+        self._misses = 0
+        self._evictions = 0
+
+    # ------------------------------------------------------------------
+    # The pipeline cache
+    # ------------------------------------------------------------------
+    def reasoner(self, schema: SchemaLike) -> "Reasoner":
+        """The warm reasoner for ``schema`` — cached by fingerprint.
+
+        A hit returns the existing instance with whatever pipeline stages
+        and memoized query verdicts it already accumulated; a miss builds a
+        fresh (lazy, so cheap) reasoner and may evict the least recently
+        used one.
+        """
+        from ..reasoner.satisfiability import Reasoner
+
+        schema = _as_schema(schema)
+        key = schema_fingerprint(schema)
+        cached = self._cache.get(key)
+        if cached is not None:
+            self._hits += 1
+            self._cache.move_to_end(key)
+            return cached
+        self._misses += 1
+        reasoner = Reasoner(schema, config=self.config)
+        self._cache[key] = reasoner
+        while len(self._cache) > self.config.session_cache_limit:
+            self._cache.popitem(last=False)
+            self._evictions += 1
+        return reasoner
+
+    def cache_info(self) -> SessionCacheInfo:
+        """Hit/miss/eviction counters and current occupancy."""
+        return SessionCacheInfo(self._hits, self._misses, self._evictions,
+                                len(self._cache),
+                                self.config.session_cache_limit)
+
+    def invalidate(self, schema: Optional[SchemaLike] = None) -> None:
+        """Drop one schema's warm pipeline (or all of them)."""
+        if schema is None:
+            self._cache.clear()
+        else:
+            self._cache.pop(schema_fingerprint(schema), None)
+
+    def __contains__(self, schema: SchemaLike) -> bool:
+        return schema_fingerprint(schema) in self._cache
+
+    def __len__(self) -> int:
+        return len(self._cache)
+
+    # ------------------------------------------------------------------
+    # Batched query entry points
+    # ------------------------------------------------------------------
+    def satisfiable(self, schema: SchemaLike, class_name: str) -> bool:
+        """Class satisfiability through the warm pipeline."""
+        return self.reasoner(schema).is_satisfiable(class_name)
+
+    def check_many(self, schema: SchemaLike,
+                   formulas: Iterable[FormulaLike]) -> list[bool]:
+        """Formula satisfiability for a batch, reusing one support
+        computation (and the reasoner's augmented-query seeding and verdict
+        memoization for the cross-cluster cases)."""
+        reasoner = self.reasoner(schema)
+        return [reasoner.is_formula_satisfiable(formula)
+                for formula in formulas]
+
+    def check_coherence(self, schema: SchemaLike) -> "CoherenceReport":
+        """Whole-schema validation through the warm pipeline."""
+        return self.reasoner(schema).check_coherence()
+
+    def classify(self, schema: SchemaLike):
+        """The implied subsumption hierarchy, reusing the warm pipeline."""
+        from ..reasoner.implication import classify as _classify
+
+        return _classify(self.reasoner(schema))
+
+    def stats(self, schema: SchemaLike) -> dict:
+        """Pipeline measurements for ``schema`` (builds missing stages)."""
+        return self.reasoner(schema).stats()

@@ -1,11 +1,29 @@
-"""Phase 2 of the reasoning method: linear disequations and their solutions."""
+"""Phase 2 of the reasoning method: linear disequations and their solutions.
 
+The package splits into the *bookkeeping* layer (``support`` — propagation
+rules and the fixpoint loop; ``system`` — building ``Ψ_S``) and the
+*arithmetic core* (``backends`` — pluggable LP backends selected by name;
+``simplex`` — the exact rational solver the ``"exact"`` backend wraps).
+"""
+
+from .backends import (
+    AutoBackend,
+    ExactBackend,
+    FloatFallbackBackend,
+    LpBackend,
+    RoundSolution,
+    available_backends,
+    get_backend,
+    register_backend,
+)
 from .ratios import RatioBounds, population_ratio_bounds
 from .simplex import INFEASIBLE, OPTIMAL, UNBOUNDED, LpResult, solve_lp
 from .support import PinEvent, SupportResult, acceptable_support
 from .system import Constraint, PsiSystem, Unknown, build_system
 
 __all__ = [
+    "AutoBackend", "ExactBackend", "FloatFallbackBackend", "LpBackend",
+    "RoundSolution", "available_backends", "get_backend", "register_backend",
     "RatioBounds", "population_ratio_bounds",
     "INFEASIBLE", "OPTIMAL", "UNBOUNDED", "LpResult", "solve_lp",
     "PinEvent", "SupportResult", "acceptable_support",

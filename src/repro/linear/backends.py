@@ -1,0 +1,411 @@
+"""Pluggable LP backends — the arithmetic core of the support computation.
+
+The fixpoint loop of :func:`repro.linear.support.acceptable_support` is pure
+bookkeeping (propagation rules, pin log, iteration); what distinguishes a
+fast deployment from an authoritative one is the *arithmetic core* that
+answers each max-support round.  This module separates the two: a backend is
+any object satisfying the :class:`LpBackend` protocol —
+
+    ``solve(system, positive_indices, *, merge_columns=True) -> RoundSolution``
+
+— and backends are registered by name so callers (``acceptable_support``,
+:class:`~repro.engine.config.EngineConfig`, the CLI ``--backend`` flag)
+select one without importing its implementation.
+
+Registered backends:
+
+* ``"exact"`` — the two-phase rational simplex of
+  :mod:`repro.linear.simplex`.  Authoritative: every value is an exact
+  :class:`~fractions.Fraction`, so ``x > 0`` vs ``x = 0`` — the distinction
+  Theorem 3.3 hinges on — is decided without numerical doubt.
+* ``"float-fallback"`` (alias ``"float"``) — tries ``scipy``'s HiGHS solver
+  in floating point first, snaps the result to small rationals, and
+  re-verifies every disequation exactly.  On degeneracy (values too close to
+  zero to classify), verification failure, or an unavailable/failed float
+  solve it falls back to the exact simplex, so its verdicts are always
+  identical to ``"exact"`` — a property the differential test suite pins.
+* ``"auto"`` — ``"exact"`` for small systems (≤ :data:`EXACT_BACKEND_LIMIT`
+  LP columns), ``"float-fallback"`` beyond.
+
+All backends return the same :class:`RoundSolution` shape, and because the
+maximal acceptable support is *unique* (solutions of the homogeneous system
+are closed under addition), any sound backend must produce the same
+``supported`` set — only witness values and wall-clock may differ.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from fractions import Fraction
+from typing import Optional, Protocol, Sequence, runtime_checkable
+
+from ..core.errors import LinearSystemError
+from .simplex import OPTIMAL, solve_lp
+from .system import PsiSystem
+
+__all__ = [
+    "LpBackend", "RoundSolution", "register_backend", "get_backend",
+    "available_backends", "ExactBackend", "FloatFallbackBackend",
+    "AutoBackend", "EXACT_BACKEND_LIMIT",
+]
+
+#: Column-count threshold below which ``"auto"`` stays with the exact core.
+EXACT_BACKEND_LIMIT = 60
+
+
+@dataclass(frozen=True)
+class RoundSolution:
+    """Outcome of one max-support LP round.
+
+    ``values`` maps each candidate unknown to its rational witness value
+    (concentrated on one representative per interchangeable group);
+    ``supported`` holds the unknowns that can be positive; ``backend_used``
+    names the arithmetic core that actually produced the numbers
+    (``"exact"``, ``"float"``, or ``"propagation"`` when no LP was needed).
+    """
+
+    values: dict[int, Fraction]
+    supported: frozenset[int]
+    backend_used: str
+
+
+@runtime_checkable
+class LpBackend(Protocol):
+    """The protocol every LP backend implements.
+
+    One call answers one max-support round: given ``Ψ_S`` and the indices
+    still considered positive candidates, maximize ``Σ t_i`` subject to the
+    system, ``t_i ≤ x_i`` and ``t_i ≤ 1``, and report which candidates the
+    optimum keeps positive.  Implementations must be *sound and complete*
+    for the support question — the unique-maximal-support argument then
+    guarantees backend-independent verdicts.
+    """
+
+    name: str
+
+    def solve(self, system: PsiSystem, positive_indices: Sequence[int], *,
+              merge_columns: bool = True) -> RoundSolution:
+        """Solve one round over the active unknowns."""
+        ...
+
+
+# ----------------------------------------------------------------------
+# Shared grouping: interchangeable columns collapse into one LP variable
+# ----------------------------------------------------------------------
+def grouped_columns(system: PsiSystem, active: Sequence[int],
+                    merge_columns: bool = True):
+    """Group interchangeable unknowns (identical constraint columns).
+
+    Returns ``(groups, rows)``: ``groups`` is a list of variable-index
+    tuples; ``rows`` a list of ``{group_index: coefficient}`` dicts, one per
+    constraint that still touches an active unknown.  With
+    ``merge_columns=False`` every unknown stays in its own group (the
+    ablation baseline).
+    """
+    active_set = set(active)
+    signatures: dict[int, list[tuple[int, Fraction]]] = {v: [] for v in active}
+    live_rows = 0
+    raw_rows: list[dict[int, Fraction]] = []
+    for constraint in system.constraints:
+        touched = {var: coeff for var, coeff in constraint.coefficients
+                   if var in active_set}
+        if not touched:
+            continue
+        row_index = live_rows
+        live_rows += 1
+        raw_rows.append(touched)
+        for var, coeff in touched.items():
+            signatures[var].append((row_index, coeff))
+
+    groups_by_signature: dict[tuple, list[int]] = {}
+    unknowns = system.unknowns
+    for var in active:
+        if not merge_columns or isinstance(unknowns[var], frozenset):
+            # Compound-class unknowns stay singleton: the stored witness
+            # concentrates each group's value on one representative, and
+            # model synthesis needs every supported compound class to carry
+            # a positive object count.
+            key = ("class", var)
+        else:
+            key = tuple(signatures[var])
+        groups_by_signature.setdefault(key, []).append(var)
+    groups = [tuple(members) for members in groups_by_signature.values()]
+    group_of = {var: g for g, members in enumerate(groups) for var in members}
+
+    rows: list[dict[int, Fraction]] = []
+    for touched in raw_rows:
+        row: dict[int, Fraction] = {}
+        for var, coeff in touched.items():
+            # Identical columns by construction: the group coefficient is the
+            # (shared) member coefficient, and the group variable stands for
+            # the member sum.
+            row[group_of[var]] = coeff
+        rows.append(row)
+    return groups, rows
+
+
+def _concentrated(groups, values, backend_used: str) -> RoundSolution:
+    """Turn group values into a per-unknown witness and support set.
+
+    Support is a *group* property (identical columns are interchangeable):
+    every member of a positive group can be positive.  The stored witness,
+    however, concentrates each group's value on one representative — this
+    keeps denominators (and hence the integer witness that synthesis scales
+    up) small, and is still an acceptable solution because the constraint
+    rows only see group sums.
+    """
+    per_unknown: dict[int, Fraction] = {}
+    supported: set[int] = set()
+    for members, value in zip(groups, values):
+        for var in members:
+            per_unknown[var] = Fraction(0)
+        if value > 0:
+            per_unknown[members[0]] = value
+            supported.update(members)
+    return RoundSolution(per_unknown, frozenset(supported), backend_used)
+
+
+# ----------------------------------------------------------------------
+# Exact core
+# ----------------------------------------------------------------------
+def solve_exact_groups(groups, rows) -> list[Fraction]:
+    """The max-support LP over grouped columns, solved exactly."""
+    k = len(groups)
+    width = 2 * k
+    a_ub: list[list[Fraction]] = []
+    b_ub: list[Fraction] = []
+    for row in rows:
+        dense = [Fraction(0)] * width
+        for g, coeff in row.items():
+            dense[g] = coeff
+        a_ub.append(dense)
+        b_ub.append(Fraction(0))
+    for g in range(k):
+        dense = [Fraction(0)] * width
+        dense[g] = Fraction(-1)
+        dense[k + g] = Fraction(1)
+        a_ub.append(dense)            # t_g - x_g ≤ 0
+        b_ub.append(Fraction(0))
+        dense = [Fraction(0)] * width
+        dense[k + g] = Fraction(1)
+        a_ub.append(dense)            # t_g ≤ 1
+        b_ub.append(Fraction(1))
+    objective = [Fraction(0)] * k + [Fraction(1)] * k
+    result = solve_lp(objective, a_ub, b_ub, maximize=True)
+    if result.status != OPTIMAL:
+        raise LinearSystemError(
+            f"max-support LP ended with status {result.status}; it is "
+            "feasible at zero and bounded, this cannot happen")
+    return list(result.solution[:k])
+
+
+class ExactBackend:
+    """The exact-Fraction simplex: authoritative, no numerical doubt."""
+
+    name = "exact"
+
+    def solve(self, system: PsiSystem, positive_indices: Sequence[int], *,
+              merge_columns: bool = True) -> RoundSolution:
+        groups, rows = grouped_columns(system, positive_indices, merge_columns)
+        if not groups:
+            return RoundSolution({}, frozenset(), "propagation")
+        return _concentrated(groups, solve_exact_groups(groups, rows),
+                             self.name)
+
+
+# ----------------------------------------------------------------------
+# Float-first core with exact fallback
+# ----------------------------------------------------------------------
+def solve_float_groups(groups, rows) -> Optional[list[float]]:
+    """HiGHS solve returning raw float group values, or None on failure."""
+    try:
+        import numpy as np
+        from scipy.optimize import linprog
+        from scipy.sparse import csr_matrix
+    except ImportError:
+        return None
+    k = len(groups)
+    width = 2 * k
+    data, row_idx, col_idx = [], [], []
+    b_ub = []
+    r = 0
+    for row in rows:
+        for g, coeff in row.items():
+            data.append(float(coeff))
+            row_idx.append(r)
+            col_idx.append(g)
+        b_ub.append(0.0)
+        r += 1
+    for g in range(k):
+        data.extend([-1.0, 1.0])
+        row_idx.extend([r, r])
+        col_idx.extend([g, k + g])
+        b_ub.append(0.0)
+        r += 1
+    a_ub = csr_matrix((data, (row_idx, col_idx)), shape=(r, width))
+    c = np.zeros(width)
+    c[k:] = -1.0  # maximize Σ t == minimize -Σ t
+    bounds = [(0, None)] * k + [(0, 1)] * k
+    outcome = linprog(c, A_ub=a_ub, b_ub=b_ub, bounds=bounds, method="highs")
+    if not outcome.success:
+        return None
+    return [float(outcome.x[g]) for g in range(k)]
+
+
+def rationalize(values: list[float], max_denominator: int) -> list[Fraction]:
+    """Snap float values to nearby small rationals, zeroing solver noise."""
+    snapped = []
+    for value in values:
+        rational = Fraction(value).limit_denominator(max_denominator)
+        snapped.append(rational if rational > Fraction(1, 10 ** 7) else Fraction(0))
+    return snapped
+
+
+def verify_rows(rows, values) -> bool:
+    """Exact check of ``Σ coeff·x ≤ 0`` for a rational candidate."""
+    for row in rows:
+        total = Fraction(0)
+        for g, coeff in row.items():
+            total += coeff * values[g]
+        if total > 0:
+            return False
+    return True
+
+
+def repair_float_witness(groups, rows, values) -> Optional[list[Fraction]]:
+    """Try to turn a rationalized float solution into an exact one.
+
+    The rationalized values may violate tight constraints by rounding noise.
+    A cheap repair that preserves the support often works: re-solve the
+    *exact* LP restricted to the support columns only.  Returns None when
+    the repair would be as expensive as the full exact solve.
+    """
+    support_cols = [g for g, value in enumerate(values) if value > 0]
+    if not support_cols or len(support_cols) > EXACT_BACKEND_LIMIT:
+        return None
+    position = {g: j for j, g in enumerate(support_cols)}
+    restricted_rows: list[dict[int, Fraction]] = []
+    for row in rows:
+        touched = {position[g]: coeff for g, coeff in row.items() if g in position}
+        # A dropped column with positive coefficient only relaxes the row,
+        # with negative coefficient the row is still valid at zero.
+        if touched:
+            restricted_rows.append(touched)
+    sub_groups = [groups[g] for g in support_cols]
+    sub_values = solve_exact_groups(sub_groups, restricted_rows)
+    if any(value <= 0 for value in sub_values):
+        return None  # exact disagrees with the float support; caller redoes
+    repaired = [Fraction(0)] * len(groups)
+    for g, value in zip(support_cols, sub_values):
+        repaired[g] = value
+    return repaired
+
+
+class FloatFallbackBackend:
+    """Float-first arithmetic with an exact safety net.
+
+    The HiGHS optimum is snapped to small rationals and re-verified against
+    every disequation *exactly*; only a verified certificate is accepted.
+    The exact simplex takes over whenever the float path is unavailable,
+    fails, or is **degenerate**: a raw value inside the ambiguity band
+    ``(degenerate_low, degenerate_high)`` is too close to zero to classify
+    as supported-vs-pinned, the very distinction the method rests on.
+    """
+
+    name = "float-fallback"
+
+    #: Raw float values strictly inside this open band are ambiguous.
+    degenerate_low = 1e-9
+    degenerate_high = 1e-6
+
+    def _degenerate(self, floats: list[float]) -> bool:
+        return any(self.degenerate_low < value < self.degenerate_high
+                   for value in floats)
+
+    def solve(self, system: PsiSystem, positive_indices: Sequence[int], *,
+              merge_columns: bool = True) -> RoundSolution:
+        groups, rows = grouped_columns(system, positive_indices, merge_columns)
+        if not groups:
+            return RoundSolution({}, frozenset(), "propagation")
+        return self._solve_grouped(groups, rows)
+
+    def _solve_grouped(self, groups, rows) -> RoundSolution:
+        values: Optional[list[Fraction]] = None
+        floats = solve_float_groups(groups, rows)
+        if floats is not None and not self._degenerate(floats):
+            # Prefer small-denominator rationalizations: they keep the
+            # integer witness (and therefore synthesized models) small.
+            for max_denominator in (60, 10 ** 4, 10 ** 9):
+                candidate = rationalize(floats, max_denominator)
+                if verify_rows(rows, candidate):
+                    values = candidate
+                    break
+            if values is None:
+                values = repair_float_witness(
+                    groups, rows, rationalize(floats, 10 ** 9))
+        if values is None:
+            return _concentrated(groups, solve_exact_groups(groups, rows),
+                                 "exact")
+        return _concentrated(groups, values, "float")
+
+
+class AutoBackend:
+    """Pick the core by system size: exact below the column threshold,
+    float-fallback (still exactly verified) beyond it."""
+
+    name = "auto"
+
+    def __init__(self, limit: int = EXACT_BACKEND_LIMIT):
+        self._limit = limit
+        self._exact = ExactBackend()
+        self._float = FloatFallbackBackend()
+
+    def solve(self, system: PsiSystem, positive_indices: Sequence[int], *,
+              merge_columns: bool = True) -> RoundSolution:
+        groups, rows = grouped_columns(system, positive_indices, merge_columns)
+        if not groups:
+            return RoundSolution({}, frozenset(), "propagation")
+        if len(groups) <= self._limit:
+            return _concentrated(groups, solve_exact_groups(groups, rows),
+                                 "exact")
+        return self._float._solve_grouped(groups, rows)
+
+
+# ----------------------------------------------------------------------
+# The registry
+# ----------------------------------------------------------------------
+_REGISTRY: dict[str, LpBackend] = {}
+
+
+def register_backend(backend: LpBackend, *aliases: str) -> LpBackend:
+    """Register ``backend`` under its ``name`` plus any ``aliases``."""
+    for name in (backend.name, *aliases):
+        _REGISTRY[name] = backend
+    return backend
+
+
+def get_backend(backend: str | LpBackend) -> LpBackend:
+    """Resolve a backend by registry name; instances pass through."""
+    if isinstance(backend, str):
+        try:
+            return _REGISTRY[backend]
+        except KeyError:
+            raise LinearSystemError(
+                f"unknown LP backend {backend!r}; "
+                f"available: {', '.join(available_backends())}") from None
+    if not isinstance(backend, LpBackend):
+        raise LinearSystemError(
+            f"object {backend!r} does not implement the LpBackend protocol")
+    return backend
+
+
+def available_backends() -> tuple[str, ...]:
+    """All registered backend names (including aliases), sorted."""
+    return tuple(sorted(_REGISTRY))
+
+
+register_backend(ExactBackend())
+#: ``"float"`` is the historical name of the float-first path; it keeps
+#: working as an alias so pre-registry call sites stay valid.
+register_backend(FloatFallbackBackend(), "float")
+register_backend(AutoBackend())

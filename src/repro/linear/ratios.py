@@ -67,9 +67,9 @@ def _grouped_restriction(support: SupportResult, columns: list[int]):
     Valid here because the ratio objective and the normalization row only
     weight compound-class unknowns, which stay in singleton groups.
     """
-    from .support import _grouped_columns
+    from .backends import grouped_columns
 
-    groups, sparse_rows = _grouped_columns(support.system, columns)
+    groups, sparse_rows = grouped_columns(support.system, columns)
     rows: list[list[Fraction]] = []
     for sparse in sparse_rows:
         row = [Fraction(0)] * len(groups)

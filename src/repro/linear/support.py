@@ -21,19 +21,18 @@ The computation:
    already pinned, and the acceptability rule itself (pin a compound
    attribute/relation when an endpoint is pinned).
 2. **Max-support LP** — maximize ``Σ t_i`` subject to ``Ψ_S``,
-   ``t_i ≤ x_i``, ``t_i ≤ 1`` over the surviving unknowns.  Unknowns whose
-   constraint columns are identical are interchangeable, so they are merged
-   into one LP column first (this collapses the bulk of the compound
-   attributes).  The optimum is positive on exactly the supportable
-   unknowns.
+   ``t_i ≤ x_i``, ``t_i ≤ 1`` over the surviving unknowns, delegated to a
+   pluggable :class:`~repro.linear.backends.LpBackend`.  The optimum is
+   positive on exactly the supportable unknowns.
 3. Pin everything the LP zeroed and repeat until nothing changes.
 
-Two LP backends are provided: the exact rational simplex of
-:mod:`repro.linear.simplex` (authoritative, used for small systems and in
-tests) and ``scipy.optimize.linprog`` (HiGHS) for large systems, whose
-solution is turned into an exact rational certificate and re-verified
-against every disequation; on verification failure the exact backend is
-used instead.
+The LP arithmetic lives behind the backend registry of
+:mod:`repro.linear.backends`: ``"exact"`` (the rational simplex,
+authoritative), ``"float-fallback"`` (HiGGS float-first with exact
+re-verification and an exact safety net), and ``"auto"`` (size-based
+choice).  Because the maximal support is unique, every sound backend yields
+the same verdicts — the differential suite in ``tests/test_backends.py``
+pins ``"exact"`` and ``"float-fallback"`` to identical support sets.
 """
 
 from __future__ import annotations
@@ -41,11 +40,19 @@ from __future__ import annotations
 from dataclasses import dataclass
 from fractions import Fraction
 from math import lcm
-from typing import Optional, Sequence
+from typing import Optional
 
 from ..core.cardinality import INFINITY
 from ..core.errors import LinearSystemError
 from ..expansion.expansion import Expansion
+from .backends import (
+    EXACT_BACKEND_LIMIT,
+    LpBackend,
+    get_backend,
+    grouped_columns,
+    rationalize,
+        verify_rows,
+)
 from .simplex import OPTIMAL, solve_lp
 from .system import PsiSystem, Unknown, build_system
 
@@ -66,9 +73,6 @@ class PinEvent:
     phase: str
     reason: str
     round: int
-
-#: Column-count threshold below which the exact backend is used by ``auto``.
-EXACT_BACKEND_LIMIT = 60
 
 
 @dataclass(frozen=True)
@@ -186,225 +190,8 @@ def _propagate(system: PsiSystem, active: set[int], entries,
 
 
 # ----------------------------------------------------------------------
-# The max-support LP over merged columns
+# Witness minimization (model-synthesis support)
 # ----------------------------------------------------------------------
-def _grouped_columns(system: PsiSystem, active: Sequence[int],
-                     merge_columns: bool = True):
-    """Group interchangeable unknowns (identical constraint columns).
-
-    Returns ``(groups, rows)``: ``groups`` is a list of variable-index
-    tuples; ``rows`` a list of ``{group_index: coefficient}`` dicts, one per
-    constraint that still touches an active unknown.  With
-    ``merge_columns=False`` every unknown stays in its own group (the
-    ablation baseline).
-    """
-    active_set = set(active)
-    signatures: dict[int, list[tuple[int, Fraction]]] = {v: [] for v in active}
-    live_rows = 0
-    raw_rows: list[dict[int, Fraction]] = []
-    for constraint in system.constraints:
-        touched = {var: coeff for var, coeff in constraint.coefficients
-                   if var in active_set}
-        if not touched:
-            continue
-        row_index = live_rows
-        live_rows += 1
-        raw_rows.append(touched)
-        for var, coeff in touched.items():
-            signatures[var].append((row_index, coeff))
-
-    groups_by_signature: dict[tuple, list[int]] = {}
-    unknowns = system.unknowns
-    for var in active:
-        if not merge_columns or isinstance(unknowns[var], frozenset):
-            # Compound-class unknowns stay singleton: the stored witness
-            # concentrates each group's value on one representative, and
-            # model synthesis needs every supported compound class to carry
-            # a positive object count.
-            key = ("class", var)
-        else:
-            key = tuple(signatures[var])
-        groups_by_signature.setdefault(key, []).append(var)
-    groups = [tuple(members) for members in groups_by_signature.values()]
-    group_of = {var: g for g, members in enumerate(groups) for var in members}
-
-    rows: list[dict[int, Fraction]] = []
-    for touched in raw_rows:
-        row: dict[int, Fraction] = {}
-        for var, coeff in touched.items():
-            # Identical columns by construction: the group coefficient is the
-            # (shared) member coefficient, and the group variable stands for
-            # the member sum.
-            row[group_of[var]] = coeff
-        rows.append(row)
-    return groups, rows
-
-
-def _solve_exact(groups, rows) -> list[Fraction]:
-    k = len(groups)
-    width = 2 * k
-    a_ub: list[list[Fraction]] = []
-    b_ub: list[Fraction] = []
-    for row in rows:
-        dense = [Fraction(0)] * width
-        for g, coeff in row.items():
-            dense[g] = coeff
-        a_ub.append(dense)
-        b_ub.append(Fraction(0))
-    for g in range(k):
-        dense = [Fraction(0)] * width
-        dense[g] = Fraction(-1)
-        dense[k + g] = Fraction(1)
-        a_ub.append(dense)            # t_g - x_g ≤ 0
-        b_ub.append(Fraction(0))
-        dense = [Fraction(0)] * width
-        dense[k + g] = Fraction(1)
-        a_ub.append(dense)            # t_g ≤ 1
-        b_ub.append(Fraction(1))
-    objective = [Fraction(0)] * k + [Fraction(1)] * k
-    result = solve_lp(objective, a_ub, b_ub, maximize=True)
-    if result.status != OPTIMAL:
-        raise LinearSystemError(
-            f"max-support LP ended with status {result.status}; it is "
-            "feasible at zero and bounded, this cannot happen")
-    return list(result.solution[:k])
-
-
-def _solve_float(groups, rows) -> Optional[list[float]]:
-    """HiGHS solve returning raw float group values, or None on failure."""
-    try:
-        import numpy as np
-        from scipy.optimize import linprog
-        from scipy.sparse import csr_matrix
-    except ImportError:
-        return None
-    k = len(groups)
-    width = 2 * k
-    data, row_idx, col_idx = [], [], []
-    b_ub = []
-    r = 0
-    for row in rows:
-        for g, coeff in row.items():
-            data.append(float(coeff))
-            row_idx.append(r)
-            col_idx.append(g)
-        b_ub.append(0.0)
-        r += 1
-    for g in range(k):
-        data.extend([-1.0, 1.0])
-        row_idx.extend([r, r])
-        col_idx.extend([g, k + g])
-        b_ub.append(0.0)
-        r += 1
-    a_ub = csr_matrix((data, (row_idx, col_idx)), shape=(r, width))
-    c = np.zeros(width)
-    c[k:] = -1.0  # maximize Σ t == minimize -Σ t
-    bounds = [(0, None)] * k + [(0, 1)] * k
-    outcome = linprog(c, A_ub=a_ub, b_ub=b_ub, bounds=bounds, method="highs")
-    if not outcome.success:
-        return None
-    return [float(outcome.x[g]) for g in range(k)]
-
-
-def _rationalize(values: list[float], max_denominator: int) -> list[Fraction]:
-    """Snap float values to nearby small rationals, zeroing solver noise."""
-    snapped = []
-    for value in values:
-        rational = Fraction(value).limit_denominator(max_denominator)
-        snapped.append(rational if rational > Fraction(1, 10 ** 7) else Fraction(0))
-    return snapped
-
-
-def _verify_rows(rows, values) -> bool:
-    """Exact check of ``Σ coeff·x ≤ 0`` for a rational candidate."""
-    for row in rows:
-        total = Fraction(0)
-        for g, coeff in row.items():
-            total += coeff * values[g]
-        if total > 0:
-            return False
-    return True
-
-
-def _repair_float_witness(groups, rows, values) -> Optional[list[Fraction]]:
-    """Try to turn a rationalized float solution into an exact one.
-
-    The rationalized values may violate tight constraints by rounding noise.
-    A cheap repair that preserves the support often works: re-solve the
-    *exact* LP restricted to the support columns only.  Returns None when
-    the repair would be as expensive as the full exact solve.
-    """
-    support_cols = [g for g, value in enumerate(values) if value > 0]
-    if not support_cols or len(support_cols) > EXACT_BACKEND_LIMIT:
-        return None
-    position = {g: j for j, g in enumerate(support_cols)}
-    restricted_rows: list[dict[int, Fraction]] = []
-    for row in rows:
-        touched = {position[g]: coeff for g, coeff in row.items() if g in position}
-        # A dropped column with positive coefficient only relaxes the row,
-        # with negative coefficient the row is still valid at zero.
-        if touched:
-            restricted_rows.append(touched)
-    sub_groups = [groups[g] for g in support_cols]
-    sub_values = _solve_exact(sub_groups, restricted_rows)
-    if any(value <= 0 for value in sub_values):
-        return None  # exact disagrees with the float support; caller redoes
-    repaired = [Fraction(0)] * len(groups)
-    for g, value in zip(support_cols, sub_values):
-        repaired[g] = value
-    return repaired
-
-
-def _max_support_round(system: PsiSystem, active: Sequence[int],
-                       backend: str, merge_columns: bool = True
-                       ) -> tuple[dict[int, Fraction], set[int], str]:
-    """One LP round; returns per-unknown witness values, the supported
-    unknowns, and the backend used."""
-    groups, rows = _grouped_columns(system, active, merge_columns)
-    if not groups:
-        return {}, set(), backend
-    use = backend
-    if backend == "auto":
-        use = "exact" if len(groups) <= EXACT_BACKEND_LIMIT else "float"
-
-    values: Optional[list[Fraction]] = None
-    used = use
-    if use == "float":
-        floats = _solve_float(groups, rows)
-        if floats is not None:
-            # Prefer small-denominator rationalizations: they keep the
-            # integer witness (and therefore synthesized models) small.
-            for max_denominator in (60, 10 ** 4, 10 ** 9):
-                candidate = _rationalize(floats, max_denominator)
-                if _verify_rows(rows, candidate):
-                    values = candidate
-                    break
-            if values is None:
-                values = _repair_float_witness(
-                    groups, rows, _rationalize(floats, 10 ** 9))
-        if values is None:
-            used = "exact"
-    if values is None:
-        values = _solve_exact(groups, rows)
-        used = "exact" if use != "float" else used
-
-    # Support is a *group* property (identical columns are interchangeable):
-    # every member of a positive group can be positive.  The stored witness,
-    # however, concentrates each group's value on one representative — this
-    # keeps denominators (and hence the integer witness that synthesis
-    # scales up) small, and is still an acceptable solution because the
-    # constraint rows only see group sums.
-    per_unknown: dict[int, Fraction] = {}
-    supported: set[int] = set()
-    for members, value in zip(groups, values):
-        for var in members:
-            per_unknown[var] = Fraction(0)
-        if value > 0:
-            per_unknown[members[0]] = value
-            supported.update(members)
-    return per_unknown, supported, used
-
-
 def minimize_witness(result: "SupportResult",
                      merge_columns: bool = True) -> Optional[dict[int, Fraction]]:
     """Public wrapper: a small acceptable witness over ``result.support``."""
@@ -427,7 +214,7 @@ def _minimized_witness(system: PsiSystem, active: list[int],
     None when no small exact certificate could be produced (the caller then
     keeps the max-support witness).
     """
-    groups, rows = _grouped_columns(system, active, merge_columns)
+    groups, rows = grouped_columns(system, active, merge_columns)
     if not groups:
         return {}
     unknowns = system.unknowns
@@ -443,8 +230,8 @@ def _minimized_witness(system: PsiSystem, active: list[int],
     floats = _solve_float_min(groups, rows, lower_rows)
     if floats is not None:
         for max_denominator in (60, 10 ** 4, 10 ** 9):
-            candidate = _rationalize(floats, max_denominator)
-            if (_verify_rows(rows, candidate)
+            candidate = rationalize(floats, max_denominator)
+            if (verify_rows(rows, candidate)
                     and all(candidate[g] >= 1
                             for g, c in enumerate(is_class_group) if c)):
                 values = candidate
@@ -506,23 +293,27 @@ def _solve_float_min(groups, rows, lower_rows) -> Optional[list[float]]:
     return [float(outcome.x[g]) for g in range(k)]
 
 
+# ----------------------------------------------------------------------
+# The fixpoint loop
+# ----------------------------------------------------------------------
 def acceptable_support(source: Expansion | PsiSystem,
-                       backend: str = "auto", *,
+                       backend: str | LpBackend = "auto", *,
                        use_propagation: bool = True,
                        merge_columns: bool = True) -> SupportResult:
     """Compute the maximal acceptable support of ``Ψ_S``.
 
     Accepts either an :class:`Expansion` (the system is built on the fly) or
-    a prebuilt :class:`PsiSystem`.  ``backend`` is ``"auto"`` (default),
-    ``"exact"``, or ``"float"``.
+    a prebuilt :class:`PsiSystem`.  ``backend`` selects the LP arithmetic
+    core by registry name — ``"auto"`` (default), ``"exact"``,
+    ``"float-fallback"`` (alias ``"float"``) — or may be any object
+    implementing the :class:`~repro.linear.backends.LpBackend` protocol.
 
     ``use_propagation`` and ``merge_columns`` disable the two engineering
     optimizations (combinatorial pre-pinning and interchangeable-column
     merging); they exist for the ablation benchmarks and must never change
     the result — a property the test suite asserts.
     """
-    if backend not in ("auto", "exact", "float"):
-        raise LinearSystemError(f"unknown LP backend {backend!r}")
+    lp = get_backend(backend)
     system = source if isinstance(source, PsiSystem) else build_system(source)
     entries = _bound_entries(system)
     active = set(range(system.n_unknowns()))
@@ -535,8 +326,11 @@ def acceptable_support(source: Expansion | PsiSystem,
         if use_propagation:
             while _propagate(system, active, entries, log, rounds):
                 pass
-        values, support, backend_used = _max_support_round(
-            system, sorted(active), backend, merge_columns)
+        solution = lp.solve(system, sorted(active),
+                            merge_columns=merge_columns)
+        values, support, backend_used = (solution.values,
+                                         set(solution.supported),
+                                         solution.backend_used)
         if support == active:
             break
         for index in sorted(active - support):

@@ -1,6 +1,8 @@
 """The CAR reasoner: class satisfiability and friends (Section 3).
 
-:class:`Reasoner` wraps the full two-phase decision procedure:
+:class:`Reasoner` is a thin query façade over the engine layer's
+:class:`~repro.engine.pipeline.Pipeline`, which stages the full two-phase
+decision procedure:
 
 * **Phase 1** — build the expansion ``S̄`` (compound classes, attributes,
   relations, ``Natt``/``Nrel``) with a configurable enumeration strategy;
@@ -9,7 +11,10 @@
 
 All queries are then support-membership tests, so one reasoner instance
 answers any number of satisfiability/implication questions about its schema
-at no extra solving cost.
+at no extra solving cost.  Pipeline knobs travel in one
+:class:`~repro.engine.config.EngineConfig`; the legacy keyword arguments
+(``strategy``, ``size_limit``, ``incremental_augmented``) keep working and
+are folded into a config on construction.
 """
 
 from __future__ import annotations
@@ -21,11 +26,12 @@ from typing import Optional
 from ..core.errors import ReasoningError
 from ..core.formulas import Formula, FormulaLike, as_formula
 from ..core.schema import Schema
-from ..core.timing import StageTimer
-from ..expansion.expansion import Expansion, build_expansion
-from ..expansion.tables import SchemaTables, build_tables
-from ..linear.support import SupportResult, acceptable_support
-from ..linear.system import PsiSystem, build_system
+from ..engine.config import EngineConfig
+from ..engine.pipeline import Pipeline
+from ..expansion.expansion import Expansion
+from ..expansion.tables import SchemaTables
+from ..linear.support import SupportResult
+from ..linear.system import PsiSystem
 
 __all__ = ["Reasoner", "CoherenceReport"]
 
@@ -71,78 +77,81 @@ class Reasoner:
         when answering augmented (cross-cluster) queries, re-enumerating
         only the merged cluster.  On by default; the ablation benchmarks and
         equivalence tests turn it off to compare against full rebuilds.
+    config:
+        A complete :class:`~repro.engine.config.EngineConfig`.  When given
+        it takes precedence over the individual keyword arguments above
+        (which exist for backward compatibility and convenience).
     """
 
     #: Bound on the memoized formula-verdict cache (LRU eviction beyond it).
+    #: The default of ``EngineConfig.augmented_cache_limit``; kept as a
+    #: class attribute for backward compatibility (subclasses may override).
     AUGMENTED_CACHE_LIMIT = 256
 
     def __init__(self, schema: Schema, strategy: str = "auto",
                  size_limit: Optional[int] = None, *,
-                 incremental_augmented: bool = True):
-        self._schema = schema
-        self._strategy = strategy
-        self._size_limit = size_limit
-        self._incremental_augmented = incremental_augmented
-        self._expansion: Optional[Expansion] = None
-        self._system: Optional[PsiSystem] = None
-        self._support: Optional[SupportResult] = None
-        self._tables: Optional[SchemaTables] = None
-        self._clusters: Optional[list[frozenset]] = None
-        self._cluster_map: Optional[dict] = None
-        self._cluster_compound_map: Optional[dict] = None
-        self._hierarchy_effective: Optional[bool] = None
-        self._precomputed_classes: Optional[tuple] = None
+                 incremental_augmented: bool = True,
+                 config: Optional[EngineConfig] = None):
+        if config is None:
+            config = EngineConfig(
+                strategy=strategy, size_limit=size_limit,
+                incremental_augmented=incremental_augmented,
+                augmented_cache_limit=self.AUGMENTED_CACHE_LIMIT)
+        self._config = config
+        self._pipeline = Pipeline(schema, config)
         self._augmented_cache: OrderedDict[Formula, bool] = OrderedDict()
         self._min_witness: Optional[dict] = None
-        self._timer = StageTimer()
 
     # ------------------------------------------------------------------
-    # Lazily computed pipeline stages
+    # The engine pipeline and its artifacts
     # ------------------------------------------------------------------
     @property
+    def config(self) -> EngineConfig:
+        """The engine configuration this reasoner runs under."""
+        return self._config
+
+    @property
+    def pipeline(self) -> Pipeline:
+        """The staged pipeline (tables → expansion → Ψ_S → support)."""
+        return self._pipeline
+
+    @property
     def schema(self) -> Schema:
-        return self._schema
+        return self._pipeline.schema
 
     @property
     def tables(self) -> SchemaTables:
         """The preselection tables of the schema, built once and shared by
         every pipeline stage (enumeration, clusters, explanations)."""
-        if self._tables is None:
-            with self._timer.stage("tables"):
-                self._tables = build_tables(self._schema)
-        return self._tables
+        return self._pipeline.tables
 
     @property
     def expansion(self) -> Expansion:
-        if self._expansion is None:
-            tables = None
-            if self._strategy != "naive" and self._precomputed_classes is None:
-                tables = self.tables
-            with self._timer.stage("expansion"):
-                self._expansion = build_expansion(
-                    self._schema, self._strategy, size_limit=self._size_limit,
-                    tables=tables,
-                    precomputed_classes=self._precomputed_classes)
-        return self._expansion
+        return self._pipeline.expansion
 
     @property
     def system(self) -> PsiSystem:
-        if self._system is None:
-            with self._timer.stage("system"):
-                self._system = build_system(self.expansion)
-        return self._system
+        return self._pipeline.system
 
     @property
     def support(self) -> SupportResult:
-        if self._support is None:
-            with self._timer.stage("support"):
-                self._support = acceptable_support(self.system)
-        return self._support
+        return self._pipeline.support
+
+    @property
+    def _schema(self) -> Schema:
+        # Backward-compatible alias (pre-engine attribute name).
+        return self._pipeline.schema
+
+    @property
+    def _precomputed_classes(self) -> Optional[tuple]:
+        # Exposed for the equivalence suite: non-None exactly when this
+        # reasoner was seeded by the incremental augmented-query path.
+        return self._pipeline._precomputed_classes
 
     def timings(self) -> dict[str, float]:
         """Accumulated wall-clock seconds per pipeline stage (``tables``,
         ``expansion``, ``system``, ``support``, ``augmented_query``, …)."""
-        return self._timer.readings()
+        return self._pipeline.timer.readings()
 
     def supported_compound_classes(self) -> list[frozenset]:
         """Compound classes that are nonempty in some model (all of them
@@ -155,7 +164,7 @@ class Reasoner:
     def is_satisfiable(self, class_name: str) -> bool:
         """Class satisfiability (the paper's core decision problem):
         does some model of the schema give ``class_name`` an instance?"""
-        if class_name not in self._schema.class_symbols:
+        if class_name not in self.schema.class_symbols:
             raise ReasoningError(
                 f"class {class_name!r} does not occur in the schema")
         return any(class_name in members
@@ -179,7 +188,7 @@ class Reasoner:
         plain class satisfiability (always correct) gives the answer.
         """
         formula = as_formula(formula)
-        unknown = formula.classes() - self._schema.class_symbols
+        unknown = formula.classes() - self.schema.class_symbols
         if unknown:
             raise ReasoningError(
                 f"formula mentions classes outside the schema: {sorted(unknown)}")
@@ -201,64 +210,24 @@ class Reasoner:
         (incomparable classes are provably disjoint), and whenever the
         touched classes sit inside a single cluster of ``G_S``.
         """
-        if self._strategy == "naive":
+        if self._config.strategy == "naive":
             return True
-        if self._is_hierarchy():
+        if self._pipeline.is_hierarchy():
             return True
-        clusters = self._cluster_of()
+        clusters = self._pipeline.cluster_of()
         touched = {clusters[name] for name in class_names if name in clusters}
         return len(touched) <= 1
-
-    def _is_hierarchy(self) -> bool:
-        if self._hierarchy_effective is None:
-            if self._strategy in ("auto", "hierarchy"):
-                from ..expansion.graph import hierarchy_compound_classes
-
-                self._hierarchy_effective = (
-                    hierarchy_compound_classes(self._schema, self.tables)
-                    is not None)
-            else:
-                self._hierarchy_effective = False
-        return self._hierarchy_effective
 
     def clusters(self) -> list[frozenset]:
         """The clusters of ``G_S`` (Theorem 4.6), computed once over the
         shared preselection tables and cached."""
-        if self._clusters is None:
-            from ..expansion.graph import clusters
-
-            self._clusters = clusters(self._schema, self.tables)
-        return self._clusters
-
-    def _cluster_of(self) -> dict:
-        if self._cluster_map is None:
-            mapping: dict = {}
-            for index, component in enumerate(self.clusters()):
-                for name in component:
-                    mapping[name] = index
-            self._cluster_map = mapping
-        return self._cluster_map
-
-    def _compounds_by_cluster(self) -> dict:
-        """Nonempty compound classes of the expansion grouped by the cluster
-        containing them — the reuse units of incremental augmented queries.
-        Only meaningful when the enumeration was cluster-confined (strategic)."""
-        if self._cluster_compound_map is None:
-            mapping = self._cluster_of()
-            grouped: dict = {}
-            for members in self.expansion.compound_classes:
-                if not members:
-                    continue
-                grouped.setdefault(mapping[next(iter(members))],
-                                   []).append(members)
-            self._cluster_compound_map = grouped
-        return self._cluster_compound_map
+        return self._pipeline.clusters()
 
     def fresh_class_name(self, base: str = "Query") -> str:
         """A class symbol not clashing with any symbol of the schema."""
-        taken = (set(self._schema.class_symbols)
-                 | set(self._schema.attribute_symbols)
-                 | set(self._schema.relation_symbols))
+        taken = (set(self.schema.class_symbols)
+                 | set(self.schema.attribute_symbols)
+                 | set(self.schema.relation_symbols))
         candidate = f"__{base}"
         counter = 0
         while candidate in taken:
@@ -270,57 +239,18 @@ class Reasoner:
         """A reasoner over this schema plus one query class definition.
 
         When this reasoner enumerated strategically and has its pipeline
-        built, the augmented reasoner is *seeded incrementally*: preselection
-        tables are extended by one row instead of rebuilt, and compound
-        classes of every cluster the query class does not touch are reused
-        verbatim — only the merged cluster is re-enumerated.  The seeding is
-        an optimization only; verdicts are identical to a cold rebuild (the
-        equivalence suite asserts this).
+        built, the augmented reasoner's pipeline is *seeded incrementally*:
+        preselection tables are extended by one row instead of rebuilt, and
+        compound classes of every cluster the query class does not touch are
+        reused verbatim — only the merged cluster is re-enumerated.  The
+        seeding is an optimization only; verdicts are identical to a cold
+        rebuild (the equivalence suite asserts this).
         """
-        augmented = Reasoner(self._schema.with_class(cdef),
-                             strategy=self._strategy,
-                             size_limit=self._size_limit,
-                             incremental_augmented=self._incremental_augmented)
-        if self._can_seed_augmented(cdef):
-            self._seed_augmented(augmented, cdef)
+        augmented = Reasoner(self.schema.with_class(cdef),
+                             config=self._config)
+        if self._pipeline.can_seed_augmented(cdef):
+            self._pipeline.seed_augmented(augmented._pipeline, cdef)
         return augmented
-
-    def _can_seed_augmented(self, cdef) -> bool:
-        """Is the incremental path applicable?  Requires a fresh query class
-        and a cluster-confined (strategic) base enumeration that has already
-        been built — otherwise a cold build is both needed and cheapest."""
-        return (self._incremental_augmented
-                and self._expansion is not None
-                and self._strategy in ("auto", "strategic")
-                and not self._is_hierarchy()
-                and cdef.name not in self._schema.class_symbols)
-
-    def _seed_augmented(self, augmented: "Reasoner", cdef) -> None:
-        from ..expansion.enumerate import dpll_compound_classes
-        from ..expansion.graph import clusters as compute_clusters
-
-        with self._timer.stage("augmented_seed"):
-            aug_tables = self.tables.extended_with(augmented._schema, cdef.name)
-            aug_clusters = compute_clusters(augmented._schema, aug_tables)
-            base_index = {component: index
-                          for index, component in enumerate(self.clusters())}
-            grouped = self._compounds_by_cluster()
-            combined: list[frozenset] = [frozenset()]
-            for component in aug_clusters:
-                base_at = base_index.get(component)
-                if base_at is not None:
-                    # Untouched cluster: same universe, same definitions,
-                    # same table rows — the enumeration result is reusable.
-                    combined.extend(grouped.get(base_at, ()))
-                else:
-                    combined.extend(
-                        members for members in dpll_compound_classes(
-                            augmented._schema, sorted(component), aug_tables)
-                        if members)
-        augmented._tables = aug_tables
-        augmented._clusters = aug_clusters
-        augmented._hierarchy_effective = False
-        augmented._precomputed_classes = tuple(combined)
 
     def _augmented_satisfiable(self, formula: Formula) -> bool:
         from ..core.schema import ClassDef
@@ -330,20 +260,20 @@ class Reasoner:
             self._augmented_cache.move_to_end(formula)
             return cached
         name = self.fresh_class_name()
-        with self._timer.stage("augmented_query"):
+        with self._pipeline.timer.stage("augmented_query"):
             verdict = self.augmented_with(
                 ClassDef(name, isa=formula)).is_satisfiable(name)
         self._augmented_cache[formula] = verdict
-        if len(self._augmented_cache) > self.AUGMENTED_CACHE_LIMIT:
+        if len(self._augmented_cache) > self._config.augmented_cache_limit:
             self._augmented_cache.popitem(last=False)
         return verdict
 
     def satisfiable_classes(self) -> list[str]:
-        return [name for name in sorted(self._schema.class_symbols)
+        return [name for name in sorted(self.schema.class_symbols)
                 if self.is_satisfiable(name)]
 
     def unsatisfiable_classes(self) -> list[str]:
-        return [name for name in sorted(self._schema.class_symbols)
+        return [name for name in sorted(self.schema.class_symbols)
                 if not self.is_satisfiable(name)]
 
     def check_coherence(self) -> CoherenceReport:
@@ -351,7 +281,7 @@ class Reasoner:
         satisfiability."""
         satisfiable: list[str] = []
         unsatisfiable: list[str] = []
-        for cdef in self._schema.class_definitions:
+        for cdef in self.schema.class_definitions:
             target = satisfiable if self.is_satisfiable(cdef.name) else unsatisfiable
             target.append(cdef.name)
         return CoherenceReport(tuple(satisfiable), tuple(unsatisfiable))
@@ -402,16 +332,4 @@ class Reasoner:
         ``time_expansion``, ``time_system``, ``time_support``, and — once
         augmented queries ran — ``time_augmented_seed`` /
         ``time_augmented_query``)."""
-        stats = {
-            "classes": len(self._schema.class_symbols),
-            "schema_size": self._schema.syntactic_size(),
-            "compound_classes": len(self.expansion.compound_classes),
-            "expansion_size": self.expansion.size(),
-            "psi_unknowns": self.system.n_unknowns(),
-            "psi_constraints": self.system.n_constraints(),
-            "psi_size": self.system.size(),
-            "lp_rounds": self.support.rounds,
-            "supported": len(self.support.support),
-        }
-        stats.update(self._timer.as_stats())
-        return stats
+        return self._pipeline.stats()

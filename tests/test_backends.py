@@ -1,0 +1,172 @@
+"""The LP backend registry and the exact/float-fallback equivalence suite.
+
+The maximal acceptable support of ``Ψ_S`` is unique (solutions of the
+homogeneous system are closed under addition), so every sound backend must
+compute the *same* support set — backends may only differ in witness values
+and wall-clock.  The differential tests here pin ``"exact"`` and
+``"float-fallback"`` to identical verdicts on seeded random schemas and on
+hypothesis-generated rich schemas.
+"""
+
+from fractions import Fraction
+
+import pytest
+from hypothesis import HealthCheck, given, settings
+
+from repro.core.errors import LinearSystemError
+from repro.engine import EngineConfig
+from repro.expansion.expansion import build_expansion
+from repro.linear.backends import (
+    ExactBackend,
+    FloatFallbackBackend,
+    LpBackend,
+    RoundSolution,
+    available_backends,
+    get_backend,
+    register_backend,
+)
+from repro.linear.support import acceptable_support
+from repro.linear.system import build_system
+from repro.reasoner.satisfiability import Reasoner
+from repro.workloads.generators import (
+    clustered_schema,
+    hierarchy_schema,
+    random_schema,
+)
+
+from .strategies import rich_schemas
+
+
+class TestRegistry:
+    def test_builtin_backends_registered(self):
+        names = available_backends()
+        assert "exact" in names
+        assert "float-fallback" in names
+        assert "auto" in names
+
+    def test_float_alias_is_float_fallback(self):
+        assert get_backend("float") is get_backend("float-fallback")
+
+    def test_unknown_name_raises(self):
+        with pytest.raises(LinearSystemError, match="unknown LP backend"):
+            get_backend("bogus")
+
+    def test_instances_satisfy_the_protocol(self):
+        for name in ("exact", "float-fallback", "auto"):
+            assert isinstance(get_backend(name), LpBackend)
+
+    def test_backend_instance_passes_through(self):
+        backend = ExactBackend()
+        assert get_backend(backend) is backend
+
+    def test_non_backend_object_rejected(self):
+        with pytest.raises(LinearSystemError, match="LpBackend protocol"):
+            get_backend(object())
+
+    def test_custom_backend_registration(self):
+        class Tracing:
+            name = "test-tracing"
+
+            def __init__(self):
+                self.calls = 0
+                self._inner = ExactBackend()
+
+            def solve(self, system, positive_indices, *, merge_columns=True):
+                self.calls += 1
+                return self._inner.solve(system, positive_indices,
+                                         merge_columns=merge_columns)
+
+        tracing = register_backend(Tracing())
+        try:
+            schema = random_schema(5, seed=3)
+            result = acceptable_support(build_expansion(schema),
+                                        backend="test-tracing")
+            assert tracing.calls >= 1
+            reference = acceptable_support(build_expansion(schema),
+                                           backend="exact")
+            assert result.support == reference.support
+        finally:
+            from repro.linear import backends
+
+            backends._REGISTRY.pop("test-tracing", None)
+
+
+class TestRoundSolutions:
+    def test_exact_solution_is_rational_and_acceptable(self):
+        system = build_system(build_expansion(random_schema(5, seed=1)))
+        solution = ExactBackend().solve(
+            system, list(range(system.n_unknowns())))
+        assert isinstance(solution, RoundSolution)
+        assert all(isinstance(v, Fraction) for v in solution.values.values())
+        assert solution.backend_used in ("exact", "propagation")
+
+    def test_empty_candidates_need_no_lp(self):
+        system = build_system(build_expansion(random_schema(4, seed=2)))
+        for name in ("exact", "float-fallback", "auto"):
+            solution = get_backend(name).solve(system, [])
+            assert solution.supported == frozenset()
+            assert solution.backend_used == "propagation"
+
+    def test_degenerate_floats_fall_back(self):
+        backend = FloatFallbackBackend()
+        assert backend._degenerate([0.5, 5e-7])
+        assert not backend._degenerate([0.5, 0.0, 1.0])
+        assert not backend._degenerate([1e-12])  # snapped to zero, fine
+
+
+class TestBackendEquivalence:
+    """Exact and float-fallback must agree on every schema — Theorem 3.3's
+    verdicts cannot depend on the arithmetic core."""
+
+    SEEDS = range(8)
+
+    def support_sets(self, schema):
+        expansion = build_expansion(schema)
+        exact = acceptable_support(expansion, backend="exact")
+        fallback = acceptable_support(expansion, backend="float-fallback")
+        return exact, fallback
+
+    @pytest.mark.parametrize("seed", SEEDS)
+    def test_random_schemas(self, seed):
+        exact, fallback = self.support_sets(random_schema(6, seed=seed))
+        assert exact.support == fallback.support
+
+    @pytest.mark.parametrize("seed", range(4))
+    def test_clustered_schemas(self, seed):
+        exact, fallback = self.support_sets(
+            clustered_schema(3, 3, seed=seed))
+        assert exact.support == fallback.support
+
+    def test_hierarchy_schema(self):
+        exact, fallback = self.support_sets(hierarchy_schema(3, 2))
+        assert exact.support == fallback.support
+
+    @pytest.mark.parametrize("seed", SEEDS)
+    def test_reasoner_verdicts_per_backend(self, seed):
+        schema = random_schema(6, seed=seed)
+        verdicts = {}
+        for backend in ("exact", "float-fallback", "auto"):
+            reasoner = Reasoner(
+                schema, config=EngineConfig(lp_backend=backend))
+            verdicts[backend] = tuple(reasoner.satisfiable_classes())
+        assert len(set(verdicts.values())) == 1, verdicts
+
+    @settings(max_examples=25, deadline=None,
+              suppress_health_check=[HealthCheck.too_slow])
+    @given(schema=rich_schemas())
+    def test_rich_schemas_property(self, schema):
+        exact, fallback = self.support_sets(schema)
+        assert exact.support == fallback.support
+
+    @pytest.mark.parametrize("seed", range(4))
+    def test_witnesses_verify_exactly(self, seed):
+        """Both backends' witnesses must satisfy every disequation."""
+        system = build_system(build_expansion(random_schema(6, seed=seed)))
+        for backend in ("exact", "float-fallback"):
+            result = acceptable_support(system, backend=backend)
+            for constraint in system.constraints:
+                total = sum(
+                    (coeff * result.solution[var]
+                     for var, coeff in constraint.coefficients),
+                    Fraction(0))
+                assert total <= 0

@@ -88,7 +88,7 @@ class TestPipelines:
     def test_reification_of_simplified_catalog(self, reasoner):
         # Dropping the conditional-typing clause makes Order_Line reifiable;
         # verdicts on all classes must be preserved.
-        from repro.core.schema import RelationDef, RoleClause, RoleLiteral
+        from repro.core.schema import RelationDef
 
         schema = catalog_schema()
         rdef = schema.relation("Order_Line")

@@ -115,3 +115,78 @@ class TestRenderAndStats:
 
     def test_strategy_flag(self, good_file):
         assert main(["validate", good_file, "--strategy", "naive"]) == 0
+
+
+class TestJsonOutput:
+    def parse(self, capsys):
+        import json
+
+        return json.loads(capsys.readouterr().out)
+
+    def test_validate_json_coherent(self, good_file, capsys):
+        assert main(["validate", good_file, "--json"]) == 0
+        document = self.parse(capsys)
+        assert document["command"] == "validate"
+        assert document["coherent"] is True
+        assert sorted(document["satisfiable"]) == ["Person", "Professor",
+                                                   "Student"]
+        assert document["unsatisfiable"] == []
+
+    def test_validate_json_incoherent(self, bad_file, capsys):
+        assert main(["validate", bad_file, "--json"]) == 1
+        document = self.parse(capsys)
+        assert document["coherent"] is False
+        assert document["unsatisfiable"] == ["TA"]
+
+    def test_satisfiable_json(self, good_file, capsys):
+        assert main(["satisfiable", good_file, "Student", "--json"]) == 0
+        document = self.parse(capsys)
+        assert document == {"command": "satisfiable", "class": "Student",
+                            "satisfiable": True, "explanation": None}
+
+    def test_satisfiable_json_explains_failure(self, bad_file, capsys):
+        assert main(["satisfiable", bad_file, "TA", "--json"]) == 1
+        document = self.parse(capsys)
+        assert document["satisfiable"] is False
+        assert "phase 1" in document["explanation"]
+
+    def test_stats_json(self, good_file, capsys):
+        assert main(["stats", good_file, "--json"]) == 0
+        document = self.parse(capsys)
+        assert document["command"] == "stats"
+        assert document["classes"] == 3
+        assert document["lp_backend"] in ("exact", "float", "propagation")
+        assert "psi_unknowns" in document
+
+    def test_validate_text_matches_report_str(self, good_file, capsys):
+        from repro.parser.parser import parse_schema
+        from repro.reasoner.satisfiability import Reasoner
+
+        assert main(["validate", good_file]) == 0
+        out = capsys.readouterr().out.strip()
+        report = Reasoner(parse_schema(GOOD_SCHEMA)).check_coherence()
+        assert out == str(report)
+
+
+class TestBackendFlag:
+    @pytest.mark.parametrize("backend", ["auto", "exact", "float-fallback"])
+    def test_backend_accepted_everywhere(self, good_file, backend, capsys):
+        assert main(["validate", good_file, "--backend", backend]) == 0
+        assert main(["satisfiable", good_file, "Student",
+                     "--backend", backend]) == 0
+        capsys.readouterr()
+
+    def test_backends_agree_on_verdicts(self, bad_file, capsys):
+        import json
+
+        verdicts = []
+        for backend in ("exact", "float-fallback"):
+            main(["validate", bad_file, "--json", "--backend", backend])
+            document = json.loads(capsys.readouterr().out)
+            verdicts.append((document["coherent"],
+                             tuple(document["unsatisfiable"])))
+        assert verdicts[0] == verdicts[1] == (False, ("TA",))
+
+    def test_unknown_backend_rejected(self, good_file, capsys):
+        with pytest.raises(SystemExit):
+            main(["validate", good_file, "--backend", "bogus"])

@@ -1,6 +1,5 @@
 """Unit tests for the Description Logic TBox export."""
 
-import pytest
 
 from repro.interop.dl_export import export_tbox
 from repro.parser.parser import parse_schema

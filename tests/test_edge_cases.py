@@ -3,7 +3,7 @@
 import pytest
 
 from repro.core.cardinality import Card
-from repro.core.errors import ParseError, ReasoningError
+from repro.core.errors import ParseError
 from repro.core.formulas import Formula, Lit, TOP
 from repro.core.schema import Attr, ClassDef, Schema
 from repro.parser.parser import parse_schema

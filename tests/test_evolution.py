@@ -1,6 +1,5 @@
 """Unit tests for schema-evolution analysis."""
 
-import pytest
 
 from repro.parser.parser import parse_schema
 from repro.reasoner.evolution import compare_schemas

@@ -17,7 +17,6 @@ refutes models up to its size bound — so we check:
 * Theorem 4.6: imposing cross-cluster disjointness preserves every verdict.
 """
 
-import pytest
 from hypothesis import HealthCheck, given, settings, strategies as st
 
 from repro.core.cardinality import Card

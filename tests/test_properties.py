@@ -8,22 +8,8 @@ rational witnesses — on hypothesis-generated inputs.
 
 from fractions import Fraction
 
-import pytest
 from hypothesis import HealthCheck, given, settings, strategies as st
 
-from repro.core.cardinality import Card
-from repro.core.formulas import Clause, Formula, Lit
-from repro.core.schema import (
-    Attr,
-    AttrRef,
-    ClassDef,
-    Part,
-    RelationDef,
-    RoleClause,
-    RoleLiteral,
-    Schema,
-    inv,
-)
 from repro.parser.parser import parse_schema
 from repro.parser.printer import render_schema
 from repro.reasoner.implication import implied_disjoint, implied_subsumption
