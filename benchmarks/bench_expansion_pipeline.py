@@ -15,6 +15,7 @@ from dataclasses import replace
 import pytest
 
 from benchlib import best_of, render_table
+from repro.engine.config import EngineConfig
 from repro.expansion.expansion import build_expansion
 from repro.linear.support import acceptable_support
 from repro.linear.system import build_system
@@ -57,9 +58,9 @@ def test_verdicts_identical_across_pipelines(benchmark):
         for seed in range(6):
             schema = random_schema(6, seed=seed)
             per_pipeline = [
-                frozenset(Reasoner(schema, strategy="naive")
+                frozenset(Reasoner(schema, config=EngineConfig(strategy="naive"))
                           .satisfiable_classes()),
-                frozenset(Reasoner(schema, strategy="strategic")
+                frozenset(Reasoner(schema, config=EngineConfig(strategy="strategic"))
                           .satisfiable_classes()),
             ]
             scanning = replace(build_expansion(schema), indexed=False)

@@ -31,7 +31,7 @@ def test_figure1_pipeline(benchmark):
     reasoner, report = benchmark(reason_over, FIGURE_1_SOURCE)
     assert report.is_coherent
     # Figure 1 has no cardinality constraints: the linear system is empty.
-    assert reasoner.stats()["psi_constraints"] == 0
+    assert reasoner.stats().psi_constraints == 0
 
 
 @pytest.mark.experiment("figure2")
@@ -39,8 +39,8 @@ def test_figure2_pipeline(benchmark):
     reasoner, report = benchmark(reason_over, FIGURE_2_SOURCE)
     assert report.is_coherent
     stats = reasoner.stats()
-    assert stats["compound_classes"] == 30
-    assert stats["psi_constraints"] > 0
+    assert stats.compound_classes == 30
+    assert stats.psi_constraints > 0
 
 
 @pytest.mark.experiment("figure2")

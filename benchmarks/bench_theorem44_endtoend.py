@@ -23,8 +23,8 @@ def test_exponential_growth_on_adversarial_schemas(benchmark):
             reasoner = Reasoner(schema)
             seconds, _ = timed(lambda r=reasoner: r.satisfiable_classes())
             stats = reasoner.stats()
-            rows.append((n_classes, stats["compound_classes"],
-                         stats["expansion_size"], seconds))
+            rows.append((n_classes, stats.compound_classes,
+                         stats.expansion_size, seconds))
         return rows
 
     rows = benchmark.pedantic(measure, rounds=1, iterations=1)

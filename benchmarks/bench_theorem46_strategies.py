@@ -11,6 +11,7 @@ linearly in the number of clusters — the speedup the section promises.
 import pytest
 
 from benchlib import is_superlinear, render_table, timed
+from repro.engine.config import EngineConfig
 from repro.expansion.enumerate import naive_compound_classes, strategic_compound_classes
 from repro.reasoner.satisfiability import Reasoner
 from repro.workloads.generators import clustered_schema
@@ -55,8 +56,8 @@ def test_verdicts_agree_between_strategies(benchmark):
     schema = clustered_schema(3, CLUSTER_SIZE, seed=11)
 
     def verdicts():
-        naive = Reasoner(schema, strategy="naive")
-        strategic = Reasoner(schema, strategy="strategic")
+        naive = Reasoner(schema, config=EngineConfig(strategy="naive"))
+        strategic = Reasoner(schema, config=EngineConfig(strategy="strategic"))
         return [(name, naive.is_satisfiable(name),
                  strategic.is_satisfiable(name))
                 for name in sorted(schema.class_symbols)]

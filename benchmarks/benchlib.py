@@ -116,6 +116,26 @@ class Recorder:
             "rows": [[_jsonable(v) for v in row] for row in rows],
         })
 
+    def record_trace(self, snapshot: dict) -> None:
+        """Attach an observability snapshot (``Tracer.snapshot()``) to the
+        current section as a per-stage breakdown: total seconds and span
+        counts per span name, plus the counters and gauges verbatim."""
+        if self._current is None:
+            self.start_section("(untitled)")
+        seconds: dict[str, float] = {}
+        counts: dict[str, int] = {}
+        for span in snapshot.get("spans", ()):
+            name = span["name"]
+            seconds[name] = seconds.get(name, 0.0) + span["duration_s"]
+            counts[name] = counts.get(name, 0) + 1
+        self._current["trace"] = {
+            "trace_schema": snapshot.get("trace_schema"),
+            "span_seconds": {k: seconds[k] for k in sorted(seconds)},
+            "span_counts": {k: counts[k] for k in sorted(counts)},
+            "counters": dict(snapshot.get("counters", {})),
+            "gauges": dict(snapshot.get("gauges", {})),
+        }
+
     def document(self) -> dict:
         return {
             "command": self.command,

@@ -69,8 +69,8 @@ def figures() -> None:
         reasoner = session.reasoner(schema)
         seconds, report = timed(reasoner.check_coherence)
         stats = reasoner.stats()
-        rows.append((label, stats["classes"], stats["compound_classes"],
-                     stats["psi_unknowns"], stats["psi_constraints"],
+        rows.append((label, stats.classes, stats.compound_classes,
+                     stats.psi_unknowns, stats.psi_constraints,
                      report.is_coherent, seconds))
     emit(
         "Figures 1 & 2 — end-to-end reasoning over the paper's schemas",
@@ -182,8 +182,8 @@ def theorem44() -> None:
         reasoner = Reasoner(schema)
         seconds, _ = timed(lambda r=reasoner: r.satisfiable_classes())
         stats = reasoner.stats()
-        rows.append((n_classes, stats["compound_classes"],
-                     stats["expansion_size"], seconds))
+        rows.append((n_classes, stats.compound_classes,
+                     stats.expansion_size, seconds))
     emit(
         "Theorem 4.4 — adversarial single-cluster schemas",
         ["classes", "compounds", "expansion", "seconds"], rows)
@@ -345,7 +345,7 @@ def expansion_pipeline() -> None:
     for n_clusters, cluster_size in ((6, 4), (10, 4), (8, 5)):
         schema = clustered_schema(n_clusters, cluster_size, seed=5)
         names = sorted(schema.class_symbols)
-        base = Reasoner(schema, strategy="strategic")
+        base = Reasoner(schema, config=EngineConfig(strategy="strategic"))
         base.support  # warm the base pipeline outside the timing
         cdefs = [
             ClassDef(base.fresh_class_name(f"Q{i}"),
@@ -356,7 +356,7 @@ def expansion_pipeline() -> None:
         seeded_s, _ = timed(lambda: [
             base.augmented_with(cdef).expansion for cdef in cdefs])
         cold_s, _ = timed(lambda: [
-            Reasoner(schema.with_class(cdef), strategy="strategic").expansion
+            Reasoner(schema.with_class(cdef), config=EngineConfig(strategy="strategic")).expansion
             for cdef in cdefs])
         identical = all(
             base.augmented_with(cdef).is_satisfiable(cdef.name)
@@ -377,7 +377,7 @@ def expansion_pipeline() -> None:
         schema = random_schema(6, seed=seed)
         verdict_sets = []
         for strategy in ("naive", "strategic"):
-            reasoner = Reasoner(schema, strategy=strategy)
+            reasoner = Reasoner(schema, config=EngineConfig(strategy=strategy))
             verdict_sets.append(frozenset(reasoner.satisfiable_classes()))
         scanning = replace(build_expansion(schema), indexed=False)
         populated = set(
@@ -432,7 +432,7 @@ def session_reuse() -> None:
         session.reasoner(schema).support  # warm the pipeline
         warm_s, warm = timed(lambda: session.check_many(schema, formulas))
         cold_s, cold = timed(lambda: [
-            Reasoner(schema, strategy="strategic").is_formula_satisfiable(f)
+            Reasoner(schema, config=EngineConfig(strategy="strategic")).is_formula_satisfiable(f)
             for f in formulas])
         rows.append((n_clusters * cluster_size, len(formulas), cold_s,
                      warm_s, cold_s / warm_s if warm_s else 0.0,
@@ -485,6 +485,14 @@ def main(argv: Optional[list] = None) -> None:
         "--json", metavar="PATH",
         help="additionally write every table to PATH as JSON "
              "(e.g. BENCH_expansion.json)")
+    parser.add_argument(
+        "--profile", action="store_true",
+        help="trace every section through the observability bus and print "
+             "a per-stage breakdown after each one")
+    parser.add_argument(
+        "--trace-out", metavar="PATH",
+        help="write the sections' versioned JSON-lines traces to PATH "
+             "(one header per section)")
     args = parser.parse_args(argv)
 
     sections = SECTIONS
@@ -504,14 +512,44 @@ def main(argv: Optional[list] = None) -> None:
         RECORDER = Recorder(command="run_experiments.py "
                             + " ".join(argv if argv is not None
                                        else sys.argv[1:]))
+
+    tracing = args.profile or args.trace_out
+    trace_lines: list = []
     for title, runner in sections:
         if RECORDER is not None:
             RECORDER.start_section(title)
         print("=" * 72)
         print(title)
         print("=" * 72)
-        runner()
+        if tracing:
+            from repro.obs.tracer import Tracer, use_tracer
+
+            # One fresh tracer per section, installed as the ambient tracer:
+            # every Pipeline/SchemaSession the section constructs picks it up
+            # without the section code knowing about tracing at all.
+            tracer = Tracer()
+            with use_tracer(tracer):
+                runner()
+            if RECORDER is not None:
+                RECORDER.record_trace(tracer.snapshot())
+            if args.trace_out:
+                trace_lines.extend(tracer.jsonl_lines())
+            if args.profile:
+                totals: dict = {}
+                for record in tracer.spans:
+                    totals[record.name] = (totals.get(record.name, 0.0)
+                                           + record.duration)
+                for name in sorted(totals):
+                    print(f"  [trace] {name}: {totals[name] * 1000:.3f} ms")
+                for name, value in sorted(tracer.counters.items()):
+                    print(f"  [trace] {name} = {value}")
+        else:
+            runner()
         print()
+    if args.trace_out:
+        Path(args.trace_out).write_text(
+            "".join(f"{line}\n" for line in trace_lines), encoding="utf-8")
+        print(f"wrote {args.trace_out}")
     if RECORDER is not None:
         RECORDER.dump(args.json)
         print(f"wrote {args.json}")

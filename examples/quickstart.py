@@ -30,9 +30,9 @@ def main() -> None:
     report = reasoner.check_coherence()
     print(report)
     stats = reasoner.stats()
-    print(f"expansion: {stats['compound_classes']} compound classes, "
-          f"Psi_S with {stats['psi_unknowns']} unknowns "
-          f"and {stats['psi_constraints']} disequations")
+    print(f"expansion: {stats.compound_classes} compound classes, "
+          f"Psi_S with {stats.psi_unknowns} unknowns "
+          f"and {stats.psi_constraints} disequations")
 
     print("\n=== Implied subsumptions (inheritance computation) ===")
     classification = classify(reasoner)

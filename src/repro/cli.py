@@ -16,9 +16,25 @@ Every command reads the schema from a file (or ``-`` for stdin) and returns
 a nonzero exit status on validation failures, so the tool slots into CI.
 All reasoning commands go through the engine layer's
 :class:`~repro.engine.session.SchemaSession`; ``--strategy`` and
-``--backend`` configure its :class:`~repro.engine.config.EngineConfig`, and
-``validate``/``satisfiable``/``stats`` accept ``--json`` for
-machine-readable output in CI pipelines.
+``--backend`` configure its :class:`~repro.engine.config.EngineConfig`.
+
+Uniform flags on **every** subcommand:
+
+* ``--json`` — a machine-readable JSON document on stdout instead of text;
+* ``--profile`` — enable the observability bus and print a per-stage
+  timing/counter summary to stderr after the command;
+* ``--trace-out FILE`` — enable the bus and write the versioned JSON-lines
+  trace (see :mod:`repro.obs.tracer`) to ``FILE``.
+
+Exit codes are stable: 0 success, 1 negative verdict (unsatisfiable /
+incoherent), 2 usage errors, and the ``sysexits``-inspired codes of the
+:mod:`repro.core.errors` hierarchy on failures (65 malformed input, 66
+unreadable file, 64 unanswerable question, 73 synthesis failure, 70
+internal errors).
+
+All human-readable output flows through one writer (:func:`_write`); a
+lint rule bans stray ``print`` calls in the library so nothing else can
+write to stdout behind the CLI's back.
 """
 
 from __future__ import annotations
@@ -41,6 +57,24 @@ from .reasoner.satisfiability import Reasoner
 
 __all__ = ["main", "build_parser"]
 
+#: Exit code for files the CLI cannot read (sysexits ``EX_NOINPUT``).
+EXIT_NOINPUT = 66
+
+
+def _write(text: str = "", *, end: str = "\n") -> None:
+    """The CLI's one stdout writer — all command output flows through here
+    (the lint configuration bans ``print`` elsewhere in the library)."""
+    sys.stdout.write(f"{text}{end}")
+
+
+def _write_err(text: str = "") -> None:
+    """The CLI's one stderr writer (diagnostics, profile summaries)."""
+    sys.stderr.write(f"{text}\n")
+
+
+def _emit_json(payload: dict) -> None:
+    _write(json.dumps(payload, indent=2, sort_keys=True))
+
 
 def _read_schema(path: str) -> Schema:
     if path == "-":
@@ -51,19 +85,23 @@ def _read_schema(path: str) -> Schema:
 
 
 def _make_session(args: argparse.Namespace) -> SchemaSession:
-    """One engine session configured from the shared CLI flags."""
+    """One engine session configured from the shared CLI flags.
+
+    ``--profile`` / ``--trace-out`` switch the observability bus on; the
+    session owns the tracer, and :func:`main` exports/summarizes it after
+    the handler returns.
+    """
+    trace = bool(getattr(args, "profile", False)
+                 or getattr(args, "trace_out", None))
     return SchemaSession(EngineConfig(
         strategy=args.strategy,
-        lp_backend=getattr(args, "backend", "auto")))
+        lp_backend=getattr(args, "backend", "auto"),
+        trace=trace))
 
 
 def _session_reasoner(args: argparse.Namespace) -> Reasoner:
     """The shared handler prologue: read the schema, enter the session."""
-    return _make_session(args).reasoner(_read_schema(args.schema))
-
-
-def _emit_json(payload: dict) -> None:
-    print(json.dumps(payload, indent=2, sort_keys=True))
+    return args.session.reasoner(_read_schema(args.schema))
 
 
 def _cmd_validate(args: argparse.Namespace) -> int:
@@ -79,17 +117,27 @@ def _cmd_validate(args: argparse.Namespace) -> int:
         })
         return status
     if report.is_coherent:
-        print(report)
+        _write(str(report))
         return 0
-    print("INCOHERENT")
+    _write("INCOHERENT")
     for name in report.unsatisfiable:
-        print()
-        print(explain_unsatisfiability(reasoner, name))
+        _write()
+        _write(str(explain_unsatisfiability(reasoner, name)))
     return 1
 
 
 def _cmd_classify(args: argparse.Namespace) -> int:
-    print(classify(_session_reasoner(args)))
+    classification = classify(_session_reasoner(args))
+    if args.json:
+        _emit_json({
+            "command": "classify",
+            "subsumptions": sorted(map(list, classification.subsumptions)),
+            "equivalence_groups": [sorted(group) for group
+                                   in classification.equivalence_groups],
+            "unsatisfiable": list(classification.unsatisfiable),
+        })
+        return 0
+    _write(str(classification))
     return 0
 
 
@@ -106,9 +154,9 @@ def _cmd_satisfiable(args: argparse.Namespace) -> int:
         })
         return 0 if verdict else 1
     if verdict:
-        print(f"{args.class_name}: satisfiable")
+        _write(f"{args.class_name}: satisfiable")
         return 0
-    print(explain_unsatisfiability(reasoner, args.class_name))
+    _write(str(explain_unsatisfiability(reasoner, args.class_name)))
     return 1
 
 
@@ -117,40 +165,61 @@ def _cmd_synthesize(args: argparse.Namespace) -> int:
 
     reasoner = _session_reasoner(args)
     report = synthesize_model(reasoner, target=args.target, scale=args.scale)
-    print(f"verified model (scale {report.scale}, "
-          f"{report.n_objects} objects):")
-    print(report.interpretation.summary())
+    interp = report.interpretation
+    if args.json:
+        payload: dict = {
+            "command": "synthesize",
+            "scale": report.scale,
+            "n_objects": report.n_objects,
+            "target": args.target,
+        }
+        if args.full:
+            payload["classes"] = {
+                name: sorted(map(str, interp.class_ext(name)))
+                for name in sorted(interp.mentioned_classes())}
+            payload["attributes"] = {
+                name: sorted([str(a), str(b)]
+                             for a, b in interp.attribute_ext(name))
+                for name in sorted(interp.mentioned_attributes())}
+            payload["relations"] = {
+                name: sorted(map(str, interp.relation_ext(name)))
+                for name in sorted(interp.mentioned_relations())}
+        _emit_json(payload)
+        return 0
+    _write(f"verified model (scale {report.scale}, "
+           f"{report.n_objects} objects):")
+    _write(interp.summary())
     if args.full:
-        interp = report.interpretation
         for name in sorted(interp.mentioned_classes()):
             ext = sorted(map(str, interp.class_ext(name)))
             if ext:
-                print(f"{name} = {{{', '.join(ext)}}}")
+                _write(f"{name} = {{{', '.join(ext)}}}")
         for name in sorted(interp.mentioned_attributes()):
             for a, b in sorted(map(lambda p: (str(p[0]), str(p[1])),
                                    interp.attribute_ext(name))):
-                print(f"{name}({a}, {b})")
+                _write(f"{name}({a}, {b})")
         for name in sorted(interp.mentioned_relations()):
             for tup in sorted(interp.relation_ext(name), key=str):
-                print(f"{name}{tup}")
+                _write(f"{name}{tup}")
     return 0
 
 
 def _cmd_render(args: argparse.Namespace) -> int:
-    print(render_schema(_read_schema(args.schema)), end="")
+    rendered = render_schema(_read_schema(args.schema))
+    if args.json:
+        _emit_json({"command": "render", "schema": rendered})
+        return 0
+    _write(rendered, end="")
     return 0
 
 
 def _cmd_stats(args: argparse.Namespace) -> int:
-    reasoner = _session_reasoner(args)
-    stats = reasoner.stats()
-    backend = reasoner.support.backend_used
+    stats = _session_reasoner(args).stats()
     if args.json:
-        _emit_json({"command": "stats", "lp_backend": backend, **stats})
+        _emit_json({"command": "stats", **stats.to_json()})
         return 0
-    for key, value in stats.items():
-        print(f"{key}: {value}")
-    print(f"lp_backend: {backend}")
+    for key, value in stats.to_json().items():
+        _write(f"{key}: {value}")
     return 0
 
 
@@ -161,8 +230,7 @@ def build_parser() -> argparse.ArgumentParser:
                     "PODS 1994)")
     subparsers = parser.add_subparsers(dest="command", required=True)
 
-    def add(name: str, handler, help_text: str, *,
-            json_output: bool = False) -> argparse.ArgumentParser:
+    def add(name: str, handler, help_text: str) -> argparse.ArgumentParser:
         sub = subparsers.add_parser(name, help=help_text)
         sub.add_argument("schema", help="schema file in CAR concrete syntax "
                                         "('-' for stdin)")
@@ -172,17 +240,21 @@ def build_parser() -> argparse.ArgumentParser:
         sub.add_argument("--backend", default="auto",
                          choices=("auto", "exact", "float-fallback"),
                          help="LP backend for the support computation")
-        if json_output:
-            sub.add_argument("--json", action="store_true",
-                             help="print a machine-readable JSON document")
+        sub.add_argument("--json", action="store_true",
+                         help="print a machine-readable JSON document")
+        sub.add_argument("--profile", action="store_true",
+                         help="record pipeline spans/counters and print a "
+                              "summary to stderr")
+        sub.add_argument("--trace-out", metavar="FILE", default=None,
+                         help="write the versioned JSON-lines trace to FILE")
         sub.set_defaults(handler=handler)
         return sub
 
     add("validate", _cmd_validate,
-        "check that every defined class is satisfiable", json_output=True)
+        "check that every defined class is satisfiable")
     add("classify", _cmd_classify, "compute the implied subsumptions")
     sat = add("satisfiable", _cmd_satisfiable,
-              "decide satisfiability of one class", json_output=True)
+              "decide satisfiability of one class")
     sat.add_argument("class_name", help="the class symbol to test")
     synth = add("synthesize", _cmd_synthesize,
                 "generate a verified sample database state")
@@ -193,22 +265,65 @@ def build_parser() -> argparse.ArgumentParser:
     synth.add_argument("--full", action="store_true",
                        help="print the entire database state")
     add("render", _cmd_render, "parse and pretty-print the schema")
-    add("stats", _cmd_stats, "print pipeline size measurements",
-        json_output=True)
+    add("stats", _cmd_stats, "print pipeline size measurements")
     return parser
+
+
+def _profile_summary(tracer) -> list[str]:
+    """Human-readable per-stage breakdown of a trace (for ``--profile``)."""
+    lines = ["-- profile --"]
+    by_name: dict[str, tuple[int, float]] = {}
+    for record in tracer.spans:
+        count, total = by_name.get(record.name, (0, 0.0))
+        by_name[record.name] = (count + 1, total + record.duration)
+    for name in sorted(by_name):
+        count, total = by_name[name]
+        times = f" x{count}" if count > 1 else ""
+        lines.append(f"  {name}: {total * 1000:.3f} ms{times}")
+    for name, value in sorted(tracer.counters.items()):
+        lines.append(f"  {name} = {value}")
+    for name, value in sorted(tracer.gauges.items()):
+        lines.append(f"  {name} = {value}")
+    return lines
+
+
+def _finish_trace(args: argparse.Namespace) -> None:
+    session: Optional[SchemaSession] = getattr(args, "session", None)
+    if session is None:
+        return
+    tracer = session.last_trace()
+    if tracer is None:
+        return
+    trace_out = getattr(args, "trace_out", None)
+    if trace_out:
+        tracer.write_jsonl(trace_out)
+    if getattr(args, "profile", False):
+        for line in _profile_summary(tracer):
+            _write_err(line)
+
+
+def _fail(args: argparse.Namespace, message: str, code: int) -> int:
+    if getattr(args, "json", False):
+        _emit_json({"command": getattr(args, "command", None),
+                    "error": message, "exit_code": code})
+    _write_err(f"error: {message}")
+    return code
 
 
 def main(argv: Optional[Sequence[str]] = None) -> int:
     parser = build_parser()
     args = parser.parse_args(argv)
+    args.session = _make_session(args)
     try:
         return args.handler(args)
     except CarError as error:
-        print(f"error: {error}", file=sys.stderr)
-        return 2
+        return _fail(args, str(error), error.exit_code)
     except FileNotFoundError as error:
-        print(f"error: {error}", file=sys.stderr)
-        return 2
+        return _fail(args, str(error), EXIT_NOINPUT)
+    finally:
+        # The trace is exported even on failure: a trace of the stages that
+        # did run is exactly what debugging a failed run needs.
+        _finish_trace(args)
 
 
 if __name__ == "__main__":

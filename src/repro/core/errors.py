@@ -4,6 +4,24 @@ Every error raised by the library derives from :class:`CarError`, so callers
 can catch a single exception type at API boundaries.  The subclasses mirror
 the pipeline stages: schema construction, parsing, semantics (model
 checking), reasoning, and model synthesis.
+
+Each class carries a stable, ``sysexits``-inspired :attr:`CarError.exit_code`
+that the CLI maps process exits onto (and scripts may rely on):
+
+=====================  ====  ==========================================
+error                  code  meaning
+=====================  ====  ==========================================
+``ParseError``           65  malformed input (``EX_DATAERR``)
+``SchemaError``          65  malformed input (``EX_DATAERR``)
+``SemanticsError``       65  malformed input (``EX_DATAERR``)
+``ReasoningError``       64  unanswerable question (``EX_USAGE``-like)
+``SynthesisError``       73  could not produce the output (``EX_CANTCREAT``)
+``LinearSystemError``    70  internal inconsistency (``EX_SOFTWARE``)
+``CarError`` (other)     70  internal inconsistency (``EX_SOFTWARE``)
+=====================  ====  ==========================================
+
+(The CLI additionally uses 0 for success, 1 for a negative verdict, 2 for
+argparse usage errors, and 66 — ``EX_NOINPUT`` — for unreadable files.)
 """
 
 from __future__ import annotations
@@ -22,10 +40,15 @@ __all__ = [
 class CarError(Exception):
     """Base class for every error raised by the ``repro`` library."""
 
+    #: Stable process exit code for CLI error mapping (``EX_SOFTWARE``).
+    exit_code = 70
+
 
 class SchemaError(CarError):
     """An ill-formed schema component (duplicate symbols, bad cardinality,
     references to undeclared classes/relations/roles, ...)."""
+
+    exit_code = 65
 
 
 class ParseError(CarError):
@@ -33,6 +56,8 @@ class ParseError(CarError):
 
     Carries the 1-based ``line`` and ``column`` of the offending token.
     """
+
+    exit_code = 65
 
     def __init__(self, message: str, line: int = 0, column: int = 0):
         location = f" at line {line}, column {column}" if line else ""
@@ -45,17 +70,25 @@ class SemanticsError(CarError):
     """An ill-formed interpretation (objects outside the universe, labeled
     tuples with wrong roles, ...)."""
 
+    exit_code = 65
+
 
 class ReasoningError(CarError):
     """The reasoner was asked something it cannot answer (e.g. satisfiability
     of a class symbol that does not occur in the schema)."""
+
+    exit_code = 64
 
 
 class LinearSystemError(CarError):
     """An internal inconsistency while building or solving the system of
     linear disequations ``Psi_S``."""
 
+    exit_code = 70
+
 
 class SynthesisError(CarError):
     """Model synthesis failed (e.g. asked to build a model of an
     unsatisfiable class)."""
+
+    exit_code = 73

@@ -16,10 +16,11 @@ without defensive copying; :meth:`EngineConfig.replace` derives variants.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, fields, replace
-from typing import ClassVar, Optional
+from dataclasses import dataclass, field, fields, replace
+from typing import ClassVar, Optional, Union
 
 from ..core.errors import ReasoningError
+from ..obs.tracer import NullTracer, Tracer
 
 __all__ = ["EngineConfig"]
 
@@ -51,6 +52,13 @@ class EngineConfig:
         Bound on the per-reasoner memoized formula-verdict cache.
     session_cache_limit:
         Bound on the per-session LRU of warm reasoner pipelines.
+    trace:
+        Observability switch — ``False`` (default, near-zero cost),
+        ``True`` (each session/pipeline records into a fresh
+        :class:`~repro.obs.tracer.Tracer`), or a ``Tracer`` instance (one
+        shared bus across sessions and pipelines).  Excluded from
+        equality/hashing: tracing never changes results, so a traced and
+        an untraced config are the same cache key.
     """
 
     strategy: str = "auto"
@@ -61,6 +69,8 @@ class EngineConfig:
     merge_columns: bool = True
     augmented_cache_limit: int = 256
     session_cache_limit: int = 32
+    trace: Union[bool, Tracer, NullTracer] = field(
+        default=False, compare=False)
 
     #: The recognized enumeration strategies (see ``repro.expansion``).
     STRATEGIES: ClassVar[tuple[str, ...]] = (
@@ -88,12 +98,30 @@ class EngineConfig:
         from ..linear.backends import get_backend
 
         get_backend(self.lp_backend)
+        if not isinstance(self.trace, (bool, Tracer, NullTracer)):
+            raise ReasoningError(
+                f"trace must be a bool or a Tracer, got {self.trace!r}")
+
+    def tracer(self) -> Union[Tracer, NullTracer]:
+        """Resolve :attr:`trace` to a tracer instance (``True`` yields a
+        fresh :class:`~repro.obs.tracer.Tracer` per call)."""
+        from ..obs.tracer import as_tracer
+
+        return as_tracer(self.trace)
 
     def replace(self, **overrides) -> "EngineConfig":
         """A copy with the given fields replaced (validation re-runs)."""
         return replace(self, **overrides)
 
     def as_dict(self) -> dict:
-        """A plain-dict rendering (stable key order) for logs and JSON."""
-        return {field.name: getattr(self, field.name)
-                for field in fields(self)}
+        """A plain-dict rendering (stable key order) for logs and JSON.
+
+        ``trace`` is rendered as a plain bool (a tracer instance is not a
+        serializable configuration value)."""
+        payload = {spec.name: getattr(self, spec.name)
+                   for spec in fields(self)}
+        payload["trace"] = bool(payload["trace"]
+                                if isinstance(payload["trace"], bool)
+                                else getattr(payload["trace"], "enabled",
+                                             False))
+        return payload

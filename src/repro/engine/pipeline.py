@@ -38,7 +38,9 @@ from ..expansion.expansion import Expansion, build_expansion
 from ..expansion.tables import SchemaTables, build_tables
 from ..linear.support import SupportResult, acceptable_support
 from ..linear.system import PsiSystem, build_system
+from ..obs.tracer import NullTracer, Tracer, as_tracer
 from .config import EngineConfig
+from .stats import PipelineStats
 
 __all__ = ["Pipeline", "PipelineStage"]
 
@@ -77,8 +79,9 @@ class PipelineStage:
                     requirement = requirement(pipeline)
                 if requirement is not None:
                     getattr(pipeline, requirement)
-            with pipeline.timer.stage(self._name):
-                artifacts[self._name] = self._build(pipeline)
+            with pipeline.tracer.span(f"pipeline.{self._name}"):
+                with pipeline.timer.stage(self._name):
+                    artifacts[self._name] = self._build(pipeline)
         return artifacts[self._name]
 
 
@@ -101,10 +104,14 @@ class Pipeline:
     STAGES = ("tables", "expansion", "system", "support")
 
     def __init__(self, schema: Schema, config: Optional[EngineConfig] = None,
-                 *, timer: Optional[StageTimer] = None):
+                 *, timer: Optional[StageTimer] = None,
+                 tracer: Optional[Union[Tracer, NullTracer]] = None):
         self.schema = schema
         self.config = config if config is not None else EngineConfig()
         self.timer = timer if timer is not None else StageTimer()
+        # Explicit tracer > config.trace > ambient tracer (NULL by default).
+        self.tracer = (tracer if tracer is not None
+                       else as_tracer(self.config.trace))
         self._artifacts: dict[str, object] = {}
         # Seeds of the incremental augmented-query path (see seed_augmented).
         self._precomputed_classes: Optional[tuple] = None
@@ -137,7 +144,8 @@ class Pipeline:
         return build_expansion(
             self.schema, self.config.strategy,
             size_limit=self.config.size_limit, tables=tables,
-            precomputed_classes=self._precomputed_classes)
+            precomputed_classes=self._precomputed_classes,
+            tracer=self.tracer)
 
     @PipelineStage("expansion")
     def system(self) -> PsiSystem:
@@ -151,7 +159,8 @@ class Pipeline:
         return acceptable_support(
             self.system, backend=self.config.lp_backend,
             use_propagation=self.config.use_propagation,
-            merge_columns=self.config.merge_columns)
+            merge_columns=self.config.merge_columns,
+            tracer=self.tracer)
 
     # ------------------------------------------------------------------
     # Shared schema-level structures
@@ -227,7 +236,8 @@ class Pipeline:
         from ..expansion.enumerate import dpll_compound_classes
         from ..expansion.graph import clusters as compute_clusters
 
-        with self.timer.stage("augmented_seed"):
+        with self.tracer.span("pipeline.augmented_seed"), \
+                self.timer.stage("augmented_seed"):
             aug_tables = self.tables.extended_with(target.schema, cdef.name)
             aug_clusters = compute_clusters(target.schema, aug_tables)
             base_index = {component: index
@@ -253,19 +263,20 @@ class Pipeline:
     # ------------------------------------------------------------------
     # Introspection
     # ------------------------------------------------------------------
-    def stats(self) -> dict:
+    def stats(self) -> PipelineStats:
         """Pipeline size measurements (builds any missing stage), plus the
-        per-stage wall-clock readings of :attr:`timer`."""
-        stats = {
-            "classes": len(self.schema.class_symbols),
-            "schema_size": self.schema.syntactic_size(),
-            "compound_classes": len(self.expansion.compound_classes),
-            "expansion_size": self.expansion.size(),
-            "psi_unknowns": self.system.n_unknowns(),
-            "psi_constraints": self.system.n_constraints(),
-            "psi_size": self.system.size(),
-            "lp_rounds": self.support.rounds,
-            "supported": len(self.support.support),
-        }
-        stats.update(self.timer.as_stats())
-        return stats
+        per-stage wall-clock readings of :attr:`timer`, as a typed
+        :class:`~repro.engine.stats.PipelineStats` payload."""
+        return PipelineStats(
+            classes=len(self.schema.class_symbols),
+            schema_size=self.schema.syntactic_size(),
+            compound_classes=len(self.expansion.compound_classes),
+            expansion_size=self.expansion.size(),
+            psi_unknowns=self.system.n_unknowns(),
+            psi_constraints=self.system.n_constraints(),
+            psi_size=self.system.size(),
+            lp_rounds=self.support.rounds,
+            supported=len(self.support.support),
+            lp_backend=self.support.backend_used,
+            timings=self.timer.readings(),
+        )

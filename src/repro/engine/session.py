@@ -27,18 +27,24 @@ from __future__ import annotations
 
 import hashlib
 from collections import OrderedDict
-from dataclasses import dataclass
 from typing import TYPE_CHECKING, Iterable, Optional, Union
 
 from ..core.formulas import FormulaLike
 from ..core.schema import Schema
+from ..obs.tracer import NullTracer, Tracer, as_tracer
 from ..parser.printer import render_schema
 from .config import EngineConfig
+from .stats import PipelineStats, SessionStats
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard, typing only
     from ..reasoner.satisfiability import CoherenceReport, Reasoner
 
-__all__ = ["SchemaSession", "SessionCacheInfo", "schema_fingerprint"]
+__all__ = ["SchemaSession", "SessionStats", "SessionCacheInfo",
+           "schema_fingerprint"]
+
+#: Backward-compatible alias: the cache-counter snapshot became the typed
+#: :class:`~repro.engine.stats.SessionStats` payload.
+SessionCacheInfo = SessionStats
 
 #: Entry points accept either a parsed schema or concrete-syntax source.
 SchemaLike = Union[Schema, str]
@@ -70,22 +76,6 @@ def _as_schema(schema: SchemaLike) -> Schema:
     return parse_schema(schema)
 
 
-@dataclass(frozen=True)
-class SessionCacheInfo:
-    """A snapshot of the session's pipeline-cache counters."""
-
-    hits: int
-    misses: int
-    evictions: int
-    size: int
-    limit: int
-
-    @property
-    def hit_rate(self) -> float:
-        total = self.hits + self.misses
-        return self.hits / total if total else 0.0
-
-
 class SchemaSession:
     """A service-facing façade over the engine: warm pipelines per schema.
 
@@ -105,6 +95,10 @@ class SchemaSession:
         self._hits = 0
         self._misses = 0
         self._evictions = 0
+        # One bus for every reasoner this session builds: with
+        # trace=True the session owns a fresh Tracer; with a Tracer
+        # instance the bus is shared with whoever supplied it.
+        self._tracer = as_tracer(self.config.trace)
 
     # ------------------------------------------------------------------
     # The pipeline cache
@@ -124,21 +118,35 @@ class SchemaSession:
         cached = self._cache.get(key)
         if cached is not None:
             self._hits += 1
+            self._tracer.add("session.cache_hits")
             self._cache.move_to_end(key)
             return cached
         self._misses += 1
-        reasoner = Reasoner(schema, config=self.config)
+        self._tracer.add("session.cache_misses")
+        reasoner = Reasoner(schema, config=self.config,
+                            tracer=self._tracer)
         self._cache[key] = reasoner
         while len(self._cache) > self.config.session_cache_limit:
             self._cache.popitem(last=False)
             self._evictions += 1
+            self._tracer.add("session.cache_evictions")
+        self._tracer.gauge("session.cache_size", len(self._cache))
         return reasoner
 
-    def cache_info(self) -> SessionCacheInfo:
+    def cache_info(self) -> SessionStats:
         """Hit/miss/eviction counters and current occupancy."""
-        return SessionCacheInfo(self._hits, self._misses, self._evictions,
-                                len(self._cache),
-                                self.config.session_cache_limit)
+        return SessionStats(self._hits, self._misses, self._evictions,
+                            len(self._cache),
+                            self.config.session_cache_limit)
+
+    def last_trace(self) -> Optional[Union[Tracer, NullTracer]]:
+        """The session's event/metric bus, or None when tracing is off.
+
+        The tracer accumulates across every query the session answered;
+        call ``.snapshot()`` for a JSON-able rendering, ``.clear()`` to
+        reset between request batches, or ``.write_jsonl(path)`` to export
+        the versioned trace."""
+        return self._tracer if self._tracer.enabled else None
 
     def invalidate(self, schema: Optional[SchemaLike] = None) -> None:
         """Drop one schema's warm pipeline (or all of them)."""
@@ -179,6 +187,6 @@ class SchemaSession:
 
         return _classify(self.reasoner(schema))
 
-    def stats(self, schema: SchemaLike) -> dict:
+    def stats(self, schema: SchemaLike) -> PipelineStats:
         """Pipeline measurements for ``schema`` (builds missing stages)."""
         return self.reasoner(schema).stats()

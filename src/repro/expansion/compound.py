@@ -176,7 +176,8 @@ class AttributeTyping:
     """
 
     __slots__ = ("_schema", "attr", "_direct", "_inverse",
-                 "_forward", "_backward", "_satisfied")
+                 "_forward", "_backward", "_satisfied",
+                 "memo_hits", "memo_misses")
 
     def __init__(self, schema: Schema, attr: str):
         self._schema = schema
@@ -186,6 +187,10 @@ class AttributeTyping:
         self._forward: dict[frozenset, tuple] = {}
         self._backward: dict[frozenset, tuple] = {}
         self._satisfied: dict[tuple, bool] = {}
+        #: ``filler ⊨ endpoint`` evaluations answered from / added to the
+        #: memo — plain counters the expansion builder reports per attribute.
+        self.memo_hits = 0
+        self.memo_misses = 0
 
     def _fillers(self, members: frozenset, ref: AttrRef,
                  cache: dict[frozenset, tuple]) -> tuple:
@@ -203,7 +208,10 @@ class AttributeTyping:
         key = (filler, members)
         verdict = self._satisfied.get(key)
         if verdict is None:
+            self.memo_misses += 1
             verdict = self._satisfied[key] = filler.satisfied_by(members)
+        else:
+            self.memo_hits += 1
         return verdict
 
     def consistent(self, left: frozenset, right: frozenset) -> bool:
@@ -225,18 +233,24 @@ class RelationTyping:
     role assignment equals :func:`is_consistent_compound_relation` with
     ``endpoints_consistent=True`` (roles assumed complete)."""
 
-    __slots__ = ("_constraints", "_satisfied")
+    __slots__ = ("_constraints", "_satisfied", "memo_hits", "memo_misses")
 
     def __init__(self, schema: Schema, relation: str):
         self._constraints = schema.relation(relation).constraints
         self._satisfied: dict[tuple, bool] = {}
+        #: Role-literal evaluations answered from / added to the memo.
+        self.memo_hits = 0
+        self.memo_misses = 0
 
     def _lit_holds(self, clause_index: int, lit_index: int, lit,
                    members: frozenset) -> bool:
         key = (clause_index, lit_index, members)
         verdict = self._satisfied.get(key)
         if verdict is None:
+            self.memo_misses += 1
             verdict = self._satisfied[key] = lit.formula.satisfied_by(members)
+        else:
+            self.memo_hits += 1
         return verdict
 
     def consistent(self, assignment: Mapping[str, frozenset]) -> bool:

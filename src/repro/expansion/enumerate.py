@@ -12,9 +12,10 @@ exponentially smaller and faster on clustered schemas, which benchmark
 from __future__ import annotations
 
 from itertools import chain, combinations
-from typing import Optional, Sequence
+from typing import Optional, Sequence, Union
 
 from ..core.schema import Schema
+from ..obs.tracer import NULL_TRACER, NullTracer, Tracer
 from .compound import is_consistent_compound_class
 from .graph import clusters, hierarchy_compound_classes
 from .tables import SchemaTables, build_tables
@@ -42,7 +43,9 @@ def naive_compound_classes(schema: Schema) -> list[frozenset[str]]:
 
 
 def dpll_compound_classes(schema: Schema, universe: Sequence[str],
-                          tables: Optional[SchemaTables] = None) -> list[frozenset[str]]:
+                          tables: Optional[SchemaTables] = None,
+                          tracer: Union[Tracer, NullTracer] = NULL_TRACER
+                          ) -> list[frozenset[str]]:
     """All consistent compound classes drawn from ``universe``.
 
     Classes outside ``universe`` are treated as false (the Theorem 4.6
@@ -50,6 +53,12 @@ def dpll_compound_classes(schema: Schema, universe: Sequence[str],
     clauses activated by true assignments; a branch dies as soon as an
     activated clause is falsified or the tables prove a disjointness/empty
     violation.
+
+    ``tracer`` receives the search counters once per call:
+    ``expansion.dpll_branches`` (assignments explored),
+    ``expansion.dpll_clause_refuted`` (branches killed by a falsified
+    clause), and ``expansion.dpll_table_pruned`` (branches killed by the
+    preselection tables before any clause was evaluated).
     """
     order = sorted(universe)
     inside = frozenset(order)
@@ -77,6 +86,9 @@ def dpll_compound_classes(schema: Schema, universe: Sequence[str],
     results: list[frozenset[str]] = []
     assignment: dict[str, bool] = {}
     chosen: list[str] = []
+    # Search counters, kept as plain locals so the disabled-tracing path
+    # pays integer increments only; reported to the tracer once at the end.
+    counts = {"branches": 0, "clause_refuted": 0, "table_pruned": 0}
 
     def clause_status(pairs: list[tuple[str, bool]]) -> str:
         """'sat', 'unsat', or 'open' under the current partial assignment."""
@@ -103,34 +115,47 @@ def dpll_compound_classes(schema: Schema, universe: Sequence[str],
         name = order[index]
 
         # Branch: name is false.
+        counts["branches"] += 1
         assignment[name] = False
         if active_clauses_ok():
             search(index + 1)
+        else:
+            counts["clause_refuted"] += 1
         del assignment[name]
 
         # Branch: name is true.
         if tables is not None:
             if name in tables.empty_classes:
+                counts["table_pruned"] += 1
                 return
             if any(tables.are_disjoint(name, other) for other in chosen):
+                counts["table_pruned"] += 1
                 return
             # A provable superclass assigned false refutes the branch early.
             for sup in tables.superclasses(name):
                 if sup in inside and assignment.get(sup) is False:
+                    counts["table_pruned"] += 1
                     return
+        counts["branches"] += 1
         assignment[name] = True
         chosen.append(name)
         if active_clauses_ok():
             search(index + 1)
+        else:
+            counts["clause_refuted"] += 1
         chosen.pop()
         del assignment[name]
 
     search(0)
+    tracer.add("expansion.dpll_branches", counts["branches"])
+    tracer.add("expansion.dpll_clause_refuted", counts["clause_refuted"])
+    tracer.add("expansion.dpll_table_pruned", counts["table_pruned"])
     return results
 
 
 def strategic_compound_classes(schema: Schema,
-                               tables: Optional[SchemaTables] = None
+                               tables: Optional[SchemaTables] = None,
+                               tracer: Union[Tracer, NullTracer] = NULL_TRACER
                                ) -> list[frozenset[str]]:
     """Section 4.3 strategy: preselection tables + per-cluster enumeration.
 
@@ -141,14 +166,17 @@ def strategic_compound_classes(schema: Schema,
         tables = build_tables(schema)
     results: list[frozenset[str]] = [frozenset()]
     for component in clusters(schema, tables):
-        for compound in dpll_compound_classes(schema, sorted(component), tables):
+        for compound in dpll_compound_classes(schema, sorted(component),
+                                              tables, tracer=tracer):
             if compound:
                 results.append(compound)
     return results
 
 
 def compound_classes(schema: Schema, strategy: str = "auto",
-                     tables: Optional[SchemaTables] = None) -> list[frozenset[str]]:
+                     tables: Optional[SchemaTables] = None,
+                     tracer: Union[Tracer, NullTracer] = NULL_TRACER
+                     ) -> list[frozenset[str]]:
     """Enumerate consistent compound classes with the requested strategy.
 
     * ``"naive"`` — filter all subsets (Section 4.2's trivial method);
@@ -165,11 +193,17 @@ def compound_classes(schema: Schema, strategy: str = "auto",
     if strategy not in ("auto", "naive", "strategic", "hierarchy"):
         raise ValueError(f"unknown enumeration strategy {strategy!r}")
     if strategy == "naive":
-        return naive_compound_classes(schema)
+        results = naive_compound_classes(schema)
+        tracer.add("expansion.compound_classes", len(results))
+        return results
     if tables is None:
         tables = build_tables(schema)
     if strategy in ("auto", "hierarchy"):
         from_hierarchy = hierarchy_compound_classes(schema, tables)
         if from_hierarchy is not None:
+            tracer.add("expansion.hierarchy_closed_form")
+            tracer.add("expansion.compound_classes", len(from_hierarchy))
             return from_hierarchy
-    return strategic_compound_classes(schema, tables)
+    results = strategic_compound_classes(schema, tables, tracer=tracer)
+    tracer.add("expansion.compound_classes", len(results))
+    return results

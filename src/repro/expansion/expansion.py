@@ -35,11 +35,12 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 from itertools import product
-from typing import Optional, Sequence
+from typing import Optional, Sequence, Union
 
 from ..core.cardinality import Card, INFINITY
 from ..core.errors import ReasoningError
 from ..core.schema import AttrRef, Schema
+from ..obs.tracer import NULL_TRACER, NullTracer, Tracer
 from .compound import (
     AttributeTyping,
     CompoundAttribute,
@@ -197,7 +198,8 @@ def build_expansion(schema: Schema, strategy: str = "auto", *,
                     include_unconstrained: bool = False,
                     size_limit: Optional[int] = None,
                     tables=None,
-                    precomputed_classes: Optional[Sequence[frozenset]] = None
+                    precomputed_classes: Optional[Sequence[frozenset]] = None,
+                    tracer: Union[Tracer, NullTracer] = NULL_TRACER
                     ) -> Expansion:
     """Build the expansion of ``schema``.
 
@@ -221,13 +223,22 @@ def build_expansion(schema: Schema, strategy: str = "auto", *,
         Optional compound classes to use verbatim (skipping enumeration) —
         the incremental augmented-query path of the reasoner supplies the
         merged-cluster result here.
+    tracer:
+        Observability bus receiving the enumeration counters
+        (``expansion.compound_classes``, the DPLL search counters) and the
+        builder counters (``expansion.candidates_examined`` /
+        ``expansion.candidates_pruned`` against the full Cartesian space,
+        ``expansion.memo_hits`` / ``expansion.memo_misses`` of the typing
+        memos).  Defaults to the disabled bus.
     """
     budget = _SizeBudget(size_limit)
     if precomputed_classes is not None:
         classes = tuple(precomputed_classes)
+        tracer.add("expansion.precomputed_classes", len(classes))
     else:
         classes = tuple(enumerate_compound_classes(schema, strategy,
-                                                   tables=tables))
+                                                   tables=tables,
+                                                   tracer=tracer))
     budget.charge(len(classes), "compound classes")
 
     natt: dict[tuple[frozenset, AttrRef], Card] = {}
@@ -249,9 +260,9 @@ def build_expansion(schema: Schema, strategy: str = "auto", *,
                 nrel[(members, relation, role)] = merged
 
     compound_attributes = _build_compound_attributes(
-        schema, classes, natt, include_unconstrained, budget)
+        schema, classes, natt, include_unconstrained, budget, tracer)
     compound_relations = _build_compound_relations(
-        schema, classes, nrel, include_unconstrained, budget)
+        schema, classes, nrel, include_unconstrained, budget, tracer)
 
     return Expansion(
         schema=schema,
@@ -266,9 +277,14 @@ def build_expansion(schema: Schema, strategy: str = "auto", *,
 
 def _build_compound_attributes(schema: Schema, classes: Sequence[frozenset],
                                natt, include_unconstrained: bool,
-                               budget: _SizeBudget
+                               budget: _SizeBudget,
+                               tracer: Union[Tracer, NullTracer] = NULL_TRACER
                                ) -> dict[str, tuple[CompoundAttribute, ...]]:
     result: dict[str, tuple[CompoundAttribute, ...]] = {}
+    examined = 0
+    cartesian = 0
+    memo_hits = 0
+    memo_misses = 0
     for attr in sorted(schema.attribute_symbols):
         direct = AttrRef(attr)
         inverse = AttrRef(attr, inverse=True)
@@ -289,11 +305,22 @@ def _build_compound_attributes(schema: Schema, classes: Sequence[frozenset],
             candidates = _chain_products(
                 (binding_left, classes), (rest, binding_right))
         found: list[CompoundAttribute] = []
+        probed = 0
         for left, right in candidates:
+            probed += 1
             if typing.consistent(left, right):
                 found.append(CompoundAttribute(attr, left, right))
                 budget.charge(1, f"attribute {attr}")
         result[attr] = tuple(found)
+        examined += probed
+        cartesian += len(classes) ** 2
+        memo_hits += typing.memo_hits
+        memo_misses += typing.memo_misses
+    if schema.attribute_symbols:
+        tracer.add("expansion.candidates_examined", examined)
+        tracer.add("expansion.candidates_pruned", cartesian - examined)
+        tracer.add("expansion.memo_hits", memo_hits)
+        tracer.add("expansion.memo_misses", memo_misses)
     return result
 
 
@@ -305,9 +332,14 @@ def _chain_products(*pools: tuple[Sequence, Sequence]):
 
 def _build_compound_relations(schema: Schema, classes: Sequence[frozenset],
                               nrel, include_unconstrained: bool,
-                              budget: _SizeBudget
+                              budget: _SizeBudget,
+                              tracer: Union[Tracer, NullTracer] = NULL_TRACER
                               ) -> dict[str, tuple[CompoundRelation, ...]]:
     result: dict[str, tuple[CompoundRelation, ...]] = {}
+    examined = 0
+    cartesian = 0
+    memo_hits = 0
+    memo_misses = 0
     for rdef in schema.relation_definitions:
         typing = RelationTyping(schema, rdef.name)
         roles = rdef.roles
@@ -337,13 +369,24 @@ def _build_compound_relations(schema: Schema, classes: Sequence[frozenset],
                          + [list(classes) for _ in roles[position + 1:]])
                 candidate_pools.append(tuple(pools))
         found: list[CompoundRelation] = []
+        probed = 0
         for pools in candidate_pools:
             if any(not pool for pool in pools):
                 continue
             for combo in product(*pools):
+                probed += 1
                 assignment = dict(zip(roles, combo))
                 if typing.consistent(assignment):
                     found.append(CompoundRelation(rdef.name, assignment))
                     budget.charge(1, f"relation {rdef.name}")
         result[rdef.name] = tuple(found)
+        examined += probed
+        cartesian += len(classes) ** rdef.arity
+        memo_hits += typing.memo_hits
+        memo_misses += typing.memo_misses
+    if schema.relation_definitions:
+        tracer.add("expansion.candidates_examined", examined)
+        tracer.add("expansion.candidates_pruned", cartesian - examined)
+        tracer.add("expansion.memo_hits", memo_hits)
+        tracer.add("expansion.memo_misses", memo_misses)
     return result

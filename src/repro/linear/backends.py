@@ -35,7 +35,7 @@ are closed under addition), any sound backend must produce the same
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 from fractions import Fraction
 from typing import Optional, Protocol, Sequence, runtime_checkable
 
@@ -62,11 +62,20 @@ class RoundSolution:
     ``supported`` holds the unknowns that can be positive; ``backend_used``
     names the arithmetic core that actually produced the numbers
     (``"exact"``, ``"float"``, or ``"propagation"`` when no LP was needed).
+    ``metrics`` carries the round's arithmetic-work counters — ``lp.pivots``
+    (exact simplex pivots), ``lp.exact_solves`` / ``lp.float_solves``,
+    ``lp.degenerate_detections`` (float values inside the ambiguity band),
+    ``lp.float_exact_fallbacks`` (rounds the float path handed to the exact
+    core), and ``lp.rationalize_repairs`` (float witnesses repaired by a
+    restricted exact re-solve) — which
+    :func:`repro.linear.support.acceptable_support` aggregates onto the
+    observability bus.
     """
 
     values: dict[int, Fraction]
     supported: frozenset[int]
     backend_used: str
+    metrics: dict[str, int] = field(default_factory=dict)
 
 
 @runtime_checkable
@@ -144,7 +153,13 @@ def grouped_columns(system: PsiSystem, active: Sequence[int],
     return groups, rows
 
 
-def _concentrated(groups, values, backend_used: str) -> RoundSolution:
+def _bump(metrics: Optional[dict[str, int]], name: str, amount: int = 1) -> None:
+    if metrics is not None and amount:
+        metrics[name] = metrics.get(name, 0) + amount
+
+
+def _concentrated(groups, values, backend_used: str,
+                  metrics: Optional[dict[str, int]] = None) -> RoundSolution:
     """Turn group values into a per-unknown witness and support set.
 
     Support is a *group* property (identical columns are interchangeable):
@@ -162,14 +177,20 @@ def _concentrated(groups, values, backend_used: str) -> RoundSolution:
         if value > 0:
             per_unknown[members[0]] = value
             supported.update(members)
-    return RoundSolution(per_unknown, frozenset(supported), backend_used)
+    return RoundSolution(per_unknown, frozenset(supported), backend_used,
+                         metrics if metrics is not None else {})
 
 
 # ----------------------------------------------------------------------
 # Exact core
 # ----------------------------------------------------------------------
-def solve_exact_groups(groups, rows) -> list[Fraction]:
-    """The max-support LP over grouped columns, solved exactly."""
+def solve_exact_groups(groups, rows,
+                       metrics: Optional[dict[str, int]] = None
+                       ) -> list[Fraction]:
+    """The max-support LP over grouped columns, solved exactly.
+
+    ``metrics`` (optional) receives ``lp.exact_solves`` and ``lp.pivots``.
+    """
     k = len(groups)
     width = 2 * k
     a_ub: list[list[Fraction]] = []
@@ -192,6 +213,8 @@ def solve_exact_groups(groups, rows) -> list[Fraction]:
         b_ub.append(Fraction(1))
     objective = [Fraction(0)] * k + [Fraction(1)] * k
     result = solve_lp(objective, a_ub, b_ub, maximize=True)
+    _bump(metrics, "lp.exact_solves")
+    _bump(metrics, "lp.pivots", result.pivots)
     if result.status != OPTIMAL:
         raise LinearSystemError(
             f"max-support LP ended with status {result.status}; it is "
@@ -209,8 +232,10 @@ class ExactBackend:
         groups, rows = grouped_columns(system, positive_indices, merge_columns)
         if not groups:
             return RoundSolution({}, frozenset(), "propagation")
-        return _concentrated(groups, solve_exact_groups(groups, rows),
-                             self.name)
+        metrics: dict[str, int] = {}
+        return _concentrated(groups,
+                             solve_exact_groups(groups, rows, metrics),
+                             self.name, metrics)
 
 
 # ----------------------------------------------------------------------
@@ -272,7 +297,9 @@ def verify_rows(rows, values) -> bool:
     return True
 
 
-def repair_float_witness(groups, rows, values) -> Optional[list[Fraction]]:
+def repair_float_witness(groups, rows, values,
+                         metrics: Optional[dict[str, int]] = None
+                         ) -> Optional[list[Fraction]]:
     """Try to turn a rationalized float solution into an exact one.
 
     The rationalized values may violate tight constraints by rounding noise.
@@ -292,9 +319,10 @@ def repair_float_witness(groups, rows, values) -> Optional[list[Fraction]]:
         if touched:
             restricted_rows.append(touched)
     sub_groups = [groups[g] for g in support_cols]
-    sub_values = solve_exact_groups(sub_groups, restricted_rows)
+    sub_values = solve_exact_groups(sub_groups, restricted_rows, metrics)
     if any(value <= 0 for value in sub_values):
         return None  # exact disagrees with the float support; caller redoes
+    _bump(metrics, "lp.rationalize_repairs")
     repaired = [Fraction(0)] * len(groups)
     for g, value in zip(support_cols, sub_values):
         repaired[g] = value
@@ -330,9 +358,15 @@ class FloatFallbackBackend:
         return self._solve_grouped(groups, rows)
 
     def _solve_grouped(self, groups, rows) -> RoundSolution:
+        metrics: dict[str, int] = {}
         values: Optional[list[Fraction]] = None
         floats = solve_float_groups(groups, rows)
-        if floats is not None and not self._degenerate(floats):
+        if floats is not None:
+            _bump(metrics, "lp.float_solves")
+        if floats is not None and self._degenerate(floats):
+            _bump(metrics, "lp.degenerate_detections")
+            floats = None
+        if floats is not None:
             # Prefer small-denominator rationalizations: they keep the
             # integer witness (and therefore synthesized models) small.
             for max_denominator in (60, 10 ** 4, 10 ** 9):
@@ -342,11 +376,13 @@ class FloatFallbackBackend:
                     break
             if values is None:
                 values = repair_float_witness(
-                    groups, rows, rationalize(floats, 10 ** 9))
+                    groups, rows, rationalize(floats, 10 ** 9), metrics)
         if values is None:
-            return _concentrated(groups, solve_exact_groups(groups, rows),
-                                 "exact")
-        return _concentrated(groups, values, "float")
+            _bump(metrics, "lp.float_exact_fallbacks")
+            return _concentrated(groups,
+                                 solve_exact_groups(groups, rows, metrics),
+                                 "exact", metrics)
+        return _concentrated(groups, values, "float", metrics)
 
 
 class AutoBackend:
@@ -366,8 +402,10 @@ class AutoBackend:
         if not groups:
             return RoundSolution({}, frozenset(), "propagation")
         if len(groups) <= self._limit:
-            return _concentrated(groups, solve_exact_groups(groups, rows),
-                                 "exact")
+            metrics: dict[str, int] = {}
+            return _concentrated(groups,
+                                 solve_exact_groups(groups, rows, metrics),
+                                 "exact", metrics)
         return self._float._solve_grouped(groups, rows)
 
 

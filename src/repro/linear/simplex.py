@@ -38,12 +38,15 @@ class LpResult:
     """Outcome of an LP solve.
 
     ``solution`` and ``objective`` are exact rationals, present only for
-    ``status == OPTIMAL``.
+    ``status == OPTIMAL``.  ``pivots`` counts the tableau pivots performed
+    across both phases — the arithmetic work metric the observability bus
+    reports as ``lp.pivots``.
     """
 
     status: str
     objective: Optional[Fraction] = None
     solution: Optional[tuple[Fraction, ...]] = None
+    pivots: int = 0
 
 
 def _to_fraction_matrix(rows: Sequence[Sequence], width: int) -> list[list[Fraction]]:
@@ -69,6 +72,7 @@ class _Tableau:
         self.objective = objective  # reduced-cost row (c - z), length n
         self.obj_value = Fraction(0)
         self.basis = basis
+        self.pivots = 0
 
     def price_out(self) -> None:
         """Make reduced costs of basic variables zero."""
@@ -108,6 +112,7 @@ class _Tableau:
             self.objective = [a - factor * b for a, b in zip(self.objective, pivot_row)]
             self.obj_value += factor * self.rhs[row_index]
         self.basis[row_index] = col
+        self.pivots += 1
 
     def run(self, *, allowed_cols: Optional[set[int]] = None) -> str:
         """Primal simplex iterations with Bland's rule.
@@ -185,6 +190,7 @@ def solve_lp(c: Sequence, a_ub: Sequence[Sequence], b_ub: Sequence,
     for row in rows:
         row.extend([Fraction(0)] * (width - len(row)))
 
+    phase1_pivots = 0
     if artificial_cols:
         phase1_obj = [Fraction(0)] * width
         for col in artificial_cols:
@@ -193,7 +199,7 @@ def solve_lp(c: Sequence, a_ub: Sequence[Sequence], b_ub: Sequence,
         tableau.price_out()
         status = tableau.run()
         if status != OPTIMAL or tableau.obj_value != 0:
-            return LpResult(INFEASIBLE)
+            return LpResult(INFEASIBLE, pivots=tableau.pivots)
         # Drive any artificial variable still basic (at value 0) out of the
         # basis when possible; a row with no eligible pivot is redundant.
         artificial = set(artificial_cols)
@@ -206,6 +212,7 @@ def solve_lp(c: Sequence, a_ub: Sequence[Sequence], b_ub: Sequence,
         rows = tableau.matrix
         rhs = tableau.rhs
         basis = tableau.basis
+        phase1_pivots = tableau.pivots
     else:
         artificial = set()
 
@@ -216,12 +223,13 @@ def solve_lp(c: Sequence, a_ub: Sequence[Sequence], b_ub: Sequence,
     tableau.price_out()
     allowed = set(range(width)) - artificial
     status = tableau.run(allowed_cols=allowed)
+    total_pivots = phase1_pivots + tableau.pivots
     if status == UNBOUNDED:
-        return LpResult(UNBOUNDED)
+        return LpResult(UNBOUNDED, pivots=total_pivots)
 
     values = [Fraction(0)] * n
     for i, var in enumerate(tableau.basis):
         if var < n:
             values[var] = tableau.rhs[i]
     objective = tableau.obj_value if maximize else -tableau.obj_value
-    return LpResult(OPTIMAL, objective, tuple(values))
+    return LpResult(OPTIMAL, objective, tuple(values), pivots=total_pivots)

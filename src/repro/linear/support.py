@@ -45,13 +45,14 @@ from typing import Optional
 from ..core.cardinality import INFINITY
 from ..core.errors import LinearSystemError
 from ..expansion.expansion import Expansion
+from ..obs.tracer import NULL_TRACER, NullTracer, Tracer
 from .backends import (
     EXACT_BACKEND_LIMIT,
     LpBackend,
     get_backend,
     grouped_columns,
     rationalize,
-        verify_rows,
+    verify_rows,
 )
 from .simplex import OPTIMAL, solve_lp
 from .system import PsiSystem, Unknown, build_system
@@ -299,7 +300,9 @@ def _solve_float_min(groups, rows, lower_rows) -> Optional[list[float]]:
 def acceptable_support(source: Expansion | PsiSystem,
                        backend: str | LpBackend = "auto", *,
                        use_propagation: bool = True,
-                       merge_columns: bool = True) -> SupportResult:
+                       merge_columns: bool = True,
+                       tracer: "Tracer | NullTracer" = NULL_TRACER
+                       ) -> SupportResult:
     """Compute the maximal acceptable support of ``Ψ_S``.
 
     Accepts either an :class:`Expansion` (the system is built on the fly) or
@@ -312,6 +315,14 @@ def acceptable_support(source: Expansion | PsiSystem,
     optimizations (combinatorial pre-pinning and interchangeable-column
     merging); they exist for the ablation benchmarks and must never change
     the result — a property the test suite asserts.
+
+    ``tracer`` receives the LP work counters: ``lp.rounds`` (fixpoint
+    iterations), each round's :attr:`RoundSolution.metrics
+    <repro.linear.backends.RoundSolution.metrics>` (``lp.pivots``,
+    ``lp.exact_solves``, ``lp.float_solves``, ``lp.degenerate_detections``,
+    ``lp.float_exact_fallbacks``, ``lp.rationalize_repairs``), and the pin
+    tallies ``support.pins_acceptability`` / ``support.pins_propagation`` /
+    ``support.pins_linear``.
     """
     lp = get_backend(backend)
     system = source if isinstance(source, PsiSystem) else build_system(source)
@@ -328,6 +339,8 @@ def acceptable_support(source: Expansion | PsiSystem,
                 pass
         solution = lp.solve(system, sorted(active),
                             merge_columns=merge_columns)
+        for name, amount in solution.metrics.items():
+            tracer.add(name, amount)
         values, support, backend_used = (solution.values,
                                          set(solution.supported),
                                          solution.backend_used)
@@ -342,6 +355,13 @@ def acceptable_support(source: Expansion | PsiSystem,
         active = support
         if not active:
             break
+    tracer.add("lp.rounds", rounds)
+    if log:
+        tally: dict[str, int] = {}
+        for event in log:
+            tally[event.phase] = tally.get(event.phase, 0) + 1
+        for phase, count in tally.items():
+            tracer.add(f"support.pins_{phase}", count)
     full_solution = {index: values.get(index, Fraction(0))
                      for index in range(system.n_unknowns())}
     return SupportResult(system, frozenset(active), full_solution, rounds,

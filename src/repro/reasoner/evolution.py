@@ -23,6 +23,7 @@ from typing import Optional
 
 from ..core.cardinality import Card
 from ..core.schema import AttrRef, Schema
+from ..engine.config import EngineConfig
 from .implication import classify, implied_attribute_bounds, implied_disjoint
 from .satisfiability import Reasoner
 
@@ -88,11 +89,17 @@ def _bounds_or_none(reasoner: Reasoner, name: str,
     return implied_attribute_bounds(reasoner, name, ref)
 
 
-def compare_schemas(old: Schema, new: Schema,
-                    strategy: str = "auto") -> EvolutionReport:
-    """Compute the semantic diff between two schema versions."""
-    before = Reasoner(old, strategy=strategy)
-    after = Reasoner(new, strategy=strategy)
+def compare_schemas(old: Schema, new: Schema, strategy: str = "auto", *,
+                    config: Optional[EngineConfig] = None) -> EvolutionReport:
+    """Compute the semantic diff between two schema versions.
+
+    ``config`` supplies the full engine configuration for both reasoners;
+    when omitted, one is derived from ``strategy`` alone.
+    """
+    if config is None:
+        config = EngineConfig(strategy=strategy)
+    before = Reasoner(old, config=config)
+    after = Reasoner(new, config=config)
 
     old_names = set(old.class_symbols)
     new_names = set(new.class_symbols)

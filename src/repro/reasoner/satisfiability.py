@@ -19,19 +19,22 @@ are folded into a config on construction.
 
 from __future__ import annotations
 
+import warnings
 from collections import OrderedDict
 from dataclasses import dataclass
-from typing import Optional
+from typing import Optional, Union
 
 from ..core.errors import ReasoningError
 from ..core.formulas import Formula, FormulaLike, as_formula
 from ..core.schema import Schema
 from ..engine.config import EngineConfig
 from ..engine.pipeline import Pipeline
+from ..engine.stats import PipelineStats
 from ..expansion.expansion import Expansion
 from ..expansion.tables import SchemaTables
 from ..linear.support import SupportResult
 from ..linear.system import PsiSystem
+from ..obs.tracer import NullTracer, Tracer
 
 __all__ = ["Reasoner", "CoherenceReport"]
 
@@ -65,22 +68,19 @@ class Reasoner:
     ----------
     schema:
         The schema to reason about.
-    strategy:
-        Compound-class enumeration strategy — ``"auto"`` (default),
-        ``"naive"``, ``"strategic"``, or ``"hierarchy"``.
-    size_limit:
-        Optional guard on the expansion size; exceeding it raises
-        :class:`~repro.core.errors.ReasoningError` instead of running out of
-        memory on adversarial schemas.
-    incremental_augmented:
-        Reuse the compound classes of clusters untouched by a query class
-        when answering augmented (cross-cluster) queries, re-enumerating
-        only the merged cluster.  On by default; the ablation benchmarks and
-        equivalence tests turn it off to compare against full rebuilds.
     config:
-        A complete :class:`~repro.engine.config.EngineConfig`.  When given
-        it takes precedence over the individual keyword arguments above
-        (which exist for backward compatibility and convenience).
+        A complete :class:`~repro.engine.config.EngineConfig` — the one
+        configuration route.  When given it takes precedence over the
+        deprecated loose keyword arguments below.
+    tracer:
+        Optional :class:`~repro.obs.tracer.Tracer` this reasoner's
+        pipeline (and any augmented pipelines it seeds) records into;
+        defaults to the config's ``trace`` setting.
+    strategy / size_limit / incremental_augmented:
+        **Deprecated** loose knobs, folded into an ``EngineConfig`` on
+        construction.  Passing any of them emits a
+        :class:`DeprecationWarning`; construct an
+        :class:`~repro.engine.config.EngineConfig` instead.
     """
 
     #: Bound on the memoized formula-verdict cache (LRU eviction beyond it).
@@ -88,17 +88,30 @@ class Reasoner:
     #: class attribute for backward compatibility (subclasses may override).
     AUGMENTED_CACHE_LIMIT = 256
 
-    def __init__(self, schema: Schema, strategy: str = "auto",
+    def __init__(self, schema: Schema, strategy: Optional[str] = None,
                  size_limit: Optional[int] = None, *,
-                 incremental_augmented: bool = True,
-                 config: Optional[EngineConfig] = None):
+                 incremental_augmented: Optional[bool] = None,
+                 config: Optional[EngineConfig] = None,
+                 tracer: Optional[Union[Tracer, NullTracer]] = None):
+        legacy = [name for name, value in
+                  (("strategy", strategy), ("size_limit", size_limit),
+                   ("incremental_augmented", incremental_augmented))
+                  if value is not None]
+        if legacy:
+            warnings.warn(
+                f"Reasoner({', '.join(legacy)}=...) is deprecated; pass "
+                f"config=EngineConfig({', '.join(legacy)}=...) instead",
+                DeprecationWarning, stacklevel=2)
         if config is None:
             config = EngineConfig(
-                strategy=strategy, size_limit=size_limit,
-                incremental_augmented=incremental_augmented,
+                strategy=strategy if strategy is not None else "auto",
+                size_limit=size_limit,
+                incremental_augmented=(incremental_augmented
+                                       if incremental_augmented is not None
+                                       else True),
                 augmented_cache_limit=self.AUGMENTED_CACHE_LIMIT)
         self._config = config
-        self._pipeline = Pipeline(schema, config)
+        self._pipeline = Pipeline(schema, config, tracer=tracer)
         self._augmented_cache: OrderedDict[Formula, bool] = OrderedDict()
         self._min_witness: Optional[dict] = None
 
@@ -114,6 +127,12 @@ class Reasoner:
     def pipeline(self) -> Pipeline:
         """The staged pipeline (tables → expansion → Ψ_S → support)."""
         return self._pipeline
+
+    @property
+    def tracer(self) -> Union[Tracer, NullTracer]:
+        """The event/metric bus this reasoner records into
+        (:data:`~repro.obs.tracer.NULL_TRACER` when tracing is off)."""
+        return self._pipeline.tracer
 
     @property
     def schema(self) -> Schema:
@@ -247,7 +266,8 @@ class Reasoner:
         rebuild (the equivalence suite asserts this).
         """
         augmented = Reasoner(self.schema.with_class(cdef),
-                             config=self._config)
+                             config=self._config,
+                             tracer=self._pipeline.tracer)
         if self._pipeline.can_seed_augmented(cdef):
             self._pipeline.seed_augmented(augmented._pipeline, cdef)
         return augmented
@@ -255,12 +275,16 @@ class Reasoner:
     def _augmented_satisfiable(self, formula: Formula) -> bool:
         from ..core.schema import ClassDef
 
+        tracer = self._pipeline.tracer
         cached = self._augmented_cache.get(formula)
         if cached is not None:
+            tracer.add("reasoner.verdict_cache_hits")
             self._augmented_cache.move_to_end(formula)
             return cached
+        tracer.add("reasoner.verdict_cache_misses")
         name = self.fresh_class_name()
-        with self._pipeline.timer.stage("augmented_query"):
+        with tracer.span("pipeline.augmented_query"), \
+                self._pipeline.timer.stage("augmented_query"):
             verdict = self.augmented_with(
                 ClassDef(name, isa=formula)).is_satisfiable(name)
         self._augmented_cache[formula] = verdict
@@ -326,10 +350,11 @@ class Reasoner:
 
         return population_ratio_bounds(self.support, numerator, denominator)
 
-    def stats(self) -> dict:
+    def stats(self) -> PipelineStats:
         """Pipeline size measurements used by the complexity benchmarks,
-        plus per-stage wall-clock readings (``time_tables``,
-        ``time_expansion``, ``time_system``, ``time_support``, and — once
-        augmented queries ran — ``time_augmented_seed`` /
-        ``time_augmented_query``)."""
+        plus per-stage wall-clock timings — a typed
+        :class:`~repro.engine.stats.PipelineStats` payload (the timings
+        cover ``tables``, ``expansion``, ``system``, ``support``, and —
+        once augmented queries ran — ``augmented_seed`` /
+        ``augmented_query``)."""
         return self._pipeline.stats()

@@ -70,7 +70,8 @@ class TestSatisfiable:
         assert "phase 1" in capsys.readouterr().out
 
     def test_unknown_class_is_error(self, good_file, capsys):
-        assert main(["satisfiable", good_file, "Nope"]) == 2
+        # ReasoningError carries the stable exit code 64.
+        assert main(["satisfiable", good_file, "Nope"]) == 64
         assert "error" in capsys.readouterr().err
 
 
@@ -107,11 +108,13 @@ class TestRenderAndStats:
     def test_parse_error_exit_code(self, tmp_path, capsys):
         path = tmp_path / "broken.car"
         path.write_text("class endclass")
-        assert main(["validate", str(path)]) == 2
+        # ParseError carries the stable exit code 65 (EX_DATAERR).
+        assert main(["validate", str(path)]) == 65
         assert "error" in capsys.readouterr().err
 
     def test_missing_file(self, capsys):
-        assert main(["validate", "/nonexistent/schema.car"]) == 2
+        # Unreadable input carries the stable exit code 66 (EX_NOINPUT).
+        assert main(["validate", "/nonexistent/schema.car"]) == 66
 
     def test_strategy_flag(self, good_file):
         assert main(["validate", good_file, "--strategy", "naive"]) == 0
@@ -190,3 +193,87 @@ class TestBackendFlag:
     def test_unknown_backend_rejected(self, good_file, capsys):
         with pytest.raises(SystemExit):
             main(["validate", good_file, "--backend", "bogus"])
+
+
+class TestUniformJson:
+    """Every subcommand accepts --json (the normalized CLI surface)."""
+
+    def parse(self, capsys):
+        import json
+
+        return json.loads(capsys.readouterr().out)
+
+    def test_classify_json(self, good_file, capsys):
+        assert main(["classify", good_file, "--json"]) == 0
+        document = self.parse(capsys)
+        assert document["command"] == "classify"
+        assert ["Student", "Person"] in document["subsumptions"]
+        assert document["unsatisfiable"] == []
+
+    def test_render_json(self, good_file, capsys):
+        from repro.parser.parser import parse_schema
+
+        assert main(["render", good_file, "--json"]) == 0
+        document = self.parse(capsys)
+        assert document["command"] == "render"
+        assert parse_schema(document["schema"]) == parse_schema(GOOD_SCHEMA)
+
+    def test_synthesize_json(self, tmp_path, capsys):
+        path = tmp_path / "card.car"
+        path.write_text(CARD_SCHEMA)
+        assert main(["synthesize", str(path), "--target", "C",
+                     "--full", "--json"]) == 0
+        document = self.parse(capsys)
+        assert document["command"] == "synthesize"
+        assert document["n_objects"] >= 1
+        assert "a" in document["attributes"]
+
+    def test_json_error_document(self, tmp_path, capsys):
+        path = tmp_path / "broken.car"
+        path.write_text("class endclass")
+        assert main(["validate", str(path), "--json"]) == 65
+        document = self.parse(capsys)
+        assert document["exit_code"] == 65
+        assert "error" in document
+
+
+class TestProfileAndTrace:
+    def test_profile_summary_on_stderr(self, good_file, capsys):
+        assert main(["satisfiable", good_file, "Student", "--profile"]) == 0
+        captured = capsys.readouterr()
+        assert "pipeline.support" in captured.err
+        assert "profile" in captured.err
+        # stdout stays clean for the verdict
+        assert "satisfiable" in captured.out
+
+    def test_trace_out_writes_versioned_jsonl(self, good_file, tmp_path,
+                                              capsys):
+        import json
+
+        trace_path = tmp_path / "trace.jsonl"
+        assert main(["satisfiable", good_file, "Student",
+                     "--trace-out", str(trace_path)]) == 0
+        capsys.readouterr()
+        lines = [json.loads(line)
+                 for line in trace_path.read_text().splitlines()]
+        header = lines[0]
+        assert header["type"] == "header"
+        assert header["trace_schema"] == 1
+        kinds = {line["type"] for line in lines}
+        assert "span" in kinds and "counter" in kinds
+        span_names = {line["name"] for line in lines
+                      if line["type"] == "span"}
+        assert {"pipeline.tables", "pipeline.expansion", "pipeline.system",
+                "pipeline.support"} <= span_names
+
+    def test_trace_written_even_on_failure(self, bad_file, tmp_path, capsys):
+        trace_path = tmp_path / "trace.jsonl"
+        assert main(["satisfiable", bad_file, "TA",
+                     "--trace-out", str(trace_path)]) == 1
+        capsys.readouterr()
+        assert trace_path.exists()
+        assert '"type": "header"' in trace_path.read_text()
+
+    def test_no_flags_no_trace_output(self, good_file, capsys):
+        assert main(["satisfiable", good_file, "Student"]) == 0
+        assert capsys.readouterr().err == ""

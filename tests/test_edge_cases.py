@@ -125,7 +125,7 @@ class TestReasonerGuards:
         reasoner = Reasoner(parse_schema("class A isa B endclass"))
         reasoner.is_satisfiable("A")
         stats = reasoner.stats()
-        assert stats["supported"] >= 1
+        assert stats.supported >= 1
 
 
 class TestTuringTrace:

@@ -122,8 +122,8 @@ class TestPipeline:
     def test_stats_builds_missing_stages(self):
         pipeline = Pipeline(parse_schema(GOOD_SOURCE))
         stats = pipeline.stats()
-        assert stats["classes"] == 3
-        assert "time_support" in stats
+        assert stats.classes == 3
+        assert "support" in stats.timings
 
     def test_strategies_agree(self):
         schema = clustered_schema(2, 3, seed=1)
@@ -140,17 +140,19 @@ class TestPipeline:
 class TestReasonerFacade:
     """The Reasoner keeps its public surface while delegating to Pipeline."""
 
-    def test_legacy_kwargs_become_config(self):
-        reasoner = Reasoner(parse_schema(GOOD_SOURCE), strategy="naive",
-                            size_limit=500, incremental_augmented=False)
+    def test_legacy_kwargs_become_config_with_deprecation(self):
+        with pytest.deprecated_call(match="EngineConfig"):
+            reasoner = Reasoner(parse_schema(GOOD_SOURCE), strategy="naive",
+                                size_limit=500, incremental_augmented=False)
         assert reasoner.config.strategy == "naive"
         assert reasoner.config.size_limit == 500
         assert not reasoner.config.incremental_augmented
 
     def test_explicit_config_wins(self):
         config = EngineConfig(strategy="strategic", lp_backend="exact")
-        reasoner = Reasoner(parse_schema(GOOD_SOURCE), strategy="naive",
-                            config=config)
+        with pytest.deprecated_call(match="EngineConfig"):
+            reasoner = Reasoner(parse_schema(GOOD_SOURCE), strategy="naive",
+                                config=config)
         assert reasoner.config is config
         assert reasoner.pipeline.config is config
 
@@ -258,7 +260,7 @@ class TestSchemaSession:
         session = SchemaSession()
         assert "Student isa Person" in str(session.classify(GOOD_SOURCE))
         stats = session.stats(GOOD_SOURCE)
-        assert stats["classes"] == 3
+        assert stats.classes == 3
         assert session.cache_info().hits >= 1  # classify warmed the cache
 
     def test_accepts_source_text_everywhere(self):

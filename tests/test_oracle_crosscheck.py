@@ -22,6 +22,7 @@ from hypothesis import HealthCheck, given, settings, strategies as st
 from repro.core.cardinality import Card
 from repro.core.formulas import Clause, Formula, Lit
 from repro.core.schema import Attr, AttrRef, ClassDef, Schema, inv
+from repro.engine.config import EngineConfig
 from repro.expansion.graph import impose_cluster_disjointness
 from repro.reasoner.satisfiability import Reasoner
 from repro.semantics.bruteforce import brute_force_find_model
@@ -101,8 +102,8 @@ def test_unsat_verdicts_have_no_small_countermodel(schema, target):
           suppress_health_check=[HealthCheck.too_slow])
 @given(small_schemas(), st.sampled_from(CLASS_NAMES))
 def test_strategies_agree(schema, target):
-    naive = Reasoner(schema, strategy="naive").is_satisfiable(target)
-    strategic = Reasoner(schema, strategy="strategic").is_satisfiable(target)
+    naive = Reasoner(schema, config=EngineConfig(strategy="naive")).is_satisfiable(target)
+    strategic = Reasoner(schema, config=EngineConfig(strategy="strategic")).is_satisfiable(target)
     assert naive == strategic
 
 
@@ -125,9 +126,9 @@ def test_lp_backends_agree(schema, target):
 def test_theorem_4_6_preserves_satisfiability(schema, target):
     """Imposing disjointness between disconnected classes (Theorem 4.6)
     must not change any satisfiability verdict."""
-    original = Reasoner(schema, strategy="naive").is_satisfiable(target)
+    original = Reasoner(schema, config=EngineConfig(strategy="naive")).is_satisfiable(target)
     modified_schema = impose_cluster_disjointness(schema)
-    modified = Reasoner(modified_schema, strategy="naive").is_satisfiable(target)
+    modified = Reasoner(modified_schema, config=EngineConfig(strategy="naive")).is_satisfiable(target)
     assert original == modified
 
 
@@ -162,8 +163,8 @@ def test_implication_agrees_across_strategies(schema, c1, c2):
     """
     from repro.reasoner.implication import implied_disjoint, implied_subsumption
 
-    naive = Reasoner(schema, strategy="naive")
-    strategic = Reasoner(schema, strategy="strategic")
+    naive = Reasoner(schema, config=EngineConfig(strategy="naive"))
+    strategic = Reasoner(schema, config=EngineConfig(strategy="strategic"))
     assert (implied_disjoint(naive, c1, c2)
             == implied_disjoint(strategic, c1, c2))
     assert (implied_subsumption(naive, c1, c2)
@@ -178,8 +179,8 @@ def test_attribute_filler_implication_agrees_across_strategies(schema, name):
     from repro.reasoner.implication import implied_attribute_filler
 
     target = Lit(name)
-    naive = Reasoner(schema, strategy="naive")
-    strategic = Reasoner(schema, strategy="strategic")
+    naive = Reasoner(schema, config=EngineConfig(strategy="naive"))
+    strategic = Reasoner(schema, config=EngineConfig(strategy="strategic"))
     assert (implied_attribute_filler(naive, name, AttrRef("a"), target)
             == implied_attribute_filler(strategic, name, AttrRef("a"), target))
     negated = ~Lit(name)

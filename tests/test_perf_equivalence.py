@@ -25,6 +25,7 @@ from repro.core.schema import (
     Schema,
     inv,
 )
+from repro.engine.config import EngineConfig
 from repro.expansion.compound import (
     AttributeTyping,
     CompoundAttribute,
@@ -214,10 +215,10 @@ class TestAugmentedEquivalence:
     @pytest.mark.parametrize("seed", SEEDS)
     def test_formula_verdicts_naive_vs_incremental(self, seed):
         schema = clustered_schema(3, 2, seed=seed)
-        naive = Reasoner(schema, strategy="naive")
-        incremental = Reasoner(schema, strategy="strategic")
-        full = Reasoner(schema, strategy="strategic",
-                        incremental_augmented=False)
+        naive = Reasoner(schema, config=EngineConfig(strategy="naive"))
+        incremental = Reasoner(schema, config=EngineConfig(strategy="strategic"))
+        full = Reasoner(schema, config=EngineConfig(
+            strategy="strategic", incremental_augmented=False))
         for formula in cross_cluster_formulas(schema):
             expected = naive.is_formula_satisfiable(formula)
             assert incremental.is_formula_satisfiable(formula) == expected
@@ -226,12 +227,12 @@ class TestAugmentedEquivalence:
     @pytest.mark.parametrize("seed", SEEDS)
     def test_augmented_reasoner_matches_cold_rebuild(self, seed):
         schema = clustered_schema(3, 2, seed=seed)
-        base = Reasoner(schema, strategy="strategic")
+        base = Reasoner(schema, config=EngineConfig(strategy="strategic"))
         base.support  # build the pipeline so seeding applies
         probe = ClassDef(base.fresh_class_name("Probe"),
                          isa=next(iter(cross_cluster_formulas(schema))))
         seeded = base.augmented_with(probe)
-        cold = Reasoner(schema.with_class(probe), strategy="strategic")
+        cold = Reasoner(schema.with_class(probe), config=EngineConfig(strategy="strategic"))
         assert seeded._precomputed_classes is not None  # fast path engaged
         assert (set(seeded.expansion.compound_classes)
                 == set(cold.expansion.compound_classes))
@@ -261,7 +262,7 @@ class TestAugmentedEquivalence:
 
     def test_verdict_cache_is_lru_bounded(self):
         schema = clustered_schema(2, 2, seed=3)
-        reasoner = Reasoner(schema, strategy="strategic")
+        reasoner = Reasoner(schema, config=EngineConfig(strategy="strategic"))
         limit = Reasoner.AUGMENTED_CACHE_LIMIT
         names = sorted(schema.class_symbols)
         # Synthesize more distinct cross-cluster formulas than the cache

@@ -68,7 +68,7 @@ class TestSatisfiability:
         assert Reasoner(figure2_schema()).check_coherence().is_coherent
 
     def test_stats_keys(self):
-        stats = Reasoner(figure2_schema()).stats()
+        stats = Reasoner(figure2_schema()).stats().to_json()
         for key in ("classes", "compound_classes", "psi_unknowns",
                     "psi_constraints", "supported"):
             assert key in stats
