@@ -457,6 +457,72 @@ def session_reuse() -> None:
            info.evictions, info.size)])
 
 
+def parallel_batch() -> None:
+    import os
+
+    from repro.parser.printer import render_schema
+    from repro.workloads.generators import adversarial_schema
+
+    # Serial check_many vs the batch executor at growing worker counts.
+    # Eight independent adversarial schemas, one shard each: embarrassingly
+    # parallel work, so the table exposes exactly what process fan-out and
+    # per-worker pipeline warming cost and buy on this host.
+    queries = []
+    for index in range(8):
+        schema = adversarial_schema(16, seed=index)
+        queries.append({"schema": render_schema(schema),
+                        "formula": sorted(schema.class_symbols)[0]})
+    # One untimed warm-up run: the first pipeline execution in a fresh
+    # interpreter pays one-time specialization costs that forked workers
+    # inherit for free, which would otherwise inflate the speedup.
+    warmup = SchemaSession()
+    warmup.run_batch(queries[:1], jobs=1, mode="serial")
+    warmup.close()
+    rows = []
+    serial_s = None
+    for jobs in (1, 2, 4):
+        session = SchemaSession()
+        try:
+            mode = "serial" if jobs == 1 else "process"
+            seconds, outcomes = timed(
+                lambda s=session, m=mode, j=jobs: s.run_batch(
+                    queries, jobs=j, mode=m))
+        finally:
+            session.close()
+        if serial_s is None:
+            serial_s = seconds
+        rows.append((jobs, mode, seconds, serial_s / seconds,
+                     sum(o.ok for o in outcomes)))
+    emit(f"Parallel batch — 8 adversarial schemas, serial vs process pool "
+         f"({os.cpu_count()} cores)",
+         ["jobs", "mode", "seconds", "speedup", "ok"], rows)
+
+    # Deadline responsiveness: a 50 ms budget against the Theorem 4.1
+    # EXPTIME reduction must yield a timed-out outcome well under a
+    # second, while its batch-mate still gets answered.
+    reduction = machine_to_schema(parity_machine(), (0, 1, 0, 1), 6, 6)
+    deadline_queries = [
+        {"schema": render_schema(reduction.schema),
+         "formula": str(reduction.target)},
+        {"schema": "class A isa not B endclass class B endclass",
+         "formula": "A"},
+    ]
+    session = SchemaSession()
+    try:
+        wall_s, outcomes = timed(
+            lambda: session.run_batch(deadline_queries, deadline=0.05))
+    finally:
+        session.close()
+    hard, easy = outcomes
+    print()
+    emit("Parallel batch — 50 ms deadline vs EXPTIME reduction",
+         ["query", "timed out", "steps", "duration s", "batch wall s"],
+         [("EXPTIME reduction", hard.timed_out, hard.steps, hard.duration,
+           wall_s),
+          ("trivial batch-mate", easy.timed_out, easy.steps, easy.duration,
+           wall_s)])
+
+
 SECTIONS = [
     ("Figures 1 & 2", figures),
     ("Theorem 4.1 (EXPTIME-hardness shape)", theorem41),
@@ -470,6 +536,7 @@ SECTIONS = [
     ("Expansion pipeline (indexes, pruning, incremental queries)",
      expansion_pipeline),
     ("Session reuse (SchemaSession warm vs cold)", session_reuse),
+    ("Parallel batch (executor, deadlines)", parallel_batch),
     ("Ablations", ablations),
 ]
 

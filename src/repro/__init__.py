@@ -18,8 +18,10 @@ Quickstart::
     assert not reasoner.is_satisfiable("TA")
 """
 
+from .core.budget import NULL_BUDGET, Budget, current_budget, use_budget
 from .core.cardinality import ANY, AT_LEAST_ONE, AT_MOST_ONE, EXACTLY_ONE, INFINITY, Card
 from .core.errors import (
+    BudgetExceeded,
     CarError,
     LinearSystemError,
     ParseError,
@@ -43,8 +45,12 @@ from .core.schema import (
     inv,
 )
 from .engine import (
+    BatchExecutor,
+    BatchQuery,
     EngineConfig,
     Pipeline,
+    QueryError,
+    QueryOutcome,
     SchemaSession,
     SessionCacheInfo,
     schema_fingerprint,
@@ -76,8 +82,10 @@ __all__ = [
     # cardinalities
     "ANY", "AT_LEAST_ONE", "AT_MOST_ONE", "EXACTLY_ONE", "INFINITY", "Card",
     # errors
-    "CarError", "LinearSystemError", "ParseError", "ReasoningError",
-    "SchemaError", "SemanticsError", "SynthesisError",
+    "BudgetExceeded", "CarError", "LinearSystemError", "ParseError",
+    "ReasoningError", "SchemaError", "SemanticsError", "SynthesisError",
+    # budgets
+    "NULL_BUDGET", "Budget", "current_budget", "use_budget",
     # formulae
     "TOP", "Clause", "Formula", "Lit", "as_formula", "conjunction",
     "disjunction",
@@ -88,7 +96,8 @@ __all__ = [
     # pipeline
     "Expansion", "build_expansion",
     # engine layer
-    "EngineConfig", "Pipeline", "SchemaSession", "SessionCacheInfo",
+    "BatchExecutor", "BatchQuery", "EngineConfig", "Pipeline", "QueryError",
+    "QueryOutcome", "SchemaSession", "SessionCacheInfo",
     "schema_fingerprint",
     # concrete syntax
     "parse_formula", "parse_schema", "render_schema",

@@ -10,7 +10,10 @@ syntax:
 * ``satisfiable``— one class, with an explanation on failure;
 * ``synthesize`` — generate a sample database state and print it;
 * ``render``     — parse and pretty-print (format / canonicalize);
-* ``stats``      — pipeline size measurements.
+* ``stats``      — pipeline size measurements;
+* ``batch``      — answer a JSONL file of ``{"schema": ..., "formula":
+  ...}`` queries through the parallel batch executor, one JSON outcome
+  per line.
 
 Every command reads the schema from a file (or ``-`` for stdin) and returns
 a nonzero exit status on validation failures, so the tool slots into CI.
@@ -24,13 +27,18 @@ Uniform flags on **every** subcommand:
 * ``--profile`` — enable the observability bus and print a per-stage
   timing/counter summary to stderr after the command;
 * ``--trace-out FILE`` — enable the bus and write the versioned JSON-lines
-  trace (see :mod:`repro.obs.tracer`) to ``FILE``.
+  trace (see :mod:`repro.obs.tracer`) to ``FILE``;
+* ``--timeout SECONDS`` / ``--max-steps N`` — a cooperative
+  :class:`~repro.core.budget.Budget` over the reasoning hot loops.  For
+  ``batch`` the budget is per *query* (a slow query yields a timed-out
+  outcome, the batch continues); for every other command it covers the
+  whole command and trips exit code 75.
 
 Exit codes are stable: 0 success, 1 negative verdict (unsatisfiable /
 incoherent), 2 usage errors, and the ``sysexits``-inspired codes of the
 :mod:`repro.core.errors` hierarchy on failures (65 malformed input, 66
-unreadable file, 64 unanswerable question, 73 synthesis failure, 70
-internal errors).
+unreadable file, 64 unanswerable question, 73 synthesis failure, 75
+budget exceeded, 70 internal errors).
 
 All human-readable output flows through one writer (:func:`_write`); a
 lint rule bans stray ``print`` calls in the library so nothing else can
@@ -45,6 +53,7 @@ import sys
 from pathlib import Path
 from typing import Optional, Sequence
 
+from .core.budget import Budget, use_budget
 from .core.errors import CarError
 from .core.schema import Schema
 from .engine.config import EngineConfig
@@ -223,6 +232,67 @@ def _cmd_stats(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_batch(args: argparse.Namespace) -> int:
+    """Answer a JSONL query file through the parallel batch executor.
+
+    Each non-blank input line is ``{"schema": <source text>, "formula":
+    <formula text>}``.  Default output is one JSON outcome object per
+    line (mirroring the input shape); ``--json`` emits a single document
+    with an aggregate summary instead.  Exit status: 0 when every query
+    produced a verdict, otherwise the first failed query's error code
+    (75 for a tripped budget).
+    """
+    import dataclasses
+
+    from .engine.executor import QueryError, QueryOutcome
+
+    if args.queries == "-":
+        text = sys.stdin.read()
+    else:
+        text = Path(args.queries).read_text(encoding="utf-8")
+
+    items: list[tuple[int, object]] = []
+    premade: dict[int, QueryOutcome] = {}
+    position = 0
+    for lineno, line in enumerate(text.splitlines(), start=1):
+        if not line.strip():
+            continue
+        try:
+            items.append((position, json.loads(line)))
+        except ValueError as exc:
+            premade[position] = QueryOutcome(
+                position, None,
+                QueryError("ParseError",
+                           f"line {lineno}: invalid JSON: {exc}", 65))
+        position += 1
+
+    outcomes = args.session.run_batch(
+        [query for _, query in items],
+        jobs=(args.jobs if args.jobs > 0 else None), mode=args.mode,
+        deadline=args.timeout, max_steps=args.max_steps)
+    merged = dict(premade)
+    for (slot, _), outcome in zip(items, outcomes):
+        merged[slot] = dataclasses.replace(outcome, index=slot)
+    results = [merged[slot] for slot in range(position)]
+
+    summary = {
+        "total": len(results),
+        "ok": sum(1 for o in results if o.ok),
+        "timed_out": sum(1 for o in results if o.timed_out),
+        "failed": sum(1 for o in results if not o.ok and not o.timed_out),
+    }
+    if args.json:
+        _emit_json({"command": "batch", "summary": summary,
+                    "outcomes": [o.to_json() for o in results]})
+    else:
+        for outcome in results:
+            _write(json.dumps(outcome.to_json(), sort_keys=True))
+    for outcome in results:
+        if not outcome.ok:
+            return outcome.error.exit_code
+    return 0
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
@@ -230,10 +300,13 @@ def build_parser() -> argparse.ArgumentParser:
                     "PODS 1994)")
     subparsers = parser.add_subparsers(dest="command", required=True)
 
-    def add(name: str, handler, help_text: str) -> argparse.ArgumentParser:
+    def add(name: str, handler, help_text: str, *,
+            positional: str = "schema",
+            positional_help: str = "schema file in CAR concrete syntax "
+                                   "('-' for stdin)"
+            ) -> argparse.ArgumentParser:
         sub = subparsers.add_parser(name, help=help_text)
-        sub.add_argument("schema", help="schema file in CAR concrete syntax "
-                                        "('-' for stdin)")
+        sub.add_argument(positional, help=positional_help)
         sub.add_argument("--strategy", default="auto",
                          choices=("auto", "naive", "strategic", "hierarchy"),
                          help="compound-class enumeration strategy")
@@ -247,7 +320,15 @@ def build_parser() -> argparse.ArgumentParser:
                               "summary to stderr")
         sub.add_argument("--trace-out", metavar="FILE", default=None,
                          help="write the versioned JSON-lines trace to FILE")
-        sub.set_defaults(handler=handler)
+        sub.add_argument("--timeout", type=float, metavar="SECONDS",
+                         default=None,
+                         help="wall-clock budget (per query for 'batch', "
+                              "whole-command otherwise); exceeding it "
+                              "exits 75")
+        sub.add_argument("--max-steps", type=int, metavar="N", default=None,
+                         help="hot-loop step budget (same scope as "
+                              "--timeout)")
+        sub.set_defaults(handler=handler, per_query_budget=False)
         return sub
 
     add("validate", _cmd_validate,
@@ -266,6 +347,19 @@ def build_parser() -> argparse.ArgumentParser:
                        help="print the entire database state")
     add("render", _cmd_render, "parse and pretty-print the schema")
     add("stats", _cmd_stats, "print pipeline size measurements")
+    batch = add("batch", _cmd_batch,
+                "answer a JSONL file of schema/formula queries in parallel",
+                positional="queries",
+                positional_help="JSONL query file, one "
+                                '{"schema": ..., "formula": ...} object '
+                                "per line ('-' for stdin)")
+    batch.add_argument("--jobs", type=int, default=1, metavar="N",
+                       help="worker count (0 = one per CPU; 1 = serial)")
+    batch.add_argument("--mode", default="auto",
+                       choices=("auto", "process", "thread", "serial"),
+                       help="worker pool flavor (auto: processes when "
+                            "--jobs > 1)")
+    batch.set_defaults(per_query_budget=True)
     return parser
 
 
@@ -315,6 +409,15 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     args = parser.parse_args(argv)
     args.session = _make_session(args)
     try:
+        timeout = getattr(args, "timeout", None)
+        max_steps = getattr(args, "max_steps", None)
+        if (not args.per_query_budget
+                and (timeout is not None or max_steps is not None)):
+            # Whole-command budget: the ambient Budget governs every hot
+            # loop the handler enters; BudgetExceeded lands in the CarError
+            # arm below and exits 75.
+            with use_budget(Budget(timeout, max_steps)):
+                return args.handler(args)
         return args.handler(args)
     except CarError as error:
         return _fail(args, str(error), error.exit_code)
@@ -324,6 +427,10 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         # The trace is exported even on failure: a trace of the stages that
         # did run is exactly what debugging a failed run needs.
         _finish_trace(args)
+        # Shut any batch worker pool down before interpreter teardown —
+        # a live ProcessPoolExecutor at exit races the multiprocessing
+        # atexit hooks and spews spurious tracebacks.
+        args.session.close()
 
 
 if __name__ == "__main__":

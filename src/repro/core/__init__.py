@@ -1,5 +1,6 @@
 """Core AST of the CAR data model: formulae, cardinalities, schemas."""
 
+from .budget import NULL_BUDGET, Budget, current_budget, use_budget
 from .builder import SchemaBuilder
 from .cardinality import ANY, AT_LEAST_ONE, AT_MOST_ONE, EXACTLY_ONE, INFINITY, Card
 from .io_json import (
@@ -11,6 +12,7 @@ from .io_json import (
     schema_to_json,
 )
 from .errors import (
+    BudgetExceeded,
     CarError,
     LinearSystemError,
     ParseError,
@@ -45,12 +47,13 @@ from .schema import (
 
 __all__ = [
     "SchemaBuilder",
+    "NULL_BUDGET", "Budget", "current_budget", "use_budget",
     "interpretation_from_dict", "interpretation_to_dict",
     "schema_from_dict", "schema_from_json", "schema_to_dict",
     "schema_to_json",
     "ANY", "AT_LEAST_ONE", "AT_MOST_ONE", "EXACTLY_ONE", "INFINITY", "Card",
-    "CarError", "LinearSystemError", "ParseError", "ReasoningError",
-    "SchemaError", "SemanticsError", "SynthesisError",
+    "BudgetExceeded", "CarError", "LinearSystemError", "ParseError",
+    "ReasoningError", "SchemaError", "SemanticsError", "SynthesisError",
     "TOP", "Clause", "Formula", "Lit", "as_clause", "as_formula",
     "conjunction", "disjunction",
     "Attr", "AttrRef", "AttributeSpec", "ClassDef", "Part",

@@ -15,6 +15,7 @@ error                  code  meaning
 ``SchemaError``          65  malformed input (``EX_DATAERR``)
 ``SemanticsError``       65  malformed input (``EX_DATAERR``)
 ``ReasoningError``       64  unanswerable question (``EX_USAGE``-like)
+``BudgetExceeded``       75  deadline/step budget tripped (``EX_TEMPFAIL``)
 ``SynthesisError``       73  could not produce the output (``EX_CANTCREAT``)
 ``LinearSystemError``    70  internal inconsistency (``EX_SOFTWARE``)
 ``CarError`` (other)     70  internal inconsistency (``EX_SOFTWARE``)
@@ -26,12 +27,15 @@ argparse usage errors, and 66 — ``EX_NOINPUT`` — for unreadable files.)
 
 from __future__ import annotations
 
+from typing import Optional
+
 __all__ = [
     "CarError",
     "SchemaError",
     "ParseError",
     "SemanticsError",
     "ReasoningError",
+    "BudgetExceeded",
     "SynthesisError",
     "LinearSystemError",
 ]
@@ -78,6 +82,29 @@ class ReasoningError(CarError):
     of a class symbol that does not occur in the schema)."""
 
     exit_code = 64
+
+
+class BudgetExceeded(CarError):
+    """A cooperative :class:`~repro.core.budget.Budget` bound was crossed.
+
+    Raised from inside the pipeline's hot loops (DPLL branching, candidate
+    enumeration, simplex pivoting) when the governing budget's wall-clock
+    deadline or step bound trips.  Carries the ``steps`` performed and the
+    ``deadline`` that governed the run (both possibly ``None``), so batch
+    drivers can report *how far* a cancelled query got.
+
+    The exit code is ``EX_TEMPFAIL``: the question was not unanswerable,
+    the service just declined to keep paying for it — retry with a larger
+    budget if the answer matters.
+    """
+
+    exit_code = 75
+
+    def __init__(self, message: str, *, steps: Optional[int] = None,
+                 deadline: Optional[float] = None):
+        super().__init__(message)
+        self.steps = steps
+        self.deadline = deadline
 
 
 class LinearSystemError(CarError):

@@ -9,20 +9,28 @@ engine layer turns them into a configurable, reusable machine:
   (tables → expansion → Ψ_S → support) with uniform lazy construction and
   per-stage timing;
 * :class:`~repro.engine.session.SchemaSession` — fingerprint-keyed caching
-  of warm pipelines plus batched query entry points.
+  of warm pipelines plus batched query entry points;
+* :class:`~repro.engine.executor.BatchExecutor` — parallel, budgeted batch
+  answering across schema-fingerprint shards, yielding typed
+  :class:`~repro.engine.executor.QueryOutcome` results.
 
 :class:`~repro.reasoner.satisfiability.Reasoner` is a thin query façade
 over a pipeline; the CLI and benchmarks go through sessions.
 """
 
 from .config import EngineConfig
+from .executor import BatchExecutor, BatchQuery, QueryError, QueryOutcome
 from .pipeline import Pipeline, PipelineStage
 from .session import SchemaSession, SessionCacheInfo, schema_fingerprint
 
 __all__ = [
+    "BatchExecutor",
+    "BatchQuery",
     "EngineConfig",
     "Pipeline",
     "PipelineStage",
+    "QueryError",
+    "QueryOutcome",
     "SchemaSession",
     "SessionCacheInfo",
     "schema_fingerprint",

@@ -29,6 +29,7 @@ import hashlib
 from collections import OrderedDict
 from typing import TYPE_CHECKING, Iterable, Optional, Union
 
+from ..core.errors import CarError
 from ..core.formulas import FormulaLike
 from ..core.schema import Schema
 from ..obs.tracer import NullTracer, Tracer, as_tracer
@@ -38,6 +39,7 @@ from .stats import PipelineStats, SessionStats
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard, typing only
     from ..reasoner.satisfiability import CoherenceReport, Reasoner
+    from .executor import BatchQueryLike, QueryOutcome, _ShardPayload
 
 __all__ = ["SchemaSession", "SessionStats", "SessionCacheInfo",
            "schema_fingerprint"]
@@ -92,6 +94,7 @@ class SchemaSession:
     def __init__(self, config: Optional[EngineConfig] = None):
         self.config = config if config is not None else EngineConfig()
         self._cache: "OrderedDict[str, Reasoner]" = OrderedDict()
+        self._executor = None
         self._hits = 0
         self._misses = 0
         self._evictions = 0
@@ -148,12 +151,33 @@ class SchemaSession:
         the versioned trace."""
         return self._tracer if self._tracer.enabled else None
 
-    def invalidate(self, schema: Optional[SchemaLike] = None) -> None:
-        """Drop one schema's warm pipeline (or all of them)."""
+    def warm(self, schemas: Iterable[SchemaLike]) -> list[PipelineStats]:
+        """Pre-build every pipeline stage for each schema, now.
+
+        A service that knows its schema fleet ahead of time calls this
+        before taking traffic, so no query pays first-build latency.
+        Returns the per-schema :class:`~repro.engine.stats.PipelineStats`
+        in input order (building a pipeline *is* measuring it).
+        """
+        return [self.reasoner(schema).stats() for schema in schemas]
+
+    def invalidate(
+            self,
+            schema: Union[SchemaLike, Iterable[SchemaLike], None] = None,
+    ) -> None:
+        """Drop warm pipelines: one schema's, an iterable's worth, or all.
+
+        A single :class:`~repro.core.schema.Schema` or source-text string
+        names one schema (strings are *not* treated as iterables of
+        characters); any other iterable invalidates each member.
+        """
         if schema is None:
             self._cache.clear()
-        else:
+        elif isinstance(schema, (Schema, str)):
             self._cache.pop(schema_fingerprint(schema), None)
+        else:
+            for member in schema:
+                self._cache.pop(schema_fingerprint(member), None)
 
     def __contains__(self, schema: SchemaLike) -> bool:
         return schema_fingerprint(schema) in self._cache
@@ -172,10 +196,114 @@ class SchemaSession:
                    formulas: Iterable[FormulaLike]) -> list[bool]:
         """Formula satisfiability for a batch, reusing one support
         computation (and the reasoner's augmented-query seeding and verdict
-        memoization for the cross-cluster cases)."""
-        reasoner = self.reasoner(schema)
-        return [reasoner.is_formula_satisfiable(formula)
-                for formula in formulas]
+        memoization for the cross-cluster cases).
+
+        A thin shim over :meth:`check_many_detailed`: each outcome's
+        verdict is taken via :meth:`QueryOutcome.require()
+        <repro.engine.executor.QueryOutcome.require>`, so a failed query
+        raises its carried error the moment its slot is realized."""
+        return [outcome.require()
+                for outcome in self.check_many_detailed(
+                    schema, formulas, collect_stats=False)]
+
+    def check_many_detailed(
+            self, schema: SchemaLike, formulas: Iterable[FormulaLike], *,
+            deadline: Optional[float] = None,
+            max_steps: Optional[int] = None,
+            collect_stats: bool = True) -> "list[QueryOutcome]":
+        """Formula satisfiability for a batch, with typed outcomes.
+
+        Like :meth:`check_many` but failure-isolated and budgeted: each
+        query runs under a fresh :class:`~repro.core.budget.Budget` of
+        ``deadline`` seconds / ``max_steps`` hot-loop ticks (when given),
+        and each yields a :class:`~repro.engine.executor.QueryOutcome` —
+        verdict, error, duration, step count, pipeline-stats snapshot —
+        instead of an exception tearing the batch down.
+        """
+        from ..core.formulas import as_formula
+        from .executor import QueryError, QueryOutcome, _answer_with_reasoner
+
+        coerced: list[tuple[int, object]] = []
+        outcomes: dict[int, QueryOutcome] = {}
+        for index, formula in enumerate(formulas):
+            try:
+                coerced.append((index, as_formula(formula)))
+            except CarError as exc:
+                outcomes[index] = QueryOutcome(
+                    index, None, QueryError.from_exception(exc))
+        total = len(coerced) + len(outcomes)
+        if coerced:
+            try:
+                schema_obj = _as_schema(schema)
+                fingerprint = schema_fingerprint(schema_obj)
+                reasoner = self.reasoner(schema_obj)
+            except CarError as exc:
+                error = QueryError.from_exception(exc)
+                for index, _ in coerced:
+                    outcomes[index] = QueryOutcome(index, None, error)
+            else:
+                for index, formula in coerced:
+                    outcomes[index] = _answer_with_reasoner(
+                        reasoner, index, formula, deadline, max_steps,
+                        collect_stats, fingerprint)
+        return [outcomes[index] for index in range(total)]
+
+    def run_batch(self, queries: "Iterable[BatchQueryLike]", *,
+                  jobs: Optional[int] = 1, mode: str = "auto",
+                  deadline: Optional[float] = None,
+                  max_steps: Optional[int] = None,
+                  collect_stats: bool = True) -> "list[QueryOutcome]":
+        """Answer a heterogeneous batch of ``(schema, formula)`` queries.
+
+        The session keeps one warm
+        :class:`~repro.engine.executor.BatchExecutor` (recreated only when
+        ``jobs``/``mode`` change), so repeated batches reuse the worker
+        pool.  Serial shards run through this session's pipeline cache;
+        parallel shards go to workers that warm their own.  See
+        :meth:`BatchExecutor.run <repro.engine.executor.BatchExecutor.run>`
+        for budget and failure-isolation semantics.
+        """
+        from .executor import BatchExecutor
+
+        if jobs is None:
+            import os
+
+            jobs = os.cpu_count() or 1
+        executor = self._executor
+        if (executor is None or executor.jobs != jobs
+                or executor.mode != mode):
+            if executor is not None:
+                executor.close()
+            executor = BatchExecutor(self.config, jobs=jobs, mode=mode,
+                                     tracer=self._tracer)
+            self._executor = executor
+        return executor.run(queries, deadline=deadline,
+                            max_steps=max_steps,
+                            collect_stats=collect_stats, session=self)
+
+    def close(self) -> None:
+        """Release the batch executor's worker pool (idempotent)."""
+        if self._executor is not None:
+            self._executor.close()
+            self._executor = None
+
+    def _answer_shard(self, payload: "_ShardPayload") -> "list[QueryOutcome]":
+        """In-process shard execution against this session's warm cache
+        (the serial path of :class:`~repro.engine.executor.BatchExecutor`)."""
+        from .executor import QueryError, QueryOutcome, _answer_with_reasoner
+
+        try:
+            reasoner = self.reasoner(payload.schema_source)
+        except CarError as exc:
+            error = QueryError.from_exception(exc)
+            return [QueryOutcome(index, None, error,
+                                 schema_fingerprint=payload.fingerprint)
+                    for index, _ in payload.queries]
+        return [_answer_with_reasoner(reasoner, index, formula,
+                                      payload.deadline, payload.max_steps,
+                                      payload.collect_stats,
+                                      payload.fingerprint)
+                for index, formula in payload.queries]
 
     def check_coherence(self, schema: SchemaLike) -> "CoherenceReport":
         """Whole-schema validation through the warm pipeline."""

@@ -14,6 +14,7 @@ from __future__ import annotations
 from itertools import chain, combinations
 from typing import Optional, Sequence, Union
 
+from ..core.budget import current_budget
 from ..core.schema import Schema
 from ..obs.tracer import NULL_TRACER, NullTracer, Tracer
 from .compound import is_consistent_compound_class
@@ -34,12 +35,17 @@ def naive_compound_classes(schema: Schema) -> list[frozenset[str]]:
     Exponential in ``|C|`` always; kept as the baseline the paper's
     strategies are measured against.
     """
+    tick = current_budget().tick
     symbols = sorted(schema.class_symbols)
     subsets = chain.from_iterable(
         combinations(symbols, k) for k in range(len(symbols) + 1)
     )
-    return [frozenset(subset) for subset in subsets
-            if is_consistent_compound_class(schema, frozenset(subset))]
+    results: list[frozenset[str]] = []
+    for subset in subsets:
+        tick()
+        if is_consistent_compound_class(schema, frozenset(subset)):
+            results.append(frozenset(subset))
+    return results
 
 
 def dpll_compound_classes(schema: Schema, universe: Sequence[str],
@@ -59,7 +65,13 @@ def dpll_compound_classes(schema: Schema, universe: Sequence[str],
     ``expansion.dpll_clause_refuted`` (branches killed by a falsified
     clause), and ``expansion.dpll_table_pruned`` (branches killed by the
     preselection tables before any clause was evaluated).
+
+    The search is governed by the ambient
+    :class:`~repro.core.budget.Budget`: every node visit ticks it, so a
+    deadline or step bound cuts the (worst-case exponential) search off
+    with :class:`~repro.core.errors.BudgetExceeded`.
     """
+    tick = current_budget().tick
     order = sorted(universe)
     inside = frozenset(order)
 
@@ -109,6 +121,7 @@ def dpll_compound_classes(schema: Schema, universe: Sequence[str],
         return True
 
     def search(index: int) -> None:
+        tick()
         if index == len(order):
             results.append(frozenset(chosen))
             return

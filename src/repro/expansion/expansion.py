@@ -37,6 +37,7 @@ from dataclasses import dataclass, field
 from itertools import product
 from typing import Optional, Sequence, Union
 
+from ..core.budget import current_budget
 from ..core.cardinality import Card, INFINITY
 from ..core.errors import ReasoningError
 from ..core.schema import AttrRef, Schema
@@ -230,7 +231,14 @@ def build_expansion(schema: Schema, strategy: str = "auto", *,
         ``expansion.candidates_pruned`` against the full Cartesian space,
         ``expansion.memo_hits`` / ``expansion.memo_misses`` of the typing
         memos).  Defaults to the disabled bus.
+
+    The candidate loops (and the per-class ``Natt``/``Nrel`` merges) tick
+    the ambient :class:`~repro.core.budget.Budget`, so a deadline or step
+    bound stops an exploding expansion with
+    :class:`~repro.core.errors.BudgetExceeded` — the cooperative analogue
+    of the ``size_limit`` memory guard.
     """
+    tick = current_budget().tick
     budget = _SizeBudget(size_limit)
     if precomputed_classes is not None:
         classes = tuple(precomputed_classes)
@@ -243,6 +251,7 @@ def build_expansion(schema: Schema, strategy: str = "auto", *,
 
     natt: dict[tuple[frozenset, AttrRef], Card] = {}
     for members in classes:
+        tick()
         for ref in schema.attribute_refs():
             merged = merged_attr_card(schema, members, ref)
             if merged is not None:
@@ -254,6 +263,7 @@ def build_expansion(schema: Schema, strategy: str = "auto", *,
         for cdef in schema.class_definitions for spec in cdef.participates
     }
     for members in classes:
+        tick()
         for relation, role in participation_keys:
             merged = merged_participation_card(schema, members, relation, role)
             if merged is not None:
@@ -281,6 +291,7 @@ def _build_compound_attributes(schema: Schema, classes: Sequence[frozenset],
                                tracer: Union[Tracer, NullTracer] = NULL_TRACER
                                ) -> dict[str, tuple[CompoundAttribute, ...]]:
     result: dict[str, tuple[CompoundAttribute, ...]] = {}
+    tick = current_budget().tick
     examined = 0
     cartesian = 0
     memo_hits = 0
@@ -307,6 +318,7 @@ def _build_compound_attributes(schema: Schema, classes: Sequence[frozenset],
         found: list[CompoundAttribute] = []
         probed = 0
         for left, right in candidates:
+            tick()
             probed += 1
             if typing.consistent(left, right):
                 found.append(CompoundAttribute(attr, left, right))
@@ -336,6 +348,7 @@ def _build_compound_relations(schema: Schema, classes: Sequence[frozenset],
                               tracer: Union[Tracer, NullTracer] = NULL_TRACER
                               ) -> dict[str, tuple[CompoundRelation, ...]]:
     result: dict[str, tuple[CompoundRelation, ...]] = {}
+    tick = current_budget().tick
     examined = 0
     cartesian = 0
     memo_hits = 0
@@ -374,6 +387,7 @@ def _build_compound_relations(schema: Schema, classes: Sequence[frozenset],
             if any(not pool for pool in pools):
                 continue
             for combo in product(*pools):
+                tick()
                 probed += 1
                 assignment = dict(zip(roles, combo))
                 if typing.consistent(assignment):

@@ -24,6 +24,7 @@ from dataclasses import dataclass
 from fractions import Fraction
 from typing import Optional, Sequence
 
+from ..core.budget import current_budget
 from ..core.errors import LinearSystemError
 
 __all__ = ["LpResult", "solve_lp", "OPTIMAL", "UNBOUNDED", "INFEASIBLE"]
@@ -119,9 +120,16 @@ class _Tableau:
 
         ``allowed_cols`` restricts entering variables (used in phase 2 to
         keep artificial variables out).  Returns OPTIMAL or UNBOUNDED.
+
+        Each iteration (one pivot at most) ticks the ambient
+        :class:`~repro.core.budget.Budget`, so a deadline or step bound
+        interrupts long pivot sequences with
+        :class:`~repro.core.errors.BudgetExceeded`.
         """
+        tick = current_budget().tick
         n = len(self.objective)
         while True:
+            tick()
             entering = -1
             for j in range(n):
                 if allowed_cols is not None and j not in allowed_cols:

@@ -277,3 +277,118 @@ class TestProfileAndTrace:
     def test_no_flags_no_trace_output(self, good_file, capsys):
         assert main(["satisfiable", good_file, "Student"]) == 0
         assert capsys.readouterr().err == ""
+
+
+class TestBatch:
+    """The ``repro batch`` subcommand: JSONL in, JSONL outcomes out."""
+
+    @pytest.fixture
+    def queries_file(self, tmp_path):
+        import json
+
+        lines = [
+            {"schema": GOOD_SCHEMA, "formula": "Student and not Professor"},
+            {"schema": GOOD_SCHEMA, "formula": "Student and Professor"},
+            {"schema": "class C isa not C endclass", "formula": "C"},
+        ]
+        path = tmp_path / "queries.jsonl"
+        path.write_text("\n".join(json.dumps(line) for line in lines))
+        return str(path)
+
+    def test_jsonl_outcomes_per_line(self, queries_file, capsys):
+        import json
+
+        assert main(["batch", queries_file]) == 0
+        out = capsys.readouterr().out
+        outcomes = [json.loads(line) for line in out.splitlines()]
+        assert [o["index"] for o in outcomes] == [0, 1, 2]
+        assert [o["verdict"] for o in outcomes] == [True, False, False]
+        assert all(o["error"] is None for o in outcomes)
+
+    def test_json_document_with_summary(self, queries_file, capsys):
+        import json
+
+        assert main(["batch", queries_file, "--json"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["command"] == "batch"
+        assert payload["summary"] == {"total": 3, "ok": 3, "timed_out": 0,
+                                      "failed": 0}
+        assert len(payload["outcomes"]) == 3
+
+    def test_stdin_input(self, capsys, monkeypatch):
+        import io
+        import json
+
+        line = json.dumps({"schema": GOOD_SCHEMA, "formula": "Student"})
+        monkeypatch.setattr("sys.stdin", io.StringIO(line + "\n"))
+        assert main(["batch", "-"]) == 0
+
+    def test_bad_lines_isolated_and_exit_code(self, tmp_path, capsys):
+        import json
+
+        path = tmp_path / "mixed.jsonl"
+        path.write_text("\n".join([
+            json.dumps({"schema": GOOD_SCHEMA, "formula": "Student"}),
+            "this is not json",
+            json.dumps({"formula": "no schema key"}),
+        ]))
+        # First failure is the invalid JSON line: ParseError, exit 65.
+        assert main(["batch", str(path)]) == 65
+        outcomes = [json.loads(line)
+                    for line in capsys.readouterr().out.splitlines()]
+        assert outcomes[0]["verdict"] is True
+        assert outcomes[1]["error"]["kind"] == "ParseError"
+        assert "line 2" in outcomes[1]["error"]["message"]
+        assert outcomes[2]["error"]["kind"] == "ParseError"
+
+    def test_timeout_exits_75(self, tmp_path, capsys):
+        import json
+
+        from repro.parser.printer import render_schema
+        from repro.reductions import machine_to_schema, parity_machine
+
+        reduction = machine_to_schema(parity_machine(), (0, 1, 0, 1), 6, 6)
+        path = tmp_path / "slow.jsonl"
+        path.write_text("\n".join([
+            json.dumps({"schema": render_schema(reduction.schema),
+                        "formula": str(reduction.target)}),
+            json.dumps({"schema": GOOD_SCHEMA, "formula": "Student"}),
+        ]))
+        assert main(["batch", str(path), "--timeout", "0.05"]) == 75
+        outcomes = [json.loads(line)
+                    for line in capsys.readouterr().out.splitlines()]
+        # The deadline kills the EXPTIME query, not its batch-mate.
+        assert outcomes[0]["timed_out"] is True
+        assert outcomes[0]["error"]["exit_code"] == 75
+        assert outcomes[1]["verdict"] is True
+
+    def test_jobs_process_pool(self, queries_file, capsys):
+        import json
+
+        assert main(["batch", queries_file, "--jobs", "2",
+                     "--mode", "process"]) == 0
+        outcomes = [json.loads(line)
+                    for line in capsys.readouterr().out.splitlines()]
+        assert [o["verdict"] for o in outcomes] == [True, False, False]
+
+    def test_profile_counters_on_stderr(self, queries_file, capsys):
+        assert main(["batch", queries_file, "--profile"]) == 0
+        err = capsys.readouterr().err
+        assert "executor.tasks_dispatched" in err
+        assert "executor.shards" in err
+
+
+class TestWholeCommandBudget:
+    """--timeout / --max-steps on the classic subcommands."""
+
+    def test_max_steps_trips_exit_75(self, tmp_path, capsys):
+        from repro.parser.printer import render_schema
+        from repro.workloads.generators import clustered_schema
+
+        path = tmp_path / "clustered.car"
+        path.write_text(render_schema(clustered_schema(3, 4, seed=1)))
+        assert main(["validate", str(path), "--max-steps", "5"]) == 75
+        assert "budget" in capsys.readouterr().err.lower()
+
+    def test_generous_timeout_is_harmless(self, good_file, capsys):
+        assert main(["validate", good_file, "--timeout", "60"]) == 0
