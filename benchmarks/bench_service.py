@@ -1,0 +1,116 @@
+"""Experiment "service": the query service must make repeats cheap.
+
+Acceptance bars for ``repro serve``:
+
+* **Warm-cache throughput** — a repeated ``POST /v1/satisfiable`` over
+  real HTTP is answered from the fingerprint-keyed result cache.  A
+  conservative floor of 50 requests/second must hold (the steady state
+  is orders of magnitude above it; the bar only guards against the cache
+  being silently bypassed) and every warm request must be a cache hit.
+* **Budget responsiveness** — a 50 ms ``X-Repro-Timeout-Ms`` budget
+  against the Theorem 4.1 EXPTIME reduction returns HTTP 504 in under a
+  second, while a concurrent trivial query still gets its verdict.
+"""
+
+import json
+import threading
+import time
+import urllib.error
+import urllib.request
+
+import pytest
+
+from benchlib import render_table
+from repro.parser.printer import render_schema
+from repro.reductions import machine_to_schema, parity_machine
+from repro.service import ReproService, ServiceConfig
+
+DISJOINT_SCHEMA = "class A isa not B endclass class B endclass"
+WARM_REQUESTS = 200
+THROUGHPUT_BAR_RPS = 50.0
+
+
+def _post(base, path, body, headers=None, timeout=30):
+    request = urllib.request.Request(
+        base + path, data=json.dumps(body).encode(),
+        headers=headers or {}, method="POST")
+    try:
+        with urllib.request.urlopen(request, timeout=timeout) as response:
+            return response.status, json.loads(response.read())
+    except urllib.error.HTTPError as error:
+        return error.code, json.loads(error.read())
+
+
+@pytest.mark.experiment("service")
+def test_warm_cache_throughput(benchmark):
+    body = {"schema": DISJOINT_SCHEMA, "formula": "A and not B"}
+
+    def measure():
+        with ReproService(ServiceConfig(port=0)) as service:
+            base = f"http://{service.host}:{service.port}"
+            _post(base, "/v1/satisfiable", body)  # the one cold miss
+            start = time.perf_counter()
+            statuses = [_post(base, "/v1/satisfiable", body)[0]
+                        for _ in range(WARM_REQUESTS)]
+            warm_s = time.perf_counter() - start
+            return warm_s, statuses, service.cache.stats()
+
+    warm_s, statuses, stats = benchmark.pedantic(
+        measure, rounds=1, iterations=1)
+    rps = WARM_REQUESTS / warm_s
+    print()
+    print(render_table(
+        f"warm-cache throughput — {WARM_REQUESTS} repeated "
+        f"POST /v1/satisfiable",
+        ["requests", "seconds", "req/s", "cache hits", "misses"],
+        [(WARM_REQUESTS, warm_s, rps, stats.hits, stats.misses)]))
+
+    assert all(status == 200 for status in statuses)
+    assert stats.hits == WARM_REQUESTS, (
+        "warm requests must be answered by the result cache")
+    assert stats.misses == 1
+    assert rps >= THROUGHPUT_BAR_RPS, (
+        f"warm-cache throughput {rps:.0f} req/s is below the "
+        f"{THROUGHPUT_BAR_RPS:.0f} req/s acceptance bar")
+
+
+@pytest.mark.experiment("service")
+def test_budget_504_leaves_neighbors_unharmed(benchmark):
+    reduction = machine_to_schema(parity_machine(), (0, 1, 0, 1), 6, 6)
+    hard = {"schema": render_schema(reduction.schema),
+            "formula": str(reduction.target)}
+    easy = {"schema": DISJOINT_SCHEMA, "formula": "A"}
+
+    def measure():
+        with ReproService(ServiceConfig(port=0)) as service:
+            base = f"http://{service.host}:{service.port}"
+            outcome = {}
+
+            def slow():
+                outcome["hard"] = _post(
+                    base, "/v1/satisfiable", hard,
+                    headers={"X-Repro-Timeout-Ms": "50"})
+
+            thread = threading.Thread(target=slow)
+            start = time.perf_counter()
+            thread.start()
+            outcome["easy"] = _post(base, "/v1/satisfiable", easy)
+            thread.join(timeout=10)
+            return time.perf_counter() - start, outcome
+
+    wall_s, outcome = benchmark.pedantic(measure, rounds=1, iterations=1)
+    hard_status, hard_payload = outcome["hard"]
+    easy_status, easy_payload = outcome["easy"]
+    print()
+    print(render_table(
+        "50 ms budget vs Theorem 4.1 reduction over HTTP",
+        ["query", "status", "steps", "wall s"],
+        [("EXPTIME reduction", hard_status,
+          hard_payload.get("steps", 0), wall_s),
+         ("trivial neighbor", easy_status, "-", wall_s)]))
+
+    assert hard_status == 504
+    assert hard_payload["error"]["exit_code"] == 75
+    assert easy_status == 200 and easy_payload["verdict"] is True
+    assert wall_s < 1.0, (
+        f"50ms-budget request took {wall_s:.2f}s to come back as 504")

@@ -405,12 +405,12 @@ def session_reuse() -> None:
         schema = clustered_schema(n_clusters, cluster_size, seed=9)
         names = sorted(schema.class_symbols)
         queries = [names[i % len(names)] for i in range(24)]
-        session = SchemaSession()
-        cold_s, cold = timed(lambda: [
-            Reasoner(schema).is_satisfiable(q) for q in queries])
-        session.satisfiable(schema, queries[0])  # the one cold build
-        warm_s, warm = timed(lambda: [
-            session.satisfiable(schema, q) for q in queries])
+        with SchemaSession() as session:
+            cold_s, cold = timed(lambda: [
+                Reasoner(schema).is_satisfiable(q) for q in queries])
+            session.satisfiable(schema, queries[0])  # the one cold build
+            warm_s, warm = timed(lambda: [
+                session.satisfiable(schema, q) for q in queries])
         rows.append((n_clusters * cluster_size, len(queries), cold_s, warm_s,
                      cold_s / warm_s if warm_s else 0.0, warm == cold))
     emit("Session reuse — warm cached pipeline vs cold per-query reasoners",
@@ -428,9 +428,9 @@ def session_reuse() -> None:
                      Clause((Lit(names[-1 - i]),))))
             for i in range(6)
         ]
-        session = SchemaSession(EngineConfig(strategy="strategic"))
-        session.reasoner(schema).support  # warm the pipeline
-        warm_s, warm = timed(lambda: session.check_many(schema, formulas))
+        with SchemaSession(EngineConfig(strategy="strategic")) as session:
+            session.reasoner(schema).support  # warm the pipeline
+            warm_s, warm = timed(lambda: session.check_many(schema, formulas))
         cold_s, cold = timed(lambda: [
             Reasoner(schema, config=EngineConfig(strategy="strategic")).is_formula_satisfiable(f)
             for f in formulas])
@@ -444,11 +444,11 @@ def session_reuse() -> None:
 
     # The fingerprint LRU under an evolving fleet of schemas: six distinct
     # schemas through a limit-4 cache, then two repeats of the most recent.
-    session = SchemaSession(EngineConfig(session_cache_limit=4))
-    schemas = [random_schema(5, seed=seed) for seed in range(6)]
-    for schema in schemas + schemas[-2:]:
-        session.check_coherence(schema)
-    info = session.cache_info()
+    with SchemaSession(EngineConfig(session_cache_limit=4)) as session:
+        schemas = [random_schema(5, seed=seed) for seed in range(6)]
+        for schema in schemas + schemas[-2:]:
+            session.check_coherence(schema)
+        info = session.cache_info()
     print()
     emit("Session reuse — fingerprint LRU across an evolving schema fleet",
          ["schemas seen", "cache limit", "hits", "misses", "evictions",
@@ -475,20 +475,16 @@ def parallel_batch() -> None:
     # One untimed warm-up run: the first pipeline execution in a fresh
     # interpreter pays one-time specialization costs that forked workers
     # inherit for free, which would otherwise inflate the speedup.
-    warmup = SchemaSession()
-    warmup.run_batch(queries[:1], jobs=1, mode="serial")
-    warmup.close()
+    with SchemaSession() as warmup:
+        warmup.run_batch(queries[:1], jobs=1, mode="serial")
     rows = []
     serial_s = None
     for jobs in (1, 2, 4):
-        session = SchemaSession()
-        try:
+        with SchemaSession() as session:
             mode = "serial" if jobs == 1 else "process"
             seconds, outcomes = timed(
                 lambda s=session, m=mode, j=jobs: s.run_batch(
                     queries, jobs=j, mode=m))
-        finally:
-            session.close()
         if serial_s is None:
             serial_s = seconds
         rows.append((jobs, mode, seconds, serial_s / seconds,
@@ -507,12 +503,9 @@ def parallel_batch() -> None:
         {"schema": "class A isa not B endclass class B endclass",
          "formula": "A"},
     ]
-    session = SchemaSession()
-    try:
+    with SchemaSession() as session:
         wall_s, outcomes = timed(
             lambda: session.run_batch(deadline_queries, deadline=0.05))
-    finally:
-        session.close()
     hard, easy = outcomes
     print()
     emit("Parallel batch — 50 ms deadline vs EXPTIME reduction",
@@ -521,6 +514,76 @@ def parallel_batch() -> None:
            wall_s),
           ("trivial batch-mate", easy.timed_out, easy.steps, easy.duration,
            wall_s)])
+
+
+def query_service() -> None:
+    import json as json_module
+    import threading
+    import urllib.error
+    import urllib.request
+
+    from repro.parser.printer import render_schema
+    from repro.service import ReproService, ServiceConfig
+
+    def post(base, body, headers=None):
+        request = urllib.request.Request(
+            base + "/v1/satisfiable",
+            data=json_module.dumps(body).encode(),
+            headers=headers or {}, method="POST")
+        try:
+            with urllib.request.urlopen(request, timeout=30) as response:
+                return response.status, json_module.loads(response.read())
+        except urllib.error.HTTPError as error:
+            return error.code, json_module.loads(error.read())
+
+    # Warm-cache throughput: after the one cold miss, every repeat of the
+    # same (schema fingerprint, formula) pair is answered straight from
+    # the service's result cache — HTTP overhead is the whole cost.
+    body = {"schema": "class A isa not B endclass class B endclass",
+            "formula": "A and not B"}
+    requests = 200
+    with ReproService(ServiceConfig(port=0)) as service:
+        base = f"http://{service.host}:{service.port}"
+        cold_s, (status, _) = timed(lambda: post(base, body))
+        warm_s, statuses = timed(lambda: [
+            post(base, body)[0] for _ in range(requests)])
+        stats = service.cache.stats()
+    emit("Query service — warm-cache throughput (POST /v1/satisfiable)",
+         ["requests", "cold s", "warm s", "req/s", "cache hits", "misses"],
+         [(requests, cold_s, warm_s, requests / warm_s, stats.hits,
+           stats.misses)])
+    assert status == 200 and all(s == 200 for s in statuses)
+    assert stats.hits == requests and stats.misses == 1
+
+    # Budget isolation over HTTP: a 50 ms X-Repro-Timeout-Ms against the
+    # Theorem 4.1 EXPTIME reduction comes back 504 with partial stats,
+    # while a concurrent trivial query is answered normally.
+    reduction = machine_to_schema(parity_machine(), (0, 1, 0, 1), 6, 6)
+    hard_body = {"schema": render_schema(reduction.schema),
+                 "formula": str(reduction.target)}
+    with ReproService(ServiceConfig(port=0)) as service:
+        base = f"http://{service.host}:{service.port}"
+        outcome: dict = {}
+
+        def slow():
+            outcome["hard"] = post(base, hard_body,
+                                   headers={"X-Repro-Timeout-Ms": "50"})
+
+        thread = threading.Thread(target=slow)
+        wall_s, _ = timed(lambda: (
+            thread.start(),
+            outcome.__setitem__("easy", post(base, body)),
+            thread.join(timeout=10)))
+    hard_status, hard_payload = outcome["hard"]
+    easy_status, easy_payload = outcome["easy"]
+    print()
+    emit("Query service — 50 ms budget vs EXPTIME reduction over HTTP",
+         ["query", "status", "steps", "wall s"],
+         [("EXPTIME reduction", hard_status,
+           hard_payload.get("steps", 0), wall_s),
+          ("trivial neighbor", easy_status, "-", wall_s)])
+    assert hard_status == 504 and easy_status == 200
+    assert easy_payload["verdict"] is True
 
 
 SECTIONS = [
@@ -537,6 +600,7 @@ SECTIONS = [
      expansion_pipeline),
     ("Session reuse (SchemaSession warm vs cold)", session_reuse),
     ("Parallel batch (executor, deadlines)", parallel_batch),
+    ("Query service (admission, result cache, budgets)", query_service),
     ("Ablations", ablations),
 ]
 

@@ -1,0 +1,100 @@
+#!/usr/bin/env python3
+"""Query service tour: warm sessions, then the same engine over HTTP.
+
+Two ways to serve many queries against a fleet of schemas:
+
+1. in-process — a ``SchemaSession`` as a context manager keeps reasoner
+   pipelines warm across queries and closes its executor on exit,
+2. over the wire — ``ReproService`` (the engine behind ``repro serve``)
+   exposes the same verdicts as JSON endpoints with admission control,
+   a fingerprint-keyed result cache, and per-request budgets.
+
+Run:  python examples/query_service.py
+"""
+
+import json
+import urllib.error
+import urllib.request
+
+from repro.engine import SchemaSession
+from repro.service import ReproService, ServiceConfig
+
+SCHEMA = """
+class Person endclass
+class Student isa Person and not Professor endclass
+class Professor isa Person endclass
+"""
+
+
+def call(base: str, path: str, body=None, headers=None):
+    """One JSON round-trip against the service (stdlib only)."""
+    data = None if body is None else json.dumps(body).encode()
+    request = urllib.request.Request(base + path, data=data,
+                                     headers=headers or {},
+                                     method="POST" if body else "GET")
+    try:
+        with urllib.request.urlopen(request, timeout=30) as response:
+            return response.status, json.loads(response.read())
+    except urllib.error.HTTPError as error:
+        return error.code, json.loads(error.read())
+
+
+def main() -> None:
+    print("=== In-process: a SchemaSession as a context manager ===")
+    with SchemaSession() as session:
+        for name in ("Person", "Student", "Professor"):
+            print(f"  {name} satisfiable: "
+                  f"{session.satisfiable(SCHEMA, name)}")
+        info = session.cache_info()
+        print(f"  pipeline cache: {info.hits} hits, {info.misses} miss "
+              f"(one build served every query)")
+    # leaving the with-block closed the session's batch executor
+
+    print("\n=== Over HTTP: the service behind `repro serve` ===")
+    with ReproService(ServiceConfig(port=0)) as service:
+        base = f"http://{service.host}:{service.port}"
+        print(f"  listening on {base}")
+
+        status, payload = call(base, "/v1/satisfiable",
+                               {"schema": SCHEMA, "class": "Student"})
+        print(f"  POST /v1/satisfiable -> {status}, "
+              f"verdict={payload['verdict']}, cache={payload['cache']}")
+        status, payload = call(base, "/v1/satisfiable",
+                               {"schema": SCHEMA, "class": "Student"})
+        print(f"  repeated              -> {status}, "
+              f"verdict={payload['verdict']}, cache={payload['cache']}")
+
+        status, payload = call(base, "/v1/classify", {"schema": SCHEMA})
+        print(f"  POST /v1/classify     -> {status}, "
+              f"subsumptions={payload['subsumptions']}")
+
+        status, payload = call(base, "/v1/batch", {"queries": [
+            {"schema": SCHEMA, "formula": "Student and Professor"},
+            {"schema": SCHEMA, "formula": "Student and Person"},
+        ]})
+        print(f"  POST /v1/batch        -> {status}, "
+              f"summary={payload['summary']}")
+
+        # A 50 ms budget against the paper's EXPTIME-hard reduction maps
+        # to HTTP 504, carrying the partial progress made before the trip.
+        from repro.parser.printer import render_schema
+        from repro.reductions import machine_to_schema, parity_machine
+
+        reduction = machine_to_schema(parity_machine(), (0, 1, 0, 1), 6, 6)
+        status, payload = call(base, "/v1/satisfiable",
+                               {"schema": render_schema(reduction.schema),
+                                "formula": str(reduction.target)},
+                               headers={"X-Repro-Timeout-Ms": "50"})
+        print(f"  50 ms vs EXPTIME      -> {status} "
+              f"({payload['error']['kind']}, steps={payload['steps']})")
+
+        status, payload = call(base, "/metrics")
+        print(f"  GET /metrics          -> {status}, "
+              f"cache hit rate "
+              f"{payload['result_cache']['hit_rate']:.0%}, "
+              f"admitted {payload['admission']['admitted']}")
+    # leaving the with-block drained in-flight requests and shut down
+
+
+if __name__ == "__main__":
+    main()

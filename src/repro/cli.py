@@ -13,7 +13,10 @@ syntax:
 * ``stats``      — pipeline size measurements;
 * ``batch``      — answer a JSONL file of ``{"schema": ..., "formula":
   ...}`` queries through the parallel batch executor, one JSON outcome
-  per line.
+  per line;
+* ``serve``      — run the long-lived HTTP query service
+  (:mod:`repro.service`): JSON endpoints with admission control, a
+  result cache, per-request budgets, and health/metrics introspection.
 
 Every command reads the schema from a file (or ``-`` for stdin) and returns
 a nonzero exit status on validation failures, so the tool slots into CI.
@@ -293,6 +296,61 @@ def _cmd_batch(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_serve(args: argparse.Namespace) -> int:
+    """Run the HTTP query service until SIGTERM/SIGINT, then drain.
+
+    The service owns its session (tracing always on: ``/metrics`` is the
+    tracer's counters); it replaces the prologue session so ``--profile``
+    and ``--trace-out`` export the service's bus after shutdown.  Exit
+    status: 0 after a clean drain, 75 when the drain grace expired with
+    requests still in flight.
+    """
+    import signal
+    import threading
+
+    from .service.app import ReproService, ServiceConfig
+
+    try:
+        config = ServiceConfig(
+            host=args.host, port=args.port,
+            max_inflight=args.max_inflight,
+            queue_depth=args.queue_depth,
+            queue_timeout_s=args.queue_timeout,
+            max_body_bytes=args.max_body_bytes,
+            cache_limit=args.cache_size,
+            max_timeout_ms=args.max_timeout_ms,
+            default_timeout_ms=args.default_timeout_ms,
+            drain_grace_s=args.drain_grace)
+    except ValueError as exc:
+        _write_err(f"error: {exc}")
+        return 2
+    service = ReproService(config, EngineConfig(
+        strategy=args.strategy, lp_backend=args.backend))
+    args.session.close()
+    args.session = service.session
+    for path in args.warm:
+        service.session.warm([_read_schema(path)])
+    host, port = service.start()
+    _write(f"repro service listening on http://{host}:{port}")
+    sys.stdout.flush()
+
+    stop = threading.Event()
+    previous = {}
+    for signum in (signal.SIGTERM, signal.SIGINT):
+        previous[signum] = signal.signal(
+            signum, lambda *_forwarded: stop.set())
+    try:
+        stop.wait()
+    finally:
+        for signum, handler in previous.items():
+            signal.signal(signum, handler)
+    _write_err("draining in-flight requests ...")
+    drained = service.drain()
+    _write_err("shutdown complete" if drained
+               else "drain grace expired with requests still in flight")
+    return 0 if drained else 75
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
@@ -360,6 +418,54 @@ def build_parser() -> argparse.ArgumentParser:
                        help="worker pool flavor (auto: processes when "
                             "--jobs > 1)")
     batch.set_defaults(per_query_budget=True)
+
+    serve = subparsers.add_parser(
+        "serve", help="run the HTTP query service (see repro.service)")
+    serve.add_argument("--host", default="127.0.0.1",
+                       help="bind address (default 127.0.0.1)")
+    serve.add_argument("--port", type=int, default=8750,
+                       help="bind port (0 = ephemeral; the bound port is "
+                            "printed on startup)")
+    serve.add_argument("--max-inflight", type=int, default=8, metavar="N",
+                       help="concurrent executions before queueing")
+    serve.add_argument("--queue-depth", type=int, default=16, metavar="N",
+                       help="waiting requests before 429")
+    serve.add_argument("--queue-timeout", type=float, default=0.5,
+                       metavar="SECONDS",
+                       help="longest a request may wait for a slot")
+    serve.add_argument("--max-body-bytes", type=int, default=1_000_000,
+                       metavar="N", help="request bodies above this get 413")
+    serve.add_argument("--cache-size", type=int, default=1024, metavar="N",
+                       help="result-cache entry bound")
+    serve.add_argument("--max-timeout-ms", type=int, default=30_000,
+                       metavar="MS",
+                       help="cap on the X-Repro-Timeout-Ms request header")
+    serve.add_argument("--default-timeout-ms", type=int, default=None,
+                       metavar="MS",
+                       help="per-request deadline when the client sends "
+                            "none (default: unbounded)")
+    serve.add_argument("--drain-grace", type=float, default=10.0,
+                       metavar="SECONDS",
+                       help="how long SIGTERM waits for in-flight requests")
+    serve.add_argument("--warm", action="append", default=[],
+                       metavar="FILE",
+                       help="schema file to pre-build pipelines for "
+                            "(repeatable)")
+    serve.add_argument("--strategy", default="auto",
+                       choices=("auto", "naive", "strategic", "hierarchy"),
+                       help="compound-class enumeration strategy")
+    serve.add_argument("--backend", default="auto",
+                       choices=("auto", "exact", "float-fallback"),
+                       help="LP backend for the support computation")
+    serve.add_argument("--json", action="store_true",
+                       help=argparse.SUPPRESS)
+    serve.add_argument("--profile", action="store_true",
+                       help="print the service's span/counter summary to "
+                            "stderr after shutdown")
+    serve.add_argument("--trace-out", metavar="FILE", default=None,
+                       help="write the service's JSON-lines trace to FILE "
+                            "on shutdown")
+    serve.set_defaults(handler=_cmd_serve, per_query_budget=True)
     return parser
 
 
@@ -409,16 +515,20 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     args = parser.parse_args(argv)
     args.session = _make_session(args)
     try:
-        timeout = getattr(args, "timeout", None)
-        max_steps = getattr(args, "max_steps", None)
-        if (not args.per_query_budget
-                and (timeout is not None or max_steps is not None)):
-            # Whole-command budget: the ambient Budget governs every hot
-            # loop the handler enters; BudgetExceeded lands in the CarError
-            # arm below and exits 75.
-            with use_budget(Budget(timeout, max_steps)):
-                return args.handler(args)
-        return args.handler(args)
+        # The session context manager shuts any batch worker pool down
+        # before interpreter teardown — a live ProcessPoolExecutor at exit
+        # races the multiprocessing atexit hooks and spews tracebacks.
+        with args.session:
+            timeout = getattr(args, "timeout", None)
+            max_steps = getattr(args, "max_steps", None)
+            if (not args.per_query_budget
+                    and (timeout is not None or max_steps is not None)):
+                # Whole-command budget: the ambient Budget governs every
+                # hot loop the handler enters; BudgetExceeded lands in the
+                # CarError arm below and exits 75.
+                with use_budget(Budget(timeout, max_steps)):
+                    return args.handler(args)
+            return args.handler(args)
     except CarError as error:
         return _fail(args, str(error), error.exit_code)
     except FileNotFoundError as error:
@@ -427,9 +537,8 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         # The trace is exported even on failure: a trace of the stages that
         # did run is exactly what debugging a failed run needs.
         _finish_trace(args)
-        # Shut any batch worker pool down before interpreter teardown —
-        # a live ProcessPoolExecutor at exit races the multiprocessing
-        # atexit hooks and spews spurious tracebacks.
+        # `serve` swaps in the service's session mid-handler; close
+        # whatever session the namespace holds now (idempotent).
         args.session.close()
 
 

@@ -26,6 +26,7 @@ session, so every entry point exercises the same engine path.
 from __future__ import annotations
 
 import hashlib
+import threading
 from collections import OrderedDict
 from typing import TYPE_CHECKING, Iterable, Optional, Union
 
@@ -98,6 +99,10 @@ class SchemaSession:
         self._hits = 0
         self._misses = 0
         self._evictions = 0
+        # The LRU and its counters are shared by every thread of a
+        # threaded server; get/move_to_end/popitem must not interleave
+        # (a lookup racing an eviction would KeyError on move_to_end).
+        self._lock = threading.RLock()
         # One bus for every reasoner this session builds: with
         # trace=True the session owns a fresh Tracer; with a Tracer
         # instance the bus is shared with whoever supplied it.
@@ -118,29 +123,31 @@ class SchemaSession:
 
         schema = _as_schema(schema)
         key = schema_fingerprint(schema)
-        cached = self._cache.get(key)
-        if cached is not None:
-            self._hits += 1
-            self._tracer.add("session.cache_hits")
-            self._cache.move_to_end(key)
-            return cached
-        self._misses += 1
-        self._tracer.add("session.cache_misses")
-        reasoner = Reasoner(schema, config=self.config,
-                            tracer=self._tracer)
-        self._cache[key] = reasoner
-        while len(self._cache) > self.config.session_cache_limit:
-            self._cache.popitem(last=False)
-            self._evictions += 1
-            self._tracer.add("session.cache_evictions")
-        self._tracer.gauge("session.cache_size", len(self._cache))
-        return reasoner
+        with self._lock:
+            cached = self._cache.get(key)
+            if cached is not None:
+                self._hits += 1
+                self._tracer.add("session.cache_hits")
+                self._cache.move_to_end(key)
+                return cached
+            self._misses += 1
+            self._tracer.add("session.cache_misses")
+            reasoner = Reasoner(schema, config=self.config,
+                                tracer=self._tracer)
+            self._cache[key] = reasoner
+            while len(self._cache) > self.config.session_cache_limit:
+                self._cache.popitem(last=False)
+                self._evictions += 1
+                self._tracer.add("session.cache_evictions")
+            self._tracer.gauge("session.cache_size", len(self._cache))
+            return reasoner
 
     def cache_info(self) -> SessionStats:
         """Hit/miss/eviction counters and current occupancy."""
-        return SessionStats(self._hits, self._misses, self._evictions,
-                            len(self._cache),
-                            self.config.session_cache_limit)
+        with self._lock:
+            return SessionStats(self._hits, self._misses, self._evictions,
+                                len(self._cache),
+                                self.config.session_cache_limit)
 
     def last_trace(self) -> Optional[Union[Tracer, NullTracer]]:
         """The session's event/metric bus, or None when tracing is off.
@@ -171,19 +178,26 @@ class SchemaSession:
         names one schema (strings are *not* treated as iterables of
         characters); any other iterable invalidates each member.
         """
-        if schema is None:
-            self._cache.clear()
-        elif isinstance(schema, (Schema, str)):
-            self._cache.pop(schema_fingerprint(schema), None)
-        else:
-            for member in schema:
-                self._cache.pop(schema_fingerprint(member), None)
+        with self._lock:
+            if schema is None:
+                self._cache.clear()
+            elif isinstance(schema, (Schema, str)):
+                self._cache.pop(schema_fingerprint(schema), None)
+            else:
+                for member in schema:
+                    self._cache.pop(schema_fingerprint(member), None)
 
     def __contains__(self, schema: SchemaLike) -> bool:
         return schema_fingerprint(schema) in self._cache
 
     def __len__(self) -> int:
         return len(self._cache)
+
+    def __enter__(self) -> "SchemaSession":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
 
     # ------------------------------------------------------------------
     # Batched query entry points
@@ -269,23 +283,29 @@ class SchemaSession:
             import os
 
             jobs = os.cpu_count() or 1
-        executor = self._executor
-        if (executor is None or executor.jobs != jobs
-                or executor.mode != mode):
-            if executor is not None:
-                executor.close()
-            executor = BatchExecutor(self.config, jobs=jobs, mode=mode,
-                                     tracer=self._tracer)
-            self._executor = executor
+        with self._lock:
+            executor = self._executor
+            if (executor is None or executor.jobs != jobs
+                    or executor.mode != mode):
+                if executor is not None:
+                    executor.close()
+                executor = BatchExecutor(self.config, jobs=jobs, mode=mode,
+                                         tracer=self._tracer)
+                self._executor = executor
         return executor.run(queries, deadline=deadline,
                             max_steps=max_steps,
                             collect_stats=collect_stats, session=self)
 
     def close(self) -> None:
-        """Release the batch executor's worker pool (idempotent)."""
-        if self._executor is not None:
-            self._executor.close()
-            self._executor = None
+        """Release the batch executor's worker pool (idempotent).
+
+        Sessions are context managers — ``with SchemaSession() as s:``
+        closes on exit, so a forgotten ``close()`` cannot leak the pool.
+        """
+        with self._lock:
+            if self._executor is not None:
+                self._executor.close()
+                self._executor = None
 
     def _answer_shard(self, payload: "_ShardPayload") -> "list[QueryOutcome]":
         """In-process shard execution against this session's warm cache

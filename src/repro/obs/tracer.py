@@ -24,6 +24,7 @@ Design constraints, in order:
 from __future__ import annotations
 
 import json
+import threading
 import time
 from contextlib import contextmanager
 from contextvars import ContextVar
@@ -78,9 +79,16 @@ class Tracer:
     accumulate (``add``); gauges keep the last sampled value (``gauge``).
     A tracer is append-only during a run; :meth:`clear` resets it between
     runs (the benchmark driver does this per section).
+
+    One tracer may be shared by many threads (the query service's
+    ``ThreadingHTTPServer`` funnels every request thread into the session
+    bus): the open-span stack is thread-local so parent attribution never
+    crosses threads, and counter increments — a read-modify-write — are
+    guarded by a lock.  Span/gauge recording relies on the atomicity of
+    ``list.append`` and ``dict.__setitem__``.
     """
 
-    __slots__ = ("_epoch", "spans", "counters", "gauges", "_stack")
+    __slots__ = ("_epoch", "spans", "counters", "gauges", "_local", "_lock")
 
     enabled = True
 
@@ -89,7 +97,15 @@ class Tracer:
         self.spans: list[SpanRecord] = []
         self.counters: dict[str, int] = {}
         self.gauges: dict[str, float] = {}
-        self._stack: list[str] = []
+        self._local = threading.local()
+        self._lock = threading.Lock()
+
+    @property
+    def _stack(self) -> list[str]:
+        stack = getattr(self._local, "stack", None)
+        if stack is None:
+            stack = self._local.stack = []
+        return stack
 
     # ------------------------------------------------------------------
     # Recording
@@ -97,20 +113,22 @@ class Tracer:
     @contextmanager
     def span(self, name: str) -> Iterator[None]:
         """Record a named wall-clock interval around the ``with`` body."""
-        parent = self._stack[-1] if self._stack else None
-        self._stack.append(name)
+        stack = self._stack
+        parent = stack[-1] if stack else None
+        stack.append(name)
         start = time.perf_counter()
         try:
             yield
         finally:
             duration = time.perf_counter() - start
-            self._stack.pop()
+            stack.pop()
             self.spans.append(SpanRecord(
                 name, start - self._epoch, duration, parent))
 
     def add(self, name: str, amount: int = 1) -> None:
         """Accumulate ``amount`` into counter ``name``."""
-        self.counters[name] = self.counters.get(name, 0) + amount
+        with self._lock:
+            self.counters[name] = self.counters.get(name, 0) + amount
 
     def gauge(self, name: str, value: float) -> None:
         """Sample gauge ``name`` (last value wins)."""

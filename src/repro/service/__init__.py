@@ -1,0 +1,39 @@
+"""`repro.service` — the production query service over warm sessions.
+
+A stdlib-only HTTP service (``repro serve``) exposing the reasoner as
+JSON endpoints with admission control, a fingerprint-keyed result cache,
+per-request cooperative budgets, and health/metrics introspection:
+
+========================  ==============================================
+endpoint                  answers
+========================  ==============================================
+``POST /v1/satisfiable``  one formula/class verdict (result-cached)
+``POST /v1/classify``     the implied subsumption hierarchy
+``POST /v1/batch``        a query batch via ``SchemaSession.run_batch``
+``GET /healthz``          process liveness
+``GET /readyz``           readiness (503 while starting or draining)
+``GET /metrics``          admission + cache + session + tracer counters
+========================  ==============================================
+
+See ``docs/api.md`` (Service section) for the request/response contract
+and ``docs/architecture.md`` for the admission → cache → session →
+budget request flow.
+"""
+
+from .admission import AdmissionController, AdmissionRejected, AdmissionStats
+from .app import ReproService, ServiceConfig
+from .cache import ResultCache, ResultCacheStats
+from .http import HTTP_STATUS_BY_EXIT, ServiceResponse, status_for_exit_code
+
+__all__ = [
+    "AdmissionController",
+    "AdmissionRejected",
+    "AdmissionStats",
+    "HTTP_STATUS_BY_EXIT",
+    "ReproService",
+    "ResultCache",
+    "ResultCacheStats",
+    "ServiceConfig",
+    "ServiceResponse",
+    "status_for_exit_code",
+]

@@ -1,0 +1,510 @@
+"""The query service application: routing, budgets, lifecycle.
+
+``repro serve`` keeps one process alive answering schema-reasoning
+queries over HTTP, so the expensive parts of the paper's decision
+procedure — Theorem 3.3's expansion + support computation, warm in a
+:class:`~repro.engine.session.SchemaSession` — are paid once and amortized
+across requests instead of once per CLI invocation.
+
+Request flow (see ``docs/architecture.md``)::
+
+    request → admission controller → result cache → SchemaSession
+                  (429/503)             (hit: done)     under Budget
+                                                        (504 on trip)
+
+* **Admission** (:mod:`repro.service.admission`): bounded in-flight
+  execution and a bounded wait queue; overload is turned away at the door
+  with 429 + ``Retry-After``, oversized bodies with 413 — the reasoner
+  never sees work the service cannot afford.
+* **Result cache** (:mod:`repro.service.cache`): completed verdicts keyed
+  by ``(schema_fingerprint, formula)``; a repeat query never touches a
+  reasoner.
+* **Budgets**: every reasoning request runs under a per-request
+  :class:`~repro.core.budget.Budget` assembled from the
+  ``X-Repro-Timeout-Ms`` / ``X-Repro-Max-Steps`` headers, clamped by the
+  server-side caps — a client can ask for *less* time than the server
+  allows, never more.  A tripped budget is HTTP 504 carrying the partial
+  stats (steps performed, wall-clock spent), per Theorem 4.1: the service
+  cannot promise to finish, but it promises to stop.
+* **Errors**: the :mod:`repro.core.errors` sysexits codes map onto HTTP
+  statuses through one table (:data:`repro.service.http.HTTP_STATUS_BY_EXIT`).
+* **Lifecycle**: ``/healthz`` is process liveness, ``/readyz`` flips to
+  503 the moment draining starts, and :meth:`ReproService.drain` stops
+  accepting, waits for in-flight work, then closes the session pool —
+  the SIGTERM path of ``repro serve``.
+
+The application logic is socket-free: :meth:`ReproService.dispatch` maps
+``(method, path, headers, body)`` to a
+:class:`~repro.service.http.ServiceResponse`, so tests drive it directly
+and the wire layer stays a thin shell.
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+import time
+from dataclasses import dataclass
+from typing import Mapping, Optional
+
+from ..core.budget import Budget, use_budget
+from ..core.errors import BudgetExceeded, CarError, ParseError
+from ..engine.config import EngineConfig
+from ..engine.session import SchemaSession, schema_fingerprint
+from ..obs.tracer import Tracer
+from .admission import AdmissionController, AdmissionRejected
+from .cache import ResultCache
+from .http import ServiceResponse, make_server, new_request_id, \
+    status_for_exit_code
+
+__all__ = ["ServiceConfig", "ReproService"]
+
+#: Executor modes ``POST /v1/batch`` accepts (mirrors ``repro batch``).
+_BATCH_MODES = ("auto", "process", "thread", "serial")
+
+
+@dataclass(frozen=True)
+class ServiceConfig:
+    """Every server-side knob of the query service, in one frozen value.
+
+    Parameters
+    ----------
+    host / port:
+        Bind address; port 0 binds an ephemeral port (tests, benchmarks).
+    max_inflight / queue_depth / queue_timeout_s:
+        Admission bounds: concurrent executions, waiting requests, and the
+        longest a request may wait for a slot before 429.
+    max_body_bytes:
+        Request bodies larger than this are rejected with 413 from their
+        ``Content-Length`` alone.
+    cache_limit:
+        Entry bound of the ``(fingerprint, formula)`` result cache.
+    max_timeout_ms / default_timeout_ms:
+        Per-request wall-clock budget cap and default (None = no default
+        deadline).  Client headers are clamped to the cap.
+    max_steps_cap / default_max_steps:
+        Same two knobs for the cooperative step budget.
+    max_batch_queries / max_batch_jobs:
+        Size and parallelism bounds of ``POST /v1/batch``.
+    drain_grace_s:
+        How long :meth:`ReproService.drain` waits for in-flight requests.
+    """
+
+    host: str = "127.0.0.1"
+    port: int = 8750
+    max_inflight: int = 8
+    queue_depth: int = 16
+    queue_timeout_s: float = 0.5
+    max_body_bytes: int = 1_000_000
+    cache_limit: int = 1024
+    max_timeout_ms: int = 30_000
+    default_timeout_ms: Optional[int] = None
+    max_steps_cap: int = 100_000_000
+    default_max_steps: Optional[int] = None
+    max_batch_queries: int = 1000
+    max_batch_jobs: int = 8
+    drain_grace_s: float = 10.0
+
+    def __post_init__(self) -> None:
+        for name in ("max_inflight", "max_body_bytes", "cache_limit",
+                     "max_timeout_ms", "max_steps_cap",
+                     "max_batch_queries", "max_batch_jobs"):
+            if getattr(self, name) < 1:
+                raise ValueError(
+                    f"{name} must be positive, got {getattr(self, name)}")
+        if self.queue_depth < 0:
+            raise ValueError(
+                f"queue_depth must be >= 0, got {self.queue_depth}")
+        if self.queue_timeout_s < 0 or self.drain_grace_s < 0:
+            raise ValueError("timeouts must be >= 0")
+
+
+class ReproService:
+    """The long-running query service over one warm schema session.
+
+    Use as a context manager in tests and benchmarks::
+
+        with ReproService(ServiceConfig(port=0)) as service:
+            ...  # service.port is the bound ephemeral port
+
+    ``engine_config`` configures the underlying session; tracing is
+    forced on (``/metrics`` is the tracer's counters) unless the caller
+    supplied an explicit tracer to share.
+    """
+
+    def __init__(self, config: Optional[ServiceConfig] = None,
+                 engine_config: Optional[EngineConfig] = None):
+        self.config = config if config is not None else ServiceConfig()
+        engine_config = (engine_config if engine_config is not None
+                         else EngineConfig())
+        if engine_config.trace is False:
+            engine_config = engine_config.replace(trace=Tracer())
+        self.session = SchemaSession(engine_config)
+        self.tracer = self.session.last_trace()
+        self.admission = AdmissionController(
+            max_inflight=self.config.max_inflight,
+            max_queue=self.config.queue_depth,
+            queue_timeout=self.config.queue_timeout_s,
+            tracer=self.tracer)
+        self.cache = ResultCache(self.config.cache_limit,
+                                 tracer=self.tracer)
+        self._epoch = time.monotonic()
+        self._ready = threading.Event()
+        self._draining = threading.Event()
+        self._server = None
+        self._thread: Optional[threading.Thread] = None
+        self.host = self.config.host
+        self.port = self.config.port
+
+    # ------------------------------------------------------------------
+    # Routing
+    # ------------------------------------------------------------------
+    #: route table: path → {method → handler attribute name}
+    _ROUTES: Mapping[str, Mapping[str, str]] = {
+        "/healthz": {"GET": "_healthz"},
+        "/readyz": {"GET": "_readyz"},
+        "/metrics": {"GET": "_metrics"},
+        "/v1/satisfiable": {"POST": "_satisfiable"},
+        "/v1/classify": {"POST": "_classify"},
+        "/v1/batch": {"POST": "_batch"},
+    }
+
+    def dispatch(self, method: str, path: str, headers: Mapping[str, str],
+                 body: bytes) -> ServiceResponse:
+        """Answer one request: the socket-free application entry point."""
+        request_id = new_request_id()
+        self.tracer.add("service.requests")
+        with self.tracer.span("service.request"):
+            response = self._route(method, path, headers, body, request_id)
+        response.payload.setdefault("request_id", request_id)
+        self.tracer.add(f"service.responses_{response.status // 100}xx")
+        return response
+
+    def _route(self, method: str, path: str, headers: Mapping[str, str],
+               body: bytes, request_id: str) -> ServiceResponse:
+        path = path.split("?", 1)[0]
+        methods = self._ROUTES.get(path)
+        if methods is None:
+            return ServiceResponse(404, {"error": {
+                "kind": "NotFound", "message": f"no route for {path!r}"}})
+        name = methods.get(method)
+        if name is None:
+            return ServiceResponse(
+                405, {"error": {"kind": "MethodNotAllowed",
+                                "message": f"{method} not allowed on "
+                                           f"{path}"}},
+                headers=(("Allow", ", ".join(sorted(methods))),))
+        handler = getattr(self, name)
+        if method == "GET":
+            return handler(request_id)
+        return self._run_admitted(handler, headers, body, request_id)
+
+    def _run_admitted(self, handler, headers: Mapping[str, str],
+                      body: bytes, request_id: str) -> ServiceResponse:
+        """The POST prologue: drain gate, size gate, JSON, budget,
+        admission — then the endpoint handler, with errors mapped."""
+        if self._draining.is_set():
+            return ServiceResponse(
+                503, {"error": {"kind": "Draining",
+                                "message": "service is shutting down"}},
+                headers=(("Retry-After", "1"),))
+        if len(body) > self.config.max_body_bytes:
+            return self.too_large()
+        try:
+            document = json.loads(body.decode("utf-8") or "null")
+        except (ValueError, UnicodeDecodeError) as exc:
+            return ServiceResponse(400, {"error": {
+                "kind": "BadRequest",
+                "message": f"request body is not valid JSON: {exc}"}})
+        if not isinstance(document, dict):
+            return ServiceResponse(400, {"error": {
+                "kind": "BadRequest",
+                "message": "request body must be a JSON object"}})
+        try:
+            deadline, max_steps = self._budget_from(headers)
+        except ValueError as exc:
+            return ServiceResponse(400, {"error": {
+                "kind": "BadRequest", "message": str(exc)}})
+        try:
+            self.admission.acquire()
+        except AdmissionRejected as exc:
+            return ServiceResponse(
+                429, {"error": {"kind": "AdmissionRejected",
+                                "message": str(exc),
+                                "reason": exc.reason}},
+                headers=(("Retry-After", str(exc.retry_after)),))
+        start = time.perf_counter()
+        try:
+            return handler(document, deadline, max_steps, request_id)
+        except CarError as exc:
+            return self._error_response(exc, start)
+        except Exception as exc:  # noqa: BLE001 - the service must answer
+            self.tracer.add("service.internal_errors")
+            return ServiceResponse(500, {"error": {
+                "kind": type(exc).__name__, "message": str(exc),
+                "exit_code": 70}})
+        finally:
+            self.admission.release()
+
+    def _budget_from(self, headers: Mapping[str, str]
+                     ) -> tuple[Optional[float], Optional[int]]:
+        """The per-request budget: client headers clamped by server caps.
+
+        Returns ``(deadline_seconds, max_steps)``; either may be None
+        (no bound requested and no server default).
+        """
+        timeout_ms = self._header_int(headers, "X-Repro-Timeout-Ms",
+                                      self.config.default_timeout_ms)
+        max_steps = self._header_int(headers, "X-Repro-Max-Steps",
+                                     self.config.default_max_steps)
+        if timeout_ms is not None:
+            timeout_ms = min(timeout_ms, self.config.max_timeout_ms)
+        if max_steps is not None:
+            max_steps = min(max_steps, self.config.max_steps_cap)
+        deadline = timeout_ms / 1000.0 if timeout_ms is not None else None
+        return deadline, max_steps
+
+    @staticmethod
+    def _header_int(headers: Mapping[str, str], name: str,
+                    default: Optional[int]) -> Optional[int]:
+        raw = headers.get(name)
+        if raw is None:
+            return default
+        try:
+            value = int(raw)
+        except ValueError:
+            raise ValueError(f"{name} must be an integer, got {raw!r}") \
+                from None
+        if value < 1:
+            raise ValueError(f"{name} must be positive, got {value}")
+        return value
+
+    def _error_response(self, exc: CarError,
+                        start: float) -> ServiceResponse:
+        """Map a typed failure onto the stable sysexits→HTTP table.
+
+        A tripped budget (504) carries its partial stats — how many
+        hot-loop steps ran and how long — so the client can size a retry.
+        """
+        error: dict = {"kind": type(exc).__name__, "message": str(exc),
+                       "exit_code": exc.exit_code}
+        payload: dict = {"error": error}
+        if isinstance(exc, BudgetExceeded):
+            error["steps"] = exc.steps
+            payload["steps"] = exc.steps
+            payload["duration_s"] = round(time.perf_counter() - start, 6)
+        return ServiceResponse(status_for_exit_code(exc.exit_code), payload)
+
+    def too_large(self) -> ServiceResponse:
+        """The 413 response (used from the wire layer's pre-read check)."""
+        self.tracer.add("service.rejected_body_too_large")
+        return ServiceResponse(
+            413,
+            {"error": {"kind": "PayloadTooLarge",
+                       "message": f"request body exceeds "
+                                  f"{self.config.max_body_bytes} bytes"},
+             "request_id": new_request_id()})
+
+    # ------------------------------------------------------------------
+    # Reasoning endpoints
+    # ------------------------------------------------------------------
+    def _satisfiable(self, document: dict, deadline: Optional[float],
+                     max_steps: Optional[int],
+                     request_id: str) -> ServiceResponse:
+        """``POST /v1/satisfiable`` — one formula (or class) verdict.
+
+        Body: ``{"schema": <source>, "formula": <formula text>}`` (or
+        ``"class": <name>``).  The result cache is consulted *before* any
+        reasoner; misses run through the warm session under the request
+        budget and populate it.
+        """
+        from ..parser.parser import parse_formula
+
+        schema_source = self._required_str(document, "schema")
+        if "formula" in document:
+            formula_text = self._required_str(document, "formula")
+        elif "class" in document:
+            formula_text = self._required_str(document, "class")
+        else:
+            raise ParseError(
+                "satisfiable body needs a 'formula' (or 'class') key")
+        formula = parse_formula(formula_text)
+        from ..parser.parser import parse_schema
+
+        schema = parse_schema(schema_source)
+        fingerprint = schema_fingerprint(schema)
+        key = str(formula)
+        cached = self.cache.get(fingerprint, key)
+        if cached is not None:
+            return ServiceResponse(200, {
+                "request_id": request_id, "verdict": cached,
+                "cache": "hit", "schema_fingerprint": fingerprint,
+                "formula": key})
+        outcome = self.session.check_many_detailed(
+            schema, [formula], deadline=deadline, max_steps=max_steps,
+            collect_stats=False)[0]
+        if not outcome.ok:
+            payload: dict = {"request_id": request_id,
+                             "error": outcome.error.to_json(),
+                             "cache": "miss",
+                             "schema_fingerprint": fingerprint,
+                             "steps": outcome.steps,
+                             "duration_s": round(outcome.duration, 6)}
+            return ServiceResponse(
+                status_for_exit_code(outcome.error.exit_code), payload)
+        self.cache.put(fingerprint, key, outcome.verdict)
+        return ServiceResponse(200, {
+            "request_id": request_id, "verdict": outcome.verdict,
+            "cache": "miss", "schema_fingerprint": fingerprint,
+            "formula": key, "steps": outcome.steps,
+            "duration_s": round(outcome.duration, 6)})
+
+    def _classify(self, document: dict, deadline: Optional[float],
+                  max_steps: Optional[int],
+                  request_id: str) -> ServiceResponse:
+        """``POST /v1/classify`` — the implied subsumption hierarchy."""
+        schema_source = self._required_str(document, "schema")
+        budget = (Budget(deadline, max_steps)
+                  if deadline is not None or max_steps is not None
+                  else None)
+        with use_budget(budget):
+            classification = self.session.classify(schema_source)
+        return ServiceResponse(200, {
+            "request_id": request_id,
+            "subsumptions": sorted(map(list,
+                                       classification.subsumptions)),
+            "equivalence_groups": [sorted(group) for group in
+                                   classification.equivalence_groups],
+            "unsatisfiable": list(classification.unsatisfiable)})
+
+    def _batch(self, document: dict, deadline: Optional[float],
+               max_steps: Optional[int],
+               request_id: str) -> ServiceResponse:
+        """``POST /v1/batch`` — a heterogeneous query batch through
+        :meth:`SchemaSession.run_batch` (budgets are per query)."""
+        queries = document.get("queries")
+        if not isinstance(queries, list):
+            raise ParseError("batch body needs a 'queries' list")
+        if len(queries) > self.config.max_batch_queries:
+            return ServiceResponse(413, {
+                "request_id": request_id,
+                "error": {"kind": "PayloadTooLarge",
+                          "message": f"batch of {len(queries)} exceeds "
+                                     f"the {self.config.max_batch_queries}"
+                                     f"-query bound"}})
+        jobs = document.get("jobs", 1)
+        mode = document.get("mode", "auto")
+        if not isinstance(jobs, int) or jobs < 1:
+            raise ParseError(f"batch 'jobs' must be a positive integer, "
+                             f"got {jobs!r}")
+        if mode not in _BATCH_MODES:
+            raise ParseError(f"batch 'mode' must be one of "
+                             f"{', '.join(_BATCH_MODES)}, got {mode!r}")
+        outcomes = self.session.run_batch(
+            queries, jobs=min(jobs, self.config.max_batch_jobs), mode=mode,
+            deadline=deadline, max_steps=max_steps,
+            collect_stats=bool(document.get("stats", False)))
+        summary = {
+            "total": len(outcomes),
+            "ok": sum(1 for o in outcomes if o.ok),
+            "timed_out": sum(1 for o in outcomes if o.timed_out),
+            "failed": sum(1 for o in outcomes
+                          if not o.ok and not o.timed_out),
+        }
+        return ServiceResponse(200, {
+            "request_id": request_id, "summary": summary,
+            "outcomes": [o.to_json() for o in outcomes]})
+
+    @staticmethod
+    def _required_str(document: dict, key: str) -> str:
+        value = document.get(key)
+        if not isinstance(value, str) or not value.strip():
+            raise ParseError(
+                f"request body needs a non-empty {key!r} string")
+        return value
+
+    # ------------------------------------------------------------------
+    # Introspection endpoints
+    # ------------------------------------------------------------------
+    def _healthz(self, request_id: str) -> ServiceResponse:
+        """Liveness: 200 whenever the process can answer at all."""
+        return ServiceResponse(200, {
+            "request_id": request_id, "status": "ok",
+            "uptime_s": round(time.monotonic() - self._epoch, 3)})
+
+    def _readyz(self, request_id: str) -> ServiceResponse:
+        """Readiness: 200 only while started and not draining."""
+        if self._draining.is_set():
+            return ServiceResponse(503, {"request_id": request_id,
+                                         "status": "draining"},
+                                   headers=(("Retry-After", "1"),))
+        if not self._ready.is_set():
+            return ServiceResponse(503, {"request_id": request_id,
+                                         "status": "starting"},
+                                   headers=(("Retry-After", "1"),))
+        return ServiceResponse(200, {"request_id": request_id,
+                                     "status": "ready"})
+
+    def _metrics(self, request_id: str) -> ServiceResponse:
+        """Every counter the service keeps, as one JSON document:
+        admission, result cache, session pipeline cache, tracer bus."""
+        return ServiceResponse(200, {
+            "request_id": request_id,
+            "uptime_s": round(time.monotonic() - self._epoch, 3),
+            "admission": self.admission.stats().to_json(),
+            "result_cache": self.cache.stats().to_json(),
+            "session": self.session.cache_info().to_json(),
+            "counters": dict(sorted(self.tracer.counters.items())),
+            "gauges": dict(sorted(self.tracer.gauges.items())),
+        })
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
+    def start(self) -> tuple[str, int]:
+        """Bind the server and start accepting on a background thread.
+
+        Returns the bound ``(host, port)`` — with ``port=0`` this is where
+        the ephemeral port becomes known.
+        """
+        if self._server is not None:
+            raise RuntimeError("service already started")
+        self._server = make_server(self, self.config.host,
+                                   self.config.port)
+        self.host, self.port = self._server.server_address[:2]
+        self._thread = threading.Thread(
+            target=self._server.serve_forever, name="repro-service",
+            daemon=True)
+        self._thread.start()
+        self._ready.set()
+        return self.host, self.port
+
+    def drain(self, grace: Optional[float] = None) -> bool:
+        """Graceful shutdown: refuse new work, finish in-flight, close.
+
+        Marks the service draining (``/readyz`` flips to 503, new POSTs
+        get 503 + ``Retry-After``), stops the accept loop, waits up to
+        ``grace`` seconds (default ``config.drain_grace_s``) for in-flight
+        requests, then closes the listening socket and the session's
+        worker pool.  Returns True when everything drained in time.
+        """
+        grace = grace if grace is not None else self.config.drain_grace_s
+        self._draining.set()
+        self._ready.clear()
+        drained = self.admission.wait_idle(grace)
+        if self._server is not None:
+            self._server.shutdown()
+            if self._thread is not None:
+                self._thread.join(timeout=5.0)
+            self._server.server_close()
+            self._server = None
+            self._thread = None
+        self.session.close()
+        return drained
+
+    def __enter__(self) -> "ReproService":
+        self.start()
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.drain()

@@ -1,0 +1,157 @@
+"""The wire layer of the query service: status mapping and the handler.
+
+This module owns everything that touches raw HTTP so the application
+logic in :mod:`repro.service.app` stays a pure, socket-free function
+``(method, path, headers, body) -> ServiceResponse`` that unit tests can
+drive directly.
+
+Two contracts live here:
+
+* **The error table.**  Every :class:`~repro.core.errors.CarError` carries
+  a stable sysexits code; :data:`HTTP_STATUS_BY_EXIT` maps those codes
+  onto HTTP statuses, so the CLI's exit codes and the service's response
+  statuses are two renderings of one table (a test per exit code pins
+  them together):
+
+  ====  ====================================  ===========================
+  exit  meaning                               HTTP status
+  ====  ====================================  ===========================
+  65    malformed input (parse/schema)        422 Unprocessable Entity
+  64    unanswerable question                 400 Bad Request
+  66    unreadable input                      400 Bad Request
+  73    could not produce the output          500 Internal Server Error
+  70    internal inconsistency                500 Internal Server Error
+  75    budget tripped                        504 Gateway Timeout
+  ====  ====================================  ===========================
+
+* **The response envelope.**  Every response body is a JSON object
+  carrying the ``request_id`` that is also echoed in the
+  ``X-Repro-Request-Id`` header, so logs, traces, and clients correlate
+  on one token.
+"""
+
+from __future__ import annotations
+
+import json
+import uuid
+from dataclasses import dataclass, field
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+from typing import TYPE_CHECKING, Optional
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from .app import ReproService
+
+__all__ = [
+    "HTTP_STATUS_BY_EXIT",
+    "status_for_exit_code",
+    "new_request_id",
+    "ServiceResponse",
+    "ServiceServer",
+    "make_server",
+]
+
+#: sysexits code (:mod:`repro.core.errors`) → HTTP response status.
+HTTP_STATUS_BY_EXIT: dict[int, int] = {
+    64: 400,   # ReasoningError — the question itself is bad
+    65: 422,   # Parse/Schema/SemanticsError — body understood, input not
+    66: 400,   # unreadable input (EX_NOINPUT)
+    70: 500,   # internal inconsistency (EX_SOFTWARE)
+    73: 500,   # SynthesisError — could not produce the output
+    75: 504,   # BudgetExceeded — the service declined to keep paying
+}
+
+
+def status_for_exit_code(exit_code: int) -> int:
+    """The HTTP status for a sysexits code (unknown codes are 500)."""
+    return HTTP_STATUS_BY_EXIT.get(exit_code, 500)
+
+
+def new_request_id() -> str:
+    """A fresh opaque request id (echoed in header and body)."""
+    return uuid.uuid4().hex[:16]
+
+
+@dataclass
+class ServiceResponse:
+    """One application-level response: status, JSON payload, extra headers.
+
+    The payload is rendered with ``json.dumps`` by the wire layer; extra
+    headers (``Retry-After`` on 429/503, ...) ride along as pairs.
+    """
+
+    status: int
+    payload: dict
+    headers: tuple[tuple[str, str], ...] = field(default=())
+
+
+class ServiceServer(ThreadingHTTPServer):
+    """A :class:`ThreadingHTTPServer` that knows its application."""
+
+    daemon_threads = True
+
+    def __init__(self, address: tuple[str, int], app: "ReproService"):
+        super().__init__(address, _Handler)
+        self.app = app
+
+
+class _Handler(BaseHTTPRequestHandler):
+    """The thin shell: read the body, dispatch, write the JSON response."""
+
+    server_version = "repro-service/1.0"
+    protocol_version = "HTTP/1.1"
+
+    # -- plumbing -------------------------------------------------------
+    def log_message(self, format: str, *args) -> None:  # noqa: A002
+        # Access logging goes through the tracer (service.requests and
+        # friends), not stderr — a loaded service must not pay a write(2)
+        # per request for a log nobody aggregates.
+        pass
+
+    def _read_body(self) -> Optional[bytes]:
+        """The request body, or None when it exceeds the size cap.
+
+        The cap is enforced *before* reading: an oversized upload is
+        rejected from its Content-Length alone, without buffering it.
+        """
+        length = int(self.headers.get("Content-Length") or 0)
+        if length > self.server.app.config.max_body_bytes:
+            return None
+        return self.rfile.read(length) if length else b""
+
+    def _respond(self, response: ServiceResponse) -> None:
+        body = json.dumps(response.payload, sort_keys=True).encode("utf-8")
+        self.send_response(response.status)
+        self.send_header("Content-Type", "application/json")
+        self.send_header("Content-Length", str(len(body)))
+        request_id = response.payload.get("request_id")
+        if request_id:
+            self.send_header("X-Repro-Request-Id", str(request_id))
+        for name, value in response.headers:
+            self.send_header(name, value)
+        self.end_headers()
+        self.wfile.write(body)
+
+    # -- verbs ----------------------------------------------------------
+    def _handle(self) -> None:
+        app = self.server.app
+        body = self._read_body()
+        if body is None:
+            response = app.too_large()
+        else:
+            response = app.dispatch(self.command, self.path,
+                                    self.headers, body)
+        try:
+            self._respond(response)
+        except (BrokenPipeError, ConnectionResetError):  # pragma: no cover
+            pass  # the client hung up; nothing to tell it
+
+    def do_GET(self) -> None:  # noqa: N802 - http.server naming
+        self._handle()
+
+    def do_POST(self) -> None:  # noqa: N802 - http.server naming
+        self._handle()
+
+
+def make_server(app: "ReproService", host: str, port: int) -> ServiceServer:
+    """Bind a threaded HTTP server for ``app`` (port 0 = ephemeral)."""
+    return ServiceServer((host, port), app)
