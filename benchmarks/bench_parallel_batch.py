@@ -1,12 +1,18 @@
 """Experiment "parallel batch": the executor must buy real wall-clock.
 
-Two acceptance bars for the batch executor:
+Three acceptance bars for the batch executor and its warm-start path:
 
 * **Speedup** — a batch of independent schemas answered with 4 process
-  workers beats serial ``check_many`` by >= 1.8x.  Process workers are
-  real parallelism only when the host has the cores, so the assertion is
-  gated on ``os.cpu_count()``; on smaller hosts the table still prints and
-  correctness (identical verdicts) is still asserted.
+  workers beats serial ``check_many`` by >= 2x.  Process workers are
+  real parallelism only when the host has the cores: the assertion is
+  gated on ``os.cpu_count() >= 4``, and on a single-core host the whole
+  measurement is skipped rather than recorded — a sub-1x row measured
+  where no parallelism exists reads like an executor regression.
+* **Cold start** — rehydrating a precompiled
+  :class:`~repro.engine.artifact.CompiledSchema` must be >= 5x faster
+  than the full Phase-1/Phase-2 build it replaces.  This is the saving
+  every artifact hit banks (pool worker, CLI rerun, service boot), and
+  it holds on any host regardless of core count.
 * **Responsiveness** — a 50 ms deadline against a Theorem 4.1
   EXPTIME-hard reduction schema comes back as a timed-out
   :class:`~repro.engine.executor.QueryOutcome` in under a second, and
@@ -14,12 +20,14 @@ Two acceptance bars for the batch executor:
 """
 
 import os
+import pickle
 import time
 
 import pytest
 
-from benchlib import render_table
-from repro.engine import SchemaSession
+from benchlib import best_of, render_table
+from repro.engine import EngineConfig, Pipeline, SchemaSession
+from repro.engine.artifact import _loads_without_gc
 from repro.parser.printer import render_schema
 from repro.reductions import machine_to_schema, parity_machine
 from repro.workloads.generators import adversarial_schema
@@ -28,7 +36,9 @@ from repro.workloads.generators import adversarial_schema
 N_SCHEMAS = 8
 ADVERSARIAL_SIZE = 16
 SPEEDUP_JOBS = 4
-SPEEDUP_BAR = 1.8
+SPEEDUP_BAR = 2.0
+#: Artifact rehydration must beat the full Phase-1/2 build by this much.
+COLD_START_BAR = 5.0
 
 
 def _batch(size: int = ADVERSARIAL_SIZE):
@@ -66,6 +76,10 @@ def _run(queries, jobs: int, mode: str):
 
 @pytest.mark.experiment("parallel_batch")
 def test_parallel_speedup_over_serial(benchmark):
+    cores = os.cpu_count() or 1
+    if cores < 2:
+        pytest.skip(f"{cores}-core host: a process pool has no parallelism "
+                    f"to measure, only fork/pickle overhead")
     queries = _batch()
 
     def measure():
@@ -88,11 +102,49 @@ def test_parallel_speedup_over_serial(benchmark):
 
     assert all(o.ok for o in serial) and all(o.ok for o in parallel)
     assert [o.verdict for o in serial] == [o.verdict for o in parallel]
-    cores = os.cpu_count() or 1
     if cores >= SPEEDUP_JOBS:
         assert speedup >= SPEEDUP_BAR, (
             f"{SPEEDUP_JOBS}-worker speedup {speedup:.2f}x is below the "
             f"{SPEEDUP_BAR}x acceptance bar on a {cores}-core host")
+
+
+@pytest.mark.experiment("parallel_batch")
+def test_artifact_load_beats_full_build(benchmark):
+    _warm_interpreter()
+    schema = adversarial_schema(ADVERSARIAL_SIZE, seed=0)
+    config = EngineConfig()
+
+    def build():
+        pipeline = Pipeline(schema, config)
+        pipeline.system
+        return pipeline
+
+    def measure():
+        build_s = best_of(build, rounds=3)
+        payload = pickle.dumps(build().compile(),
+                               protocol=pickle.HIGHEST_PROTOCOL)
+        load_s = best_of(lambda: _loads_without_gc(payload), rounds=5)
+        return build_s, load_s, payload
+
+    build_s, load_s, payload = benchmark.pedantic(
+        measure, rounds=1, iterations=1)
+    speedup = build_s / load_s
+    print()
+    print(render_table(
+        f"cold start — adversarial({ADVERSARIAL_SIZE}) Phase-1/2 build "
+        f"vs artifact rehydration",
+        ["path", "seconds", "speedup", "artifact bytes"],
+        [("full build", build_s, 1.0, "-"),
+         ("artifact load", load_s, speedup, len(payload))]))
+
+    # The rehydrated snapshot must also be a working pipeline, not just
+    # fast bytes: it has to reach the same support verdict.
+    rehydrated = Pipeline.from_artifact(_loads_without_gc(payload))
+    assert rehydrated.support.support == build().support.support
+    assert speedup >= COLD_START_BAR, (
+        f"artifact rehydration is only {speedup:.1f}x faster than the "
+        f"full build; below the {COLD_START_BAR}x acceptance bar, the "
+        f"disk cache is not paying for its complexity")
 
 
 @pytest.mark.experiment("parallel_batch")

@@ -10,6 +10,7 @@ output and transcribed into EXPERIMENTS.md.
 from __future__ import annotations
 
 import json
+import os
 import platform
 import time
 from dataclasses import dataclass
@@ -92,9 +93,14 @@ class Recorder:
     scraping stdout.  The document shape::
 
         {"command": "...", "python": "3.x.y", "platform": "...",
+         "cpu_count": N,
          "sections": [{"title": ...,
                        "tables": [{"title": ..., "headers": [...],
                                    "rows": [[...], ...]}]}]}
+
+    ``cpu_count`` stamps the host parallelism into every document, so a
+    parallel-speedup table measured on a 1-core box can never again be
+    mistaken for a regression.
     """
 
     def __init__(self, command: str = ""):
@@ -141,6 +147,7 @@ class Recorder:
             "command": self.command,
             "python": platform.python_version(),
             "platform": platform.platform(),
+            "cpu_count": os.cpu_count(),
             "sections": self._sections,
         }
 

@@ -14,6 +14,9 @@ syntax:
 * ``batch``      — answer a JSONL file of ``{"schema": ..., "formula":
   ...}`` queries through the parallel batch executor, one JSON outcome
   per line;
+* ``compile``    — prebuild precompiled pipeline artifacts
+  (:class:`~repro.engine.artifact.CompiledSchema`) for a JSONL schema
+  list, so later runs and pool workers start warm;
 * ``serve``      — run the long-lived HTTP query service
   (:mod:`repro.service`): JSON endpoints with admission control, a
   result cache, per-request budgets, and health/metrics introspection.
@@ -35,7 +38,12 @@ Uniform flags on **every** subcommand:
   :class:`~repro.core.budget.Budget` over the reasoning hot loops.  For
   ``batch`` the budget is per *query* (a slow query yields a timed-out
   outcome, the batch continues); for every other command it covers the
-  whole command and trips exit code 75.
+  whole command and trips exit code 75;
+* ``--artifact-dir DIR`` / ``--no-artifact-cache`` — where precompiled
+  pipeline snapshots are cached on disk (default ``~/.cache/repro``,
+  overridable via ``$REPRO_ARTIFACT_DIR``), or switch the disk cache off.
+  With the cache on — the CLI default — a repeated invocation against the
+  same schema skips Phase 1 entirely by rehydrating the snapshot.
 
 Exit codes are stable: 0 success, 1 negative verdict (unsatisfiable /
 incoherent), 2 usage errors, and the ``sysexits``-inspired codes of the
@@ -96,6 +104,20 @@ def _read_schema(path: str) -> Schema:
     return parse_schema(source)
 
 
+def _artifact_dir(args: argparse.Namespace) -> Optional[str]:
+    """The artifact-cache directory the flags ask for (None = disabled).
+
+    Unlike the library default (off), the CLI caches by default: cold
+    process starts are exactly where rehydrating a precompiled snapshot
+    beats rebuilding Phase 1.
+    """
+    from .engine.artifact import default_artifact_dir
+
+    if getattr(args, "no_artifact_cache", False):
+        return None
+    return getattr(args, "artifact_dir", None) or default_artifact_dir()
+
+
 def _make_session(args: argparse.Namespace) -> SchemaSession:
     """One engine session configured from the shared CLI flags.
 
@@ -108,7 +130,8 @@ def _make_session(args: argparse.Namespace) -> SchemaSession:
     return SchemaSession(EngineConfig(
         strategy=args.strategy,
         lp_backend=getattr(args, "backend", "auto"),
-        trace=trace))
+        trace=trace,
+        artifact_dir=_artifact_dir(args)))
 
 
 def _session_reasoner(args: argparse.Namespace) -> Reasoner:
@@ -296,6 +319,90 @@ def _cmd_batch(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_compile(args: argparse.Namespace) -> int:
+    """Prebuild precompiled pipeline snapshots for a JSONL schema list.
+
+    Each non-blank input line is either ``{"schema": <source text>}`` or
+    ``{"path": <schema file>}`` (a bare JSON string is taken as source
+    text).  For every schema the artifact cache is consulted first; a
+    miss (or ``--force``) compiles Phase 1/2 and persists the snapshot.
+    Default output is one JSON line per schema — fingerprint, status
+    (``built``/``cached``/``failed``), seconds; ``--json`` emits a single
+    summary document.  Exit status: 0 when every schema compiled, else
+    the first failure's error code.
+    """
+    import time as time_module
+
+    from .engine.artifact import config_fingerprint
+    from .engine.pipeline import Pipeline
+    from .engine.session import schema_fingerprint
+
+    session = args.session
+    cache = session.artifact_cache
+    if cache is None:
+        _write_err("error: repro compile needs an artifact cache; drop "
+                   "--no-artifact-cache or pass --artifact-dir")
+        return 2
+
+    if args.schemas == "-":
+        text = sys.stdin.read()
+    else:
+        text = Path(args.schemas).read_text(encoding="utf-8")
+
+    results: list[dict] = []
+    exit_code = 0
+    for lineno, line in enumerate(text.splitlines(), start=1):
+        if not line.strip():
+            continue
+        record = {"line": lineno, "status": "failed", "fingerprint": None,
+                  "seconds": 0.0, "error": None}
+        started = time_module.perf_counter()
+        try:
+            entry = json.loads(line)
+            if isinstance(entry, str):
+                source = entry
+            elif isinstance(entry, dict) and "schema" in entry:
+                source = entry["schema"]
+            elif isinstance(entry, dict) and "path" in entry:
+                source = Path(entry["path"]).read_text(encoding="utf-8")
+            else:
+                raise ValueError(
+                    'expected {"schema": ...}, {"path": ...}, or a string')
+            schema = parse_schema(source)
+            fingerprint = schema_fingerprint(schema)
+            record["fingerprint"] = fingerprint
+            if not args.force and cache.load(fingerprint,
+                                             session.config) is not None:
+                record["status"] = "cached"
+            else:
+                pipeline = Pipeline(schema, session.config,
+                                    tracer=session.last_trace())
+                cache.store(pipeline.compile())
+                record["status"] = "built"
+        except (CarError, OSError, ValueError) as exc:
+            record["error"] = str(exc)
+            if exit_code == 0:
+                exit_code = getattr(exc, "exit_code", 65)
+        record["seconds"] = time_module.perf_counter() - started
+        results.append(record)
+
+    summary = {
+        "total": len(results),
+        "built": sum(1 for r in results if r["status"] == "built"),
+        "cached": sum(1 for r in results if r["status"] == "cached"),
+        "failed": sum(1 for r in results if r["status"] == "failed"),
+        "artifact_dir": str(cache.directory),
+        "config_fingerprint": config_fingerprint(session.config),
+    }
+    if args.json:
+        _emit_json({"command": "compile", "summary": summary,
+                    "results": results})
+    else:
+        for record in results:
+            _write(json.dumps(record, sort_keys=True))
+    return exit_code
+
+
 def _cmd_serve(args: argparse.Namespace) -> int:
     """Run the HTTP query service until SIGTERM/SIGINT, then drain.
 
@@ -325,7 +432,8 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         _write_err(f"error: {exc}")
         return 2
     service = ReproService(config, EngineConfig(
-        strategy=args.strategy, lp_backend=args.backend))
+        strategy=args.strategy, lp_backend=args.backend,
+        artifact_dir=_artifact_dir(args)))
     args.session.close()
     args.session = service.session
     for path in args.warm:
@@ -386,6 +494,13 @@ def build_parser() -> argparse.ArgumentParser:
         sub.add_argument("--max-steps", type=int, metavar="N", default=None,
                          help="hot-loop step budget (same scope as "
                               "--timeout)")
+        sub.add_argument("--artifact-dir", metavar="DIR", default=None,
+                         help="directory for precompiled pipeline "
+                              "snapshots (default: $REPRO_ARTIFACT_DIR "
+                              "or ~/.cache/repro)")
+        sub.add_argument("--no-artifact-cache", action="store_true",
+                         help="do not read or write precompiled pipeline "
+                              "snapshots")
         sub.set_defaults(handler=handler, per_query_budget=False)
         return sub
 
@@ -418,6 +533,16 @@ def build_parser() -> argparse.ArgumentParser:
                        help="worker pool flavor (auto: processes when "
                             "--jobs > 1)")
     batch.set_defaults(per_query_budget=True)
+    compile_cmd = add(
+        "compile", _cmd_compile,
+        "prebuild precompiled pipeline artifacts for a JSONL schema list",
+        positional="schemas",
+        positional_help="JSONL schema list, one "
+                        '{"schema": ...} or {"path": ...} object '
+                        "per line ('-' for stdin)")
+    compile_cmd.add_argument("--force", action="store_true",
+                             help="recompile even when a valid snapshot "
+                                  "is already cached")
 
     serve = subparsers.add_parser(
         "serve", help="run the HTTP query service (see repro.service)")
@@ -465,6 +590,14 @@ def build_parser() -> argparse.ArgumentParser:
     serve.add_argument("--trace-out", metavar="FILE", default=None,
                        help="write the service's JSON-lines trace to FILE "
                             "on shutdown")
+    serve.add_argument("--artifact-dir", metavar="DIR", default=None,
+                       help="directory for precompiled pipeline snapshots "
+                            "(default: $REPRO_ARTIFACT_DIR or "
+                            "~/.cache/repro); --warm schemas load from it "
+                            "on boot")
+    serve.add_argument("--no-artifact-cache", action="store_true",
+                       help="do not read or write precompiled pipeline "
+                            "snapshots")
     serve.set_defaults(handler=_cmd_serve, per_query_budget=True)
     return parser
 

@@ -16,6 +16,7 @@ without defensive copying; :meth:`EngineConfig.replace` derives variants.
 
 from __future__ import annotations
 
+import os
 from dataclasses import dataclass, field, fields, replace
 from typing import ClassVar, Optional, Union
 
@@ -59,6 +60,15 @@ class EngineConfig:
         shared bus across sessions and pipelines).  Excluded from
         equality/hashing: tracing never changes results, so a traced and
         an untraced config are the same cache key.
+    artifact_dir:
+        Directory of the fingerprint-keyed
+        :class:`~repro.engine.artifact.ArtifactCache` of precompiled
+        pipeline snapshots; ``None`` (the library default) leaves disk
+        caching off.  The CLI defaults it to
+        :func:`~repro.engine.artifact.default_artifact_dir`
+        (``~/.cache/repro``).  Excluded from equality/hashing for the
+        same reason as ``trace``: the cache changes cold-start cost,
+        never verdicts.
     """
 
     strategy: str = "auto"
@@ -71,6 +81,7 @@ class EngineConfig:
     session_cache_limit: int = 32
     trace: Union[bool, Tracer, NullTracer] = field(
         default=False, compare=False)
+    artifact_dir: Optional[str] = field(default=None, compare=False)
 
     #: The recognized enumeration strategies (see ``repro.expansion``).
     STRATEGIES: ClassVar[tuple[str, ...]] = (
@@ -101,6 +112,15 @@ class EngineConfig:
         if not isinstance(self.trace, (bool, Tracer, NullTracer)):
             raise ReasoningError(
                 f"trace must be a bool or a Tracer, got {self.trace!r}")
+        if self.artifact_dir is not None:
+            if not isinstance(self.artifact_dir, (str, os.PathLike)):
+                raise ReasoningError(
+                    f"artifact_dir must be a path or None, "
+                    f"got {self.artifact_dir!r}")
+            # Normalize to a plain string so the frozen value pickles
+            # identically across processes and renders in as_dict().
+            object.__setattr__(self, "artifact_dir",
+                               os.fspath(self.artifact_dir))
 
     def tracer(self) -> Union[Tracer, NullTracer]:
         """Resolve :attr:`trace` to a tracer instance (``True`` yields a

@@ -20,7 +20,11 @@ Parallelism is **sharded by schema fingerprint**: queries against the same
 schema travel together to one worker, which builds that schema's pipeline
 once and answers the whole shard against the warm support (exactly the
 reuse :meth:`~repro.engine.session.SchemaSession.check_many` exploits
-serially).  The pool is a :class:`concurrent.futures.ProcessPoolExecutor`
+serially).  Workers start *warm* whenever possible: a shard whose schema
+the parent session has already compiled ships the precompiled
+:class:`~repro.engine.artifact.CompiledSchema` snapshot in its payload
+(one unpickle beats a re-parse/re-expand by an order of magnitude), and a
+cold worker consults the disk artifact cache before building from source.  The pool is a :class:`concurrent.futures.ProcessPoolExecutor`
 by default — the pipeline is pure CPU-bound Python, so processes are the
 only way to real parallelism — with a thread-pool and a serial fallback
 when process pools are unavailable (restricted sandboxes, interpreters
@@ -219,7 +223,13 @@ class QueryOutcome:
 # ----------------------------------------------------------------------
 @dataclass(frozen=True)
 class _ShardPayload:
-    """Everything one worker needs to answer one schema's queries."""
+    """Everything one worker needs to answer one schema's queries.
+
+    ``artifact`` optionally carries the parent's precompiled
+    :class:`~repro.engine.artifact.CompiledSchema` snapshot, so the worker
+    unpickles warm Phase-1/Phase-2 stage products (one unpickle per worker
+    per schema) instead of re-parsing and re-expanding the source text.
+    """
 
     schema_source: str
     fingerprint: str
@@ -228,17 +238,45 @@ class _ShardPayload:
     deadline: Optional[float]
     max_steps: Optional[int]
     collect_stats: bool = True
+    artifact: Optional[object] = None
+
+
+def _shard_reasoner(payload: _ShardPayload):
+    """The worker's reasoner for one shard, warmest available route first:
+    the shipped snapshot, then the disk artifact cache, then a fresh build
+    (which persists its own snapshot for the next cold worker)."""
+    from ..parser.parser import parse_schema
+    from ..reasoner.satisfiability import Reasoner
+    from .artifact import ArtifactCache
+    from .pipeline import Pipeline
+
+    config = payload.config
+    if payload.artifact is not None:
+        try:
+            pipeline = Pipeline.from_artifact(payload.artifact, config)
+            return Reasoner.from_pipeline(pipeline)
+        except CarError:
+            pass  # incompatible snapshot: fall through to a real build
+    cache = ArtifactCache.from_config(config)
+    if cache is not None:
+        artifact = cache.load(payload.fingerprint, config)
+        if artifact is not None:
+            return Reasoner.from_pipeline(
+                Pipeline.from_artifact(artifact, config))
+    schema = parse_schema(payload.schema_source)
+    reasoner = Reasoner(schema, config=config)
+    if cache is not None:
+        reasoner.pipeline.on_system_built = (
+            lambda built: cache.store(built.compile()))
+    return reasoner
 
 
 def _run_shard(payload: _ShardPayload) -> list[QueryOutcome]:
-    """Answer one schema shard: build the pipeline once, answer each query
-    under a fresh budget, isolate every failure into its outcome."""
-    from ..parser.parser import parse_schema
-    from ..reasoner.satisfiability import Reasoner
-
+    """Answer one schema shard: rehydrate or build the pipeline once,
+    answer each query under a fresh budget, isolate every failure into
+    its outcome."""
     try:
-        schema = parse_schema(payload.schema_source)
-        reasoner = Reasoner(schema, config=payload.config)
+        reasoner = _shard_reasoner(payload)
     except CarError as exc:
         error = QueryError.from_exception(exc)
         return [QueryOutcome(index, None, error,
@@ -391,7 +429,7 @@ class BatchExecutor:
 
         outcomes: dict[int, QueryOutcome] = {}
         shards = self._shard(queries, outcomes, deadline, max_steps,
-                             collect_stats)
+                             collect_stats, session)
         tracer.add("executor.tasks_dispatched",
                    len(outcomes) + sum(len(p.queries) for p in shards))
         tracer.add("executor.shards", len(shards))
@@ -440,12 +478,18 @@ class BatchExecutor:
     def _shard(self, queries: Iterable[BatchQueryLike],
                outcomes: dict[int, QueryOutcome],
                deadline: Optional[float], max_steps: Optional[int],
-               collect_stats: bool) -> list[_ShardPayload]:
+               collect_stats: bool,
+               session: Optional["SchemaSession"] = None
+               ) -> list[_ShardPayload]:
         """Coerce and group queries by schema fingerprint.
 
         Queries that fail to coerce (bad shape, unparseable schema or
         formula) are deposited straight into ``outcomes`` — they never
-        reach a worker.
+        reach a worker.  When a ``session`` is given and the shards are
+        headed for a pool, each payload is stamped with the session's
+        precompiled snapshot of its schema (only if one is already warm —
+        cold schemas are cheaper to build in the worker than to build in
+        the parent and ship).
         """
         from ..parser.printer import render_schema
         from .session import _as_schema, schema_fingerprint
@@ -465,10 +509,13 @@ class BatchExecutor:
                           else render_schema(schema))
                 grouped[fingerprint] = (source, [])
             grouped[fingerprint][1].append((index, query.formula))
+        attach = session is not None and self._effective_mode() != "serial"
         return [
             _ShardPayload(source, fingerprint, tuple(members),
                           self.config.replace(trace=False), deadline,
-                          max_steps, collect_stats)
+                          max_steps, collect_stats,
+                          artifact=(session.peek_compiled(fingerprint)
+                                    if attach else None))
             for fingerprint, (source, members) in grouped.items()
         ]
 

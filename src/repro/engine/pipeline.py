@@ -30,7 +30,7 @@ and precomputed compound classes instead of cold stages).
 
 from __future__ import annotations
 
-from typing import Callable, Optional, Union
+from typing import TYPE_CHECKING, Callable, Optional, Union
 
 from ..core.schema import Schema
 from ..core.timing import StageTimer
@@ -41,6 +41,9 @@ from ..linear.system import PsiSystem, build_system
 from ..obs.tracer import NullTracer, Tracer, as_tracer
 from .config import EngineConfig
 from .stats import PipelineStats
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from .artifact import CompiledSchema
 
 __all__ = ["Pipeline", "PipelineStage"]
 
@@ -82,6 +85,9 @@ class PipelineStage:
             with pipeline.tracer.span(f"pipeline.{self._name}"):
                 with pipeline.timer.stage(self._name):
                     artifacts[self._name] = self._build(pipeline)
+            # Outside the timing window: persistence hooks must not count
+            # as stage cost.
+            pipeline._stage_built(self._name)
         return artifacts[self._name]
 
 
@@ -113,6 +119,12 @@ class Pipeline:
         self.tracer = (tracer if tracer is not None
                        else as_tracer(self.config.trace))
         self._artifacts: dict[str, object] = {}
+        # Fired once, with this pipeline, right after the `system` stage
+        # builds — the hook sessions and workers use to persist a
+        # CompiledSchema snapshot the moment Phase 1/2 completes, without
+        # eagerly forcing any stage themselves (an eager build would
+        # escape the caller's per-query budget scope).
+        self.on_system_built: Optional[Callable[["Pipeline"], None]] = None
         # Seeds of the incremental augmented-query path (see seed_augmented).
         self._precomputed_classes: Optional[tuple] = None
         # Schema-level derived structures, shared by several consumers.
@@ -124,6 +136,86 @@ class Pipeline:
     def built_stages(self) -> tuple[str, ...]:
         """The stages whose artifacts exist already (in build order)."""
         return tuple(name for name in self.STAGES if name in self._artifacts)
+
+    def _stage_built(self, name: str) -> None:
+        """Stage-completion dispatch (called by :class:`PipelineStage`)."""
+        if name == "system" and self.on_system_built is not None:
+            callback, self.on_system_built = self.on_system_built, None
+            callback(self)
+
+    # ------------------------------------------------------------------
+    # Compiled snapshots (precomputed Phase-1/Phase-2 artifacts)
+    # ------------------------------------------------------------------
+    def compile(self) -> "CompiledSchema":
+        """A frozen, picklable snapshot of this pipeline's Phase-1/Phase-2
+        products: tables, expansion, ``Ψ_S``, and the cluster/hierarchy
+        metadata (building any that are missing).  The support is *not*
+        included — a rehydrated pipeline recomputes it under its own LP
+        configuration, so one snapshot serves every backend.
+        """
+        from .artifact import (ARTIFACT_SCHEMA_VERSION, CompiledSchema,
+                               config_fingerprint)
+        from .session import schema_fingerprint
+
+        tables = self.tables
+        expansion = self.expansion
+        system = self.system
+        self.is_hierarchy()  # resolve the §4.4 flag into the snapshot
+        self.tracer.add("artifact.build")
+        return CompiledSchema(
+            schema_version=ARTIFACT_SCHEMA_VERSION,
+            fingerprint=schema_fingerprint(self.schema),
+            config_fingerprint=config_fingerprint(self.config),
+            config=self.config.replace(trace=False),
+            schema=self.schema,
+            tables=tables,
+            expansion=expansion,
+            system=system,
+            clusters=(tuple(self.clusters())
+                      if self.config.strategy != "naive" else None),
+            hierarchy_effective=self._hierarchy_effective,
+        )
+
+    @classmethod
+    def from_artifact(cls, artifact: "CompiledSchema",
+                      config: Optional[EngineConfig] = None, *,
+                      timer: Optional[StageTimer] = None,
+                      tracer: Optional[Union[Tracer, NullTracer]] = None
+                      ) -> "Pipeline":
+        """A pipeline rehydrated from a compiled snapshot.
+
+        The tables/expansion/system stages are pre-populated from the
+        snapshot, so the first query pays only the support computation.
+        ``config`` defaults to the snapshot's own; a config whose
+        enumeration-shaping knobs differ from the snapshot's raises
+        :class:`~repro.core.errors.ReasoningError` (callers going through
+        :class:`~repro.engine.artifact.ArtifactCache` never see this — the
+        cache keys on the config fingerprint).
+        """
+        from ..core.errors import ReasoningError
+        from .artifact import (ARTIFACT_SCHEMA_VERSION, CompiledSchema,
+                               config_fingerprint)
+
+        if not isinstance(artifact, CompiledSchema):
+            raise ReasoningError(
+                f"expected a CompiledSchema, got {type(artifact).__name__}")
+        if artifact.schema_version != ARTIFACT_SCHEMA_VERSION:
+            raise ReasoningError(
+                f"artifact schema version {artifact.schema_version} does "
+                f"not match this engine's {ARTIFACT_SCHEMA_VERSION}")
+        config = config if config is not None else artifact.config
+        if config_fingerprint(config) != artifact.config_fingerprint:
+            raise ReasoningError(
+                "artifact was compiled under an incompatible engine "
+                "config (strategy/size_limit mismatch)")
+        pipeline = cls(artifact.schema, config, timer=timer, tracer=tracer)
+        pipeline._artifacts["tables"] = artifact.tables
+        pipeline._artifacts["expansion"] = artifact.expansion
+        pipeline._artifacts["system"] = artifact.system
+        if artifact.clusters is not None:
+            pipeline._clusters = list(artifact.clusters)
+        pipeline._hierarchy_effective = artifact.hierarchy_effective
+        return pipeline
 
     # ------------------------------------------------------------------
     # The four artifacts

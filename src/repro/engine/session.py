@@ -17,7 +17,15 @@ that exploits this:
   :meth:`SchemaSession.classify`) reuse **one** support computation — and,
   through the reasoner's incremental augmented-query seeding, repeated
   formula queries against the same schema reuse warm tables and untouched
-  clusters instead of rebuilding.
+  clusters instead of rebuilding;
+* with ``config.artifact_dir`` set, LRU misses consult the
+  fingerprint-keyed **disk artifact cache**
+  (:class:`~repro.engine.artifact.ArtifactCache`) before building: a hit
+  rehydrates the Phase-1/Phase-2 stage products from a pickled
+  :class:`~repro.engine.artifact.CompiledSchema`, an order of magnitude
+  cheaper than rebuilding them, and a fresh build persists its snapshot
+  the moment ``Ψ_S`` completes — so the *next* process (CLI run, service
+  boot, pool worker) starts warm.
 
 The CLI and the benchmark driver both construct their reasoners through a
 session, so every entry point exercises the same engine path.
@@ -107,6 +115,10 @@ class SchemaSession:
         # trace=True the session owns a fresh Tracer; with a Tracer
         # instance the bus is shared with whoever supplied it.
         self._tracer = as_tracer(self.config.trace)
+        from .artifact import ArtifactCache
+
+        self._artifact_cache = ArtifactCache.from_config(
+            self.config, tracer=self._tracer)
 
     # ------------------------------------------------------------------
     # The pipeline cache
@@ -132,8 +144,7 @@ class SchemaSession:
                 return cached
             self._misses += 1
             self._tracer.add("session.cache_misses")
-            reasoner = Reasoner(schema, config=self.config,
-                                tracer=self._tracer)
+            reasoner = self._build_reasoner(schema, key)
             self._cache[key] = reasoner
             while len(self._cache) > self.config.session_cache_limit:
                 self._cache.popitem(last=False)
@@ -141,6 +152,56 @@ class SchemaSession:
                 self._tracer.add("session.cache_evictions")
             self._tracer.gauge("session.cache_size", len(self._cache))
             return reasoner
+
+    def _build_reasoner(self, schema: Schema, fingerprint: str) -> "Reasoner":
+        """The LRU-miss construction path, artifact cache first.
+
+        A disk hit rehydrates the pipeline from its
+        :class:`~repro.engine.artifact.CompiledSchema` snapshot; a miss
+        builds lazily and arms the persist hook, so the snapshot is saved
+        the moment the ``system`` stage completes (never eagerly — an
+        eager build here would escape per-query budget scopes).
+        """
+        from ..reasoner.satisfiability import Reasoner
+        from .pipeline import Pipeline
+
+        cache = self._artifact_cache
+        if cache is not None:
+            artifact = cache.load(fingerprint, self.config)
+            if artifact is not None:
+                pipeline = Pipeline.from_artifact(
+                    artifact, self.config, tracer=self._tracer)
+                return Reasoner.from_pipeline(pipeline)
+        reasoner = Reasoner(schema, config=self.config, tracer=self._tracer)
+        if cache is not None:
+            reasoner.pipeline.on_system_built = (
+                lambda pipeline: cache.store(pipeline.compile()))
+        return reasoner
+
+    @property
+    def artifact_cache(self):
+        """The disk :class:`~repro.engine.artifact.ArtifactCache`, or None
+        when ``config.artifact_dir`` is unset."""
+        return self._artifact_cache
+
+    def peek_compiled(self, fingerprint: str):
+        """A :class:`~repro.engine.artifact.CompiledSchema` snapshot of the
+        warm reasoner for ``fingerprint``, or None.
+
+        Returns a snapshot only when the cached pipeline has its
+        ``system`` stage built already — then :meth:`Pipeline.compile
+        <repro.engine.pipeline.Pipeline.compile>` is a cheap repack, and
+        the :class:`~repro.engine.executor.BatchExecutor` can ship it to
+        pool workers instead of raw schema text.  Never forces a build.
+        """
+        with self._lock:
+            cached = self._cache.get(fingerprint)
+        if cached is None:
+            return None
+        pipeline = cached.pipeline
+        if "system" not in pipeline._artifacts:
+            return None
+        return pipeline.compile()
 
     def cache_info(self) -> SessionStats:
         """Hit/miss/eviction counters and current occupancy."""

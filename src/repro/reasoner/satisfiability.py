@@ -115,6 +115,24 @@ class Reasoner:
         self._augmented_cache: OrderedDict[Formula, bool] = OrderedDict()
         self._min_witness: Optional[dict] = None
 
+    @classmethod
+    def from_pipeline(cls, pipeline: Pipeline) -> "Reasoner":
+        """A reasoner wrapped around an existing pipeline.
+
+        The construction route of the precompiled-artifact path: a
+        pipeline rehydrated by :meth:`Pipeline.from_artifact
+        <repro.engine.pipeline.Pipeline.from_artifact>` already carries
+        its Phase-1/Phase-2 stage products, so the reasoner skips straight
+        to support solving on first query.  Verdicts are identical to a
+        freshly built reasoner (the differential suite asserts this).
+        """
+        reasoner = cls.__new__(cls)
+        reasoner._config = pipeline.config
+        reasoner._pipeline = pipeline
+        reasoner._augmented_cache = OrderedDict()
+        reasoner._min_witness = None
+        return reasoner
+
     # ------------------------------------------------------------------
     # The engine pipeline and its artifacts
     # ------------------------------------------------------------------

@@ -19,6 +19,14 @@ Request flow (see ``docs/architecture.md``)::
 * **Result cache** (:mod:`repro.service.cache`): completed verdicts keyed
   by ``(schema_fingerprint, formula)``; a repeat query never touches a
   reasoner.
+* **Artifact cache**: when the engine config carries an ``artifact_dir``
+  (``repro serve`` defaults it on, ``--no-artifact-cache`` turns it off),
+  session misses rehydrate precompiled
+  :class:`~repro.engine.artifact.CompiledSchema` snapshots from disk
+  instead of rebuilding Phase 1/2 — so a freshly booted (or restarted)
+  service answers warm for every schema it has ever compiled.  The
+  ``artifact.*`` counters surface in ``/metrics`` like every other
+  tracer counter.
 * **Budgets**: every reasoning request runs under a per-request
   :class:`~repro.core.budget.Budget` assembled from the
   ``X-Repro-Timeout-Ms`` / ``X-Repro-Max-Steps`` headers, clamped by the

@@ -1,0 +1,15 @@
+"""Suite-wide fixtures.
+
+The CLI defaults its precompiled-artifact cache to ``~/.cache/repro``
+(overridable via ``$REPRO_ARTIFACT_DIR``); tests must neither read a
+developer's real cache (stale snapshots would mask cold-path bugs) nor
+write into it.  Every test therefore gets a private, empty artifact
+directory — tests that want cross-run warmth share one explicitly.
+"""
+
+import pytest
+
+
+@pytest.fixture(autouse=True)
+def _hermetic_artifact_dir(tmp_path, monkeypatch):
+    monkeypatch.setenv("REPRO_ARTIFACT_DIR", str(tmp_path / "artifacts"))
