@@ -556,6 +556,103 @@ def parallel_batch() -> None:
            wall_s)])
 
 
+def registry_revalidation() -> None:
+    from repro.core.formulas import Clause, Formula, Lit
+    from repro.core.schema import ClassDef, Schema
+    from repro.engine import Pipeline, SchemaDelta
+    from repro.parser.printer import render_schema
+    from repro.reasoner.satisfiability import Reasoner as _Reasoner
+    from repro.registry import SchemaRegistry
+
+    # Pin the exact LP core so the cold and delta sides solve with the
+    # same arithmetic: "auto" flips between exact and float by system
+    # size, which would compare backends, not pipelines.
+    config = EngineConfig(lp_backend="exact")
+
+    def single_cluster_edit(schema):
+        names = sorted(d.name for d in schema.class_definitions
+                       if d.name.startswith("K0_"))
+        target = names[-1]
+        extra = Clause((Lit("K0_1"),))
+        definitions = []
+        for definition in schema.class_definitions:
+            if definition.name != target:
+                definitions.append(definition)
+                continue
+            clauses = definition.isa.clauses if definition.isa else ()
+            definitions.append(ClassDef(
+                target, Formula(clauses + (extra,)),
+                definition.attributes, definition.participates))
+        return Schema(definitions)
+
+    def verdicts(pipeline):
+        reasoner = _Reasoner.from_pipeline(pipeline)
+        return {name: reasoner.is_satisfiable(name)
+                for name in sorted(pipeline.schema.class_symbols)}
+
+    # Single-cluster edits against wide multi-cluster schemas: the delta
+    # path re-enumerates only the dirty cluster and solves only its Ψ_S
+    # blocks; the cold side repeats the full Phase-1/Phase-2 build.
+    rows = []
+    for n_clusters, cluster_size, seed in ((8, 4, 7), (10, 5, 3),
+                                           (12, 6, 1)):
+        old = clustered_schema(n_clusters, cluster_size, seed=seed)
+        pipeline = Pipeline(old, config)
+        _ = pipeline.support  # warm build, also the artifact source
+        artifact = pipeline.compile()
+        new = single_cluster_edit(old)
+        delta = SchemaDelta.between(old, new)
+
+        def run_delta():
+            revalidated = Pipeline.recompile_from(artifact, delta, config)
+            _ = revalidated.support
+            return revalidated
+
+        def run_cold():
+            cold = Pipeline(new, config)
+            _ = cold.support
+            return cold
+
+        delta_s = best_of(run_delta, rounds=3)
+        cold_s = best_of(run_cold, rounds=3)
+        delta_pipeline = run_delta()
+        assert verdicts(delta_pipeline) == verdicts(run_cold())
+        stats = delta_pipeline.delta_stats
+        blocks_total = (stats["support_blocks_reused"]
+                        + stats["support_blocks_solved"])
+        rows.append((f"{stats['clusters_total']}x{cluster_size}",
+                     cold_s, delta_s,
+                     cold_s / delta_s if delta_s else 0.0,
+                     f"{stats['clusters_reused']}/{stats['clusters_total']}",
+                     f"{stats['support_blocks_reused']}/{blocks_total}"))
+    emit("Registry revalidation — single-cluster edit vs cold rebuild "
+         "(exact LP core, identical verdicts)",
+         ["clusters", "cold s", "delta s", "speedup", "clusters reused",
+          "blocks reused/total"], rows)
+
+    # End-to-end through the registry: put v1 (cold validation), put an
+    # edited v2 (delta revalidation), put v2 again (fingerprint dedupe).
+    old = clustered_schema(8, 4, seed=7)
+    new = single_cluster_edit(old)
+    rows = []
+    with SchemaSession(config) as session:
+        registry = SchemaRegistry(session)
+        for label, source in (("put v1 (fresh)", render_schema(old)),
+                              ("put v2 (delta)", render_schema(new)),
+                              ("put v2 again (unchanged)",
+                               render_schema(new))):
+            seconds, (version, report) = timed(
+                lambda source=source: registry.put("wide", source))
+            rows.append((label, version.version, report.mode,
+                         f"{report.clusters_reused}"
+                         f"/{report.clusters_total}",
+                         seconds))
+    print()
+    emit("Registry revalidation — SchemaRegistry.put end to end",
+         ["operation", "version", "mode", "clusters reused", "seconds"],
+         rows)
+
+
 def query_service() -> None:
     import json as json_module
     import threading
@@ -641,6 +738,7 @@ SECTIONS = [
     ("Session reuse (SchemaSession warm vs cold)", session_reuse),
     ("Parallel batch (executor, deadlines)", parallel_batch),
     ("Query service (admission, result cache, budgets)", query_service),
+    ("Registry revalidation (delta rebuild vs cold)", registry_revalidation),
     ("Ablations", ablations),
 ]
 

@@ -19,7 +19,11 @@ syntax:
   list, so later runs and pool workers start warm;
 * ``serve``      — run the long-lived HTTP query service
   (:mod:`repro.service`): JSON endpoints with admission control, a
-  result cache, per-request budgets, and health/metrics introspection.
+  result cache, per-request budgets, and health/metrics introspection;
+* ``registry``   — manage named, versioned schemas on a running service
+  (``put``/``get``/``list``/``check``/``delete``): a thin HTTP client
+  for the ``/v1/schemas`` endpoints, so edits revalidate incrementally
+  server-side (see :mod:`repro.registry`).
 
 Every command reads the schema from a file (or ``-`` for stdin) and returns
 a nonzero exit status on validation failures, so the tool slots into CI.
@@ -459,6 +463,109 @@ def _cmd_serve(args: argparse.Namespace) -> int:
     return 0 if drained else 75
 
 
+def _registry_request(args: argparse.Namespace, method: str, path: str,
+                      body: Optional[dict] = None) -> tuple[int, dict]:
+    """One HTTP round trip to a running ``repro serve`` registry.
+
+    Returns ``(status, payload)``; error statuses come back as values
+    (their payloads carry the service's typed error), only transport
+    failures raise — mapped by the caller onto exit 69 (unavailable).
+    """
+    import urllib.error
+    import urllib.request
+
+    url = args.url.rstrip("/") + path
+    data = json.dumps(body).encode("utf-8") if body is not None else None
+    request = urllib.request.Request(url, data=data, method=method)
+    request.add_header("Content-Type", "application/json")
+    if args.tenant:
+        request.add_header("X-Repro-Tenant", args.tenant)
+    try:
+        with urllib.request.urlopen(request, timeout=30) as response:
+            return response.status, json.loads(
+                response.read().decode("utf-8"))
+    except urllib.error.HTTPError as exc:
+        raw = exc.read().decode("utf-8", errors="replace")
+        try:
+            payload = json.loads(raw)
+        except ValueError:
+            payload = {"error": {"kind": "HTTPError", "message": raw}}
+        return exc.code, payload
+
+
+def _cmd_registry(args: argparse.Namespace) -> int:
+    """``repro registry put|get|list|check|delete`` — the HTTP client.
+
+    Talks to a running ``repro serve`` at ``--url``; the registry lives
+    in the service (names, versions, quotas are per-service state), so
+    the CLI is deliberately a thin wire client rather than a second
+    in-process registry with diverging contents.
+    """
+    import urllib.error
+
+    action = args.registry_action
+    try:
+        if action == "put":
+            if args.file == "-":
+                source = sys.stdin.read()
+            else:
+                source = Path(args.file).read_text(encoding="utf-8")
+            status, payload = _registry_request(
+                args, "PUT", f"/v1/schemas/{args.name}",
+                {"schema": source})
+        elif action == "get":
+            target = f"/v1/schemas/{args.name}"
+            if args.version is not None:
+                target += f"?version={args.version}"
+            status, payload = _registry_request(args, "GET", target)
+        elif action == "list":
+            status, payload = _registry_request(args, "GET", "/v1/schemas")
+        elif action == "check":
+            body = {"schema_ref": args.ref}
+            body["class" if args.class_name else "formula"] = (
+                args.class_name or args.formula)
+            status, payload = _registry_request(
+                args, "POST", "/v1/satisfiable", body)
+        else:  # delete
+            body = ({"version": args.version}
+                    if args.version is not None else {})
+            status, payload = _registry_request(
+                args, "DELETE", f"/v1/schemas/{args.name}", body)
+    except (urllib.error.URLError, OSError, ValueError) as exc:
+        return _fail(args, f"cannot reach {args.url}: {exc}", 69)
+
+    if status >= 400:
+        error = payload.get("error", {})
+        message = error.get("message", f"HTTP {status}")
+        return _fail(args, message, int(error.get("exit_code", 70)))
+    if args.json:
+        _emit_json({"command": "registry", "action": action} | payload)
+        return 0 if payload.get("verdict", True) else 1
+    if action == "put":
+        schema, revalidation = payload["schema"], payload["revalidation"]
+        clusters = revalidation.get("clusters", {})
+        _write(f"{schema['ref']}  fingerprint={schema['fingerprint'][:12]}  "
+               f"mode={revalidation['mode']}  "
+               f"clusters reused={clusters.get('reused', 0)}"
+               f"/{clusters.get('total', 0)}")
+    elif action == "get":
+        _write(json.dumps(payload["schema"], indent=2, sort_keys=True))
+    elif action == "list":
+        for row in payload["schemas"]:
+            _write(f"{row['name']}  latest=v{row['version']}  "
+                   f"versions={row['versions']}  "
+                   f"pinned={row['pinned_versions']}")
+    elif action == "check":
+        verdict = payload["verdict"]
+        _write(f"{args.ref}: "
+               f"{'satisfiable' if verdict else 'unsatisfiable'}")
+        return 0 if verdict else 1
+    else:
+        _write(f"deleted {payload['removed_versions']} version(s) of "
+               f"{args.name}")
+    return 0
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
@@ -599,6 +706,52 @@ def build_parser() -> argparse.ArgumentParser:
                        help="do not read or write precompiled pipeline "
                             "snapshots")
     serve.set_defaults(handler=_cmd_serve, per_query_budget=True)
+
+    registry = subparsers.add_parser(
+        "registry",
+        help="manage named schema versions on a running repro service")
+    registry_actions = registry.add_subparsers(dest="registry_action",
+                                               required=True)
+
+    def add_registry(name: str, help_text: str) -> argparse.ArgumentParser:
+        sub = registry_actions.add_parser(name, help=help_text)
+        sub.add_argument("--url", default="http://127.0.0.1:8750",
+                         help="base URL of the repro service "
+                              "(default http://127.0.0.1:8750)")
+        sub.add_argument("--tenant", default=None,
+                         help="tenant namespace (X-Repro-Tenant header)")
+        sub.add_argument("--json", action="store_true",
+                         help="print the raw JSON response")
+        sub.set_defaults(handler=_cmd_registry, per_query_budget=False,
+                         strategy="auto", backend="auto",
+                         no_artifact_cache=True)
+        return sub
+
+    reg_put = add_registry(
+        "put", "store (or revise) a named schema and revalidate it")
+    reg_put.add_argument("name", help="schema name")
+    reg_put.add_argument("file", help="schema file in CAR concrete syntax "
+                                      "('-' for stdin)")
+    reg_get = add_registry("get", "show a stored schema version")
+    reg_get.add_argument("name", help="schema name")
+    reg_get.add_argument("--version", type=int, default=None, metavar="N",
+                         help="version number (default: latest)")
+    add_registry("list", "list the tenant's schemas")
+    reg_check = add_registry(
+        "check", "decide satisfiability against a stored schema")
+    reg_check.add_argument("ref", help="schema reference: name, "
+                                       "name@VERSION, or name@latest")
+    check_target = reg_check.add_mutually_exclusive_group(required=True)
+    check_target.add_argument("--formula", default=None,
+                              help="formula to test")
+    check_target.add_argument("--class-name", default=None,
+                              help="class symbol to test")
+    reg_delete = add_registry(
+        "delete", "remove a schema (or one version of it)")
+    reg_delete.add_argument("name", help="schema name")
+    reg_delete.add_argument("--version", type=int, default=None,
+                            metavar="N",
+                            help="delete only this version")
     return parser
 
 

@@ -18,6 +18,10 @@ error                  code  meaning
 ``BudgetExceeded``       75  deadline/step budget tripped (``EX_TEMPFAIL``)
 ``SynthesisError``       73  could not produce the output (``EX_CANTCREAT``)
 ``LinearSystemError``    70  internal inconsistency (``EX_SOFTWARE``)
+``RegistryError``        65  malformed registry input (``EX_DATAERR``)
+``RegistryNotFound``     67  unknown schema/version (``EX_NOUSER``)
+``RegistryQuotaError``   69  tenant quota exhausted (``EX_UNAVAILABLE``)
+``RegistrySizeError``    77  source size cap exceeded (``EX_NOPERM``)
 ``CarError`` (other)     70  internal inconsistency (``EX_SOFTWARE``)
 =====================  ====  ==========================================
 
@@ -38,6 +42,10 @@ __all__ = [
     "BudgetExceeded",
     "SynthesisError",
     "LinearSystemError",
+    "RegistryError",
+    "RegistryNotFound",
+    "RegistryQuotaError",
+    "RegistrySizeError",
 ]
 
 
@@ -119,3 +127,37 @@ class SynthesisError(CarError):
     unsatisfiable class)."""
 
     exit_code = 73
+
+
+class RegistryError(CarError):
+    """Malformed registry input: a bad schema name, tenant id, or
+    ``name@version`` reference (``EX_DATAERR``-family, like ParseError)."""
+
+    exit_code = 65
+
+
+class RegistryNotFound(RegistryError):
+    """A registry lookup named a schema or version that does not exist.
+
+    ``EX_NOUSER``: the addressed entity is missing — HTTP renders it 404.
+    """
+
+    exit_code = 67
+
+
+class RegistryQuotaError(RegistryError):
+    """A per-tenant *count* quota is exhausted (schemas per tenant, pinned
+    versions blocking pruning, concurrent revalidations).
+
+    ``EX_UNAVAILABLE``: the request is fine, the tenant must shed load or
+    delete something first — HTTP renders it 429.
+    """
+
+    exit_code = 69
+
+
+class RegistrySizeError(RegistryQuotaError):
+    """A *size* quota is exceeded (one source too large, or the tenant's
+    total stored bytes).  HTTP renders it 413 Payload Too Large."""
+
+    exit_code = 77

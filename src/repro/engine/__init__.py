@@ -24,9 +24,10 @@ over a pipeline; the CLI and benchmarks go through sessions.
 """
 
 from .artifact import (ARTIFACT_SCHEMA_VERSION, ArtifactCache,
-                       CompiledSchema, config_fingerprint,
+                       CompiledSchema, SupportSnapshot, config_fingerprint,
                        default_artifact_dir)
 from .config import EngineConfig
+from .delta import RevalidationReport, SchemaDelta
 from .executor import BatchExecutor, BatchQuery, QueryError, QueryOutcome
 from .pipeline import Pipeline, PipelineStage
 from .session import SchemaSession, SessionCacheInfo, schema_fingerprint
@@ -42,8 +43,11 @@ __all__ = [
     "PipelineStage",
     "QueryError",
     "QueryOutcome",
+    "RevalidationReport",
+    "SchemaDelta",
     "SchemaSession",
     "SessionCacheInfo",
+    "SupportSnapshot",
     "config_fingerprint",
     "default_artifact_dir",
     "schema_fingerprint",

@@ -41,6 +41,7 @@ import os
 import pickle
 import tempfile
 from dataclasses import dataclass
+from fractions import Fraction
 from pathlib import Path
 from typing import TYPE_CHECKING, Optional, Union
 
@@ -50,12 +51,14 @@ if TYPE_CHECKING:  # pragma: no cover - typing only
     from ..core.schema import Schema
     from ..expansion.expansion import Expansion
     from ..expansion.tables import SchemaTables
+    from ..linear.support import SupportResult
     from ..linear.system import PsiSystem
     from .config import EngineConfig
 
 __all__ = [
     "ARTIFACT_SCHEMA_VERSION",
     "CompiledSchema",
+    "SupportSnapshot",
     "ArtifactCache",
     "config_fingerprint",
     "default_artifact_dir",
@@ -64,8 +67,9 @@ __all__ = [
 #: Version of the :class:`CompiledSchema` payload.  Bump on any change to
 #: the snapshot fields *or* to the pickled shape of the stage products —
 #: a loader finding a different version treats the entry as stale and
-#: rebuilds from source.
-ARTIFACT_SCHEMA_VERSION = 1
+#: rebuilds from source.  v2 added the optional :class:`SupportSnapshot`
+#: (support verdicts keyed by unknown, consumed by delta revalidation).
+ARTIFACT_SCHEMA_VERSION = 2
 
 #: Environment variable overriding the default artifact directory
 #: (useful for tests and hermetic CI runs).
@@ -102,6 +106,66 @@ def config_fingerprint(config: "EngineConfig") -> str:
 
 
 @dataclass(frozen=True)
+class SupportSnapshot:
+    """Backend-agnostic support verdicts, keyed by *unknown object*.
+
+    A :class:`~repro.linear.support.SupportResult` speaks in unknown
+    indices of one concrete :class:`~repro.linear.system.PsiSystem`; the
+    snapshot re-keys everything by the compound objects themselves, so the
+    verdicts survive being carried into a *different* system whose indices
+    diverged (the delta-revalidation path grafts untouched Ψ_S blocks from
+    a previous schema version's system into the new one).
+
+    The maximal acceptable support is unique and backend-independent (the
+    differential suite pins exact and float-fallback to identical support
+    sets), so storing it does not fragment the artifact cache per backend
+    the way storing raw LP state would.
+    """
+
+    backend_used: str
+    rounds: int
+    #: Unknown objects inside the maximal acceptable support.
+    supported: frozenset
+    #: Witness values per unknown object (the full acceptable solution).
+    values: tuple[tuple[object, Fraction], ...]
+    #: Pin log re-keyed by unknown: ``(unknown, phase, reason, round)``.
+    pins: tuple[tuple[object, str, str, int], ...]
+
+    @classmethod
+    def from_result(cls, result: "SupportResult") -> "SupportSnapshot":
+        """Re-key a support result by unknown object."""
+        unknowns = result.system.unknowns
+        return cls(
+            backend_used=result.backend_used,
+            rounds=result.rounds,
+            supported=frozenset(unknowns[i] for i in result.support),
+            values=tuple((unknowns[i], value)
+                         for i, value in sorted(result.solution.items())),
+            pins=tuple((unknowns[e.index], e.phase, e.reason, e.round)
+                       for e in result.pin_log),
+        )
+
+    def to_result(self, system: "PsiSystem") -> "SupportResult":
+        """Rebuild a :class:`SupportResult` against ``system``.
+
+        Only valid when ``system`` has exactly the unknowns this snapshot
+        covers (the unchanged-schema rehydration path); partial grafts go
+        through :func:`repro.engine.delta.merge_support` instead.
+        """
+        from ..linear.support import PinEvent, SupportResult
+
+        return SupportResult(
+            system=system,
+            support=frozenset(system.index_of(u) for u in self.supported),
+            solution={system.index_of(u): value for u, value in self.values},
+            rounds=self.rounds,
+            backend_used=self.backend_used,
+            pin_log=tuple(PinEvent(system.index_of(u), phase, reason, rnd)
+                          for u, phase, reason, rnd in self.pins),
+        )
+
+
+@dataclass(frozen=True)
 class CompiledSchema:
     """A frozen, picklable snapshot of one schema's compiled pipeline.
 
@@ -127,6 +191,11 @@ class CompiledSchema:
     system: "PsiSystem"
     clusters: Optional[tuple[frozenset, ...]]
     hierarchy_effective: Optional[bool]
+    #: Support verdicts, present only when the support stage had been
+    #: solved by compile() time.  Optional so snapshots stay shareable
+    #: across LP backends (the support itself is backend-independent) and
+    #: so the cheap on-system-built persist hook need not force Phase 2.
+    support: Optional[SupportSnapshot] = None
 
     def summary(self) -> dict:
         """A small JSON-able description (the ``repro compile`` line)."""
@@ -137,6 +206,7 @@ class CompiledSchema:
             "classes": len(self.schema.class_symbols),
             "compound_classes": len(self.expansion.compound_classes),
             "psi_size": self.system.size(),
+            "has_support": self.support is not None,
         }
 
 
@@ -244,6 +314,38 @@ class ArtifactCache:
             path.unlink()
         except OSError:
             pass
+
+    def discard_fingerprint(self, fingerprint: str) -> int:
+        """Remove every stored entry for one schema fingerprint (any config
+        fingerprint, any artifact version); returns the number unlinked.
+
+        The explicit-invalidation companion of
+        :meth:`SchemaSession.invalidate
+        <repro.engine.session.SchemaSession.invalidate>`: without it a
+        dropped warm pipeline would simply rehydrate from its stale pickle
+        on the next miss.
+        """
+        return self._discard_matching(f"{fingerprint}.*.pkl")
+
+    def clear(self) -> int:
+        """Remove every stored artifact; returns the number unlinked."""
+        return self._discard_matching("*.pkl")
+
+    def _discard_matching(self, pattern: str) -> int:
+        removed = 0
+        try:
+            paths = list(self.directory.glob(pattern))
+        except OSError:
+            return 0
+        for path in paths:
+            try:
+                path.unlink()
+                removed += 1
+            except OSError:
+                pass
+        if removed:
+            self._tracer.add("artifact.discard", removed)
+        return removed
 
 
 def _loads_without_gc(data: bytes):

@@ -34,7 +34,8 @@ from typing import TYPE_CHECKING, Callable, Optional, Union
 
 from ..core.schema import Schema
 from ..core.timing import StageTimer
-from ..expansion.expansion import Expansion, build_expansion
+from ..expansion.expansion import (Expansion, build_expansion,
+                                   build_expansion_delta)
 from ..expansion.tables import SchemaTables, build_tables
 from ..linear.support import SupportResult, acceptable_support
 from ..linear.system import PsiSystem, build_system
@@ -127,6 +128,12 @@ class Pipeline:
         self.on_system_built: Optional[Callable[["Pipeline"], None]] = None
         # Seeds of the incremental augmented-query path (see seed_augmented).
         self._precomputed_classes: Optional[tuple] = None
+        # Seeds of the diff-aware revalidation path (see recompile_from):
+        # a partial-expansion plan, an optional support-block graft, and
+        # the reuse accounting surfaced in RevalidationReports.
+        self._expansion_delta = None
+        self._support_seed = None
+        self.delta_stats: dict = {}
         # Schema-level derived structures, shared by several consumers.
         self._clusters: Optional[list[frozenset]] = None
         self._cluster_map: Optional[dict] = None
@@ -154,12 +161,19 @@ class Pipeline:
         configuration, so one snapshot serves every backend.
         """
         from .artifact import (ARTIFACT_SCHEMA_VERSION, CompiledSchema,
-                               config_fingerprint)
+                               SupportSnapshot, config_fingerprint)
         from .session import schema_fingerprint
 
         tables = self.tables
         expansion = self.expansion
         system = self.system
+        # The support rides along only when it is already solved: the
+        # persist-on-system-built hook must never force Phase 2, but a
+        # fully answered pipeline's verdicts are worth keeping — they are
+        # what delta revalidation grafts into the next schema version.
+        support = self._artifacts.get("support")
+        snapshot = (SupportSnapshot.from_result(support)
+                    if support is not None else None)
         self.is_hierarchy()  # resolve the §4.4 flag into the snapshot
         self.tracer.add("artifact.build")
         return CompiledSchema(
@@ -174,6 +188,7 @@ class Pipeline:
             clusters=(tuple(self.clusters())
                       if self.config.strategy != "naive" else None),
             hierarchy_effective=self._hierarchy_effective,
+            support=snapshot,
         )
 
     @classmethod
@@ -212,9 +227,70 @@ class Pipeline:
         pipeline._artifacts["tables"] = artifact.tables
         pipeline._artifacts["expansion"] = artifact.expansion
         pipeline._artifacts["system"] = artifact.system
+        if artifact.support is not None:
+            # Stored verdicts are backend-independent (the maximal support
+            # is unique), so rehydration may skip Phase 2 entirely.
+            pipeline._artifacts["support"] = artifact.support.to_result(
+                artifact.system)
         if artifact.clusters is not None:
             pipeline._clusters = list(artifact.clusters)
         pipeline._hierarchy_effective = artifact.hierarchy_effective
+        return pipeline
+
+    @classmethod
+    def recompile_from(cls, prev: "CompiledSchema", delta,
+                       config: Optional[EngineConfig] = None, *,
+                       timer: Optional[StageTimer] = None,
+                       tracer: Optional[Union[Tracer, NullTracer]] = None
+                       ) -> "Pipeline":
+        """A pipeline for ``delta.new`` that reuses everything ``prev``
+        (the compiled previous version) can still vouch for.
+
+        The diff-aware generalization of :meth:`seed_augmented`: clusters
+        of the new schema that match the previous partition verbatim and
+        contain no dirty class keep their enumerated compound classes,
+        their expansion rows, and (when ``prev`` stored verdicts) their
+        ``Ψ_S`` block supports; only touched clusters pay.  Falls back to
+        a cold pipeline — same verdicts, no reuse — when the delta path
+        does not apply (naive strategy, §4.4 hierarchies, cluster-less
+        artifacts).  ``config`` defaults to the snapshot's own and must
+        match its enumeration-shaping fingerprint, like
+        :meth:`from_artifact`.
+
+        An empty delta short-circuits to :meth:`from_artifact` (full
+        reuse).  Reuse accounting lands in ``pipeline.delta_stats`` and
+        the ``registry.reuse`` / ``registry.rebuilt`` tracer counters.
+        """
+        from ..core.errors import ReasoningError
+        from .artifact import (ARTIFACT_SCHEMA_VERSION, CompiledSchema,
+                               config_fingerprint)
+        from .delta import seed_delta
+
+        if not isinstance(prev, CompiledSchema):
+            raise ReasoningError(
+                f"expected a CompiledSchema, got {type(prev).__name__}")
+        if prev.schema_version != ARTIFACT_SCHEMA_VERSION:
+            raise ReasoningError(
+                f"artifact schema version {prev.schema_version} does "
+                f"not match this engine's {ARTIFACT_SCHEMA_VERSION}")
+        config = config if config is not None else prev.config
+        if config_fingerprint(config) != prev.config_fingerprint:
+            raise ReasoningError(
+                "previous artifact was compiled under an incompatible "
+                "engine config (strategy/size_limit mismatch)")
+        from .session import schema_fingerprint
+        if prev.fingerprint != schema_fingerprint(delta.old):
+            raise ReasoningError(
+                "delta.old does not match the schema the previous "
+                "artifact was compiled from")
+        if delta.is_empty():
+            pipeline = cls.from_artifact(prev, config, timer=timer,
+                                         tracer=tracer)
+            pipeline.delta_stats["mode"] = "unchanged"
+            return pipeline
+        pipeline = cls(delta.new, config, timer=timer, tracer=tracer)
+        if not seed_delta(pipeline, prev, delta):
+            pipeline.delta_stats["mode"] = "fresh"
         return pipeline
 
     # ------------------------------------------------------------------
@@ -230,6 +306,13 @@ class Pipeline:
     def expansion(self) -> Expansion:
         """The expansion ``S̄``: compound classes, attributes, relations,
         and the merged ``Natt``/``Nrel`` entries."""
+        seed = self._expansion_delta
+        if seed is not None:
+            return build_expansion_delta(
+                self.schema, seed.classes, seed.reused, seed.old,
+                strategy=self.config.strategy,
+                touched_relations=seed.touched_relations,
+                size_limit=self.config.size_limit, tracer=self.tracer)
         tables = None
         if _expansion_needs_tables(self) is not None:
             tables = self.tables  # prebuilt by the prerequisite hook
@@ -247,7 +330,17 @@ class Pipeline:
     @PipelineStage("system")
     def support(self) -> SupportResult:
         """The maximal acceptable support of ``Ψ_S`` plus a witness,
-        computed by the configured LP backend."""
+        computed by the configured LP backend (grafting verdicts of
+        untouched blocks when the delta path seeded them)."""
+        if self._support_seed is not None:
+            from .delta import merge_support
+
+            return merge_support(
+                self.system, self._support_seed,
+                backend=self.config.lp_backend,
+                use_propagation=self.config.use_propagation,
+                merge_columns=self.config.merge_columns,
+                tracer=self.tracer, stats=self.delta_stats)
         return acceptable_support(
             self.system, backend=self.config.lp_backend,
             use_propagation=self.config.use_propagation,

@@ -48,6 +48,7 @@ from .stats import PipelineStats, SessionStats
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard, typing only
     from ..reasoner.satisfiability import CoherenceReport, Reasoner
+    from .delta import RevalidationReport
     from .executor import BatchQueryLike, QueryOutcome, _ShardPayload
 
 __all__ = ["SchemaSession", "SessionStats", "SessionCacheInfo",
@@ -229,24 +230,131 @@ class SchemaSession:
         """
         return [self.reasoner(schema).stats() for schema in schemas]
 
+    def update(self, old: Union[SchemaLike, str, None],
+               new: SchemaLike) -> "tuple[Reasoner, RevalidationReport]":
+        """Revalidate an edited schema, reusing the previous version's work.
+
+        ``old`` names the previous version — a schema, its source text, or
+        directly its fingerprint (a 64-char hex string that parses as
+        neither is treated as a fingerprint only when it *is* one the
+        session has seen); ``None`` means "no predecessor", a cold build.
+        The previous :class:`~repro.engine.artifact.CompiledSchema` is
+        recovered from the warm LRU (:meth:`peek_compiled`) or the disk
+        artifact cache, a :class:`~repro.engine.delta.SchemaDelta` is
+        computed, and :meth:`Pipeline.recompile_from
+        <repro.engine.pipeline.Pipeline.recompile_from>` rebuilds only the
+        dirty clusters.  The new reasoner lands in the LRU under the new
+        fingerprint (its support solved eagerly — an update *is* a
+        revalidation), its artifact is persisted verdicts and all, and the
+        returned :class:`~repro.engine.delta.RevalidationReport` itemizes
+        the reuse.
+        """
+        import time as _time
+
+        from ..reasoner.satisfiability import Reasoner
+        from .delta import RevalidationReport, SchemaDelta
+        from .pipeline import Pipeline
+
+        started = _time.perf_counter()
+        new_schema = _as_schema(new)
+        new_fp = schema_fingerprint(new_schema)
+        prev = old_fp = None
+        old_schema: Optional[Schema] = None
+        if old is not None:
+            if (isinstance(old, str) and len(old) == 64
+                    and all(ch in "0123456789abcdef" for ch in old)):
+                old_fp = old
+            else:
+                old_schema = _as_schema(old)
+                old_fp = schema_fingerprint(old_schema)
+            prev = self.peek_compiled(old_fp)
+            if prev is None and self._artifact_cache is not None:
+                prev = self._artifact_cache.load(old_fp, self.config)
+            if prev is not None and old_schema is None:
+                old_schema = prev.schema
+
+        if prev is None or old_schema is None:
+            # Cold path: nothing to diff against.  reasoner() handles the
+            # LRU bookkeeping; forcing support makes the update a complete
+            # revalidation rather than a lazy promise.
+            reasoner = self.reasoner(new_schema)
+            _ = reasoner.pipeline.support
+            self._tracer.add("session.update_fresh")
+            return reasoner, RevalidationReport(
+                mode="fresh", fingerprint_old=old_fp, fingerprint_new=new_fp,
+                duration_s=_time.perf_counter() - started)
+
+        delta = SchemaDelta.between(old_schema, new_schema)
+        pipeline = Pipeline.recompile_from(prev, delta, self.config,
+                                           tracer=self._tracer)
+        _ = pipeline.support
+        reasoner = Reasoner.from_pipeline(pipeline)
+        with self._lock:
+            self._cache[new_fp] = reasoner
+            self._cache.move_to_end(new_fp)
+            while len(self._cache) > self.config.session_cache_limit:
+                self._cache.popitem(last=False)
+                self._evictions += 1
+                self._tracer.add("session.cache_evictions")
+            self._tracer.gauge("session.cache_size", len(self._cache))
+        if self._artifact_cache is not None:
+            self._artifact_cache.store(pipeline.compile())
+        stats = pipeline.delta_stats
+        mode = stats.get("mode", "delta")
+        self._tracer.add(f"session.update_{mode}")
+        return reasoner, RevalidationReport(
+            mode=mode, fingerprint_old=old_fp, fingerprint_new=new_fp,
+            clusters_total=stats.get("clusters_total", 0),
+            clusters_reused=stats.get("clusters_reused", 0),
+            clusters_rebuilt=stats.get("clusters_rebuilt", 0),
+            compounds_reused=stats.get("compounds_reused", 0),
+            compounds_fresh=stats.get("compounds_fresh", 0),
+            support_blocks_reused=stats.get("support_blocks_reused", 0),
+            support_blocks_solved=stats.get("support_blocks_solved", 0),
+            duration_s=_time.perf_counter() - started,
+            delta=delta.summary())
+
     def invalidate(
             self,
             schema: Union[SchemaLike, Iterable[SchemaLike], None] = None,
+            *, drop_artifacts: bool = False,
     ) -> None:
         """Drop warm pipelines: one schema's, an iterable's worth, or all.
 
         A single :class:`~repro.core.schema.Schema` or source-text string
         names one schema (strings are *not* treated as iterables of
         characters); any other iterable invalidates each member.
+
+        Eviction is complete, not just an LRU pop: popped reasoners have
+        their persist hooks disarmed, so a half-built pipeline invalidated
+        mid-flight cannot resurrect its snapshot into the disk cache when
+        its ``system`` stage later completes, and :meth:`peek_compiled`
+        snapshots vanish with the entry they were read from.  With
+        ``drop_artifacts=True`` the on-disk artifacts (every
+        config-fingerprint variant) are unlinked too, so the next build is
+        genuinely cold.
         """
         with self._lock:
             if schema is None:
+                popped = list(self._cache.values())
+                fingerprints = list(self._cache.keys())
                 self._cache.clear()
-            elif isinstance(schema, (Schema, str)):
-                self._cache.pop(schema_fingerprint(schema), None)
             else:
-                for member in schema:
-                    self._cache.pop(schema_fingerprint(member), None)
+                members = ([schema] if isinstance(schema, (Schema, str))
+                           else list(schema))
+                fingerprints = [schema_fingerprint(m) for m in members]
+                popped = [entry for entry in
+                          (self._cache.pop(fp, None) for fp in fingerprints)
+                          if entry is not None]
+            for reasoner in popped:
+                reasoner.pipeline.on_system_built = None
+            self._tracer.gauge("session.cache_size", len(self._cache))
+        if drop_artifacts and self._artifact_cache is not None:
+            if schema is None:
+                self._artifact_cache.clear()
+            else:
+                for fingerprint in fingerprints:
+                    self._artifact_cache.discard_fingerprint(fingerprint)
 
     def __contains__(self, schema: SchemaLike) -> bool:
         return schema_fingerprint(schema) in self._cache

@@ -52,7 +52,8 @@ from .compound import (
 )
 from .enumerate import compound_classes as enumerate_compound_classes
 
-__all__ = ["Expansion", "build_expansion", "is_binding"]
+__all__ = ["Expansion", "build_expansion", "build_expansion_delta",
+           "is_binding"]
 
 
 def is_binding(card: Card) -> bool:
@@ -283,6 +284,222 @@ def build_expansion(schema: Schema, strategy: str = "auto", *,
         nrel=nrel,
         strategy=strategy,
     )
+
+
+def build_expansion_delta(schema: Schema, classes: Sequence[frozenset],
+                          reused: frozenset, old: Expansion, *,
+                          strategy: str = "strategic",
+                          touched_relations: frozenset = frozenset(),
+                          size_limit: Optional[int] = None,
+                          tracer: Union[Tracer, NullTracer] = NULL_TRACER
+                          ) -> Expansion:
+    """Build the expansion of ``schema`` reusing rows of a previous one.
+
+    ``classes`` is the full (merged) compound-class list; members of
+    ``reused`` come verbatim from ``old`` — clusters the delta planner
+    (:func:`repro.engine.delta.seed_delta`) proved untouched.  For those,
+    the ``Natt``/``Nrel`` entries and the compound attributes/relations
+    with *every* endpoint reused are copied from ``old`` instead of being
+    re-derived: both are functions of the member definitions alone, which
+    the planner guarantees unchanged.  Only candidates with at least one
+    fresh endpoint are probed, via a fresh-restricted refinement of the
+    binding-endpoint decomposition, so each relevant new candidate is
+    generated exactly once.  Relations in ``touched_relations`` (their
+    definition changed) re-enumerate from scratch — compound-relation
+    consistency reads the relation definition, so their old rows are not
+    trustworthy even between reused endpoints.
+
+    The ``size_limit`` accounting matches :func:`build_expansion`: reused
+    objects are charged too, so the guard trips on the same totals a cold
+    build would.
+    """
+    tick = current_budget().tick
+    budget = _SizeBudget(size_limit)
+    classes = tuple(classes)
+    budget.charge(len(classes), "compound classes")
+    tracer.add("expansion.delta_reused_classes", len(reused))
+    tracer.add("expansion.delta_fresh_classes", len(classes) - len(reused))
+
+    # Natt/Nrel rows: copy for reused members, merge for fresh ones.
+    old_natt_by_members: dict[frozenset, list] = {}
+    for (members, ref), card in old.natt.items():
+        old_natt_by_members.setdefault(members, []).append((ref, card))
+    natt: dict[tuple[frozenset, AttrRef], Card] = {}
+    refs = schema.attribute_refs()
+    for members in classes:
+        tick()
+        if members in reused:
+            for ref, card in old_natt_by_members.get(members, ()):
+                natt[(members, ref)] = card
+            continue
+        for ref in refs:
+            merged = merged_attr_card(schema, members, ref)
+            if merged is not None:
+                natt[(members, ref)] = merged
+
+    old_nrel_by_members: dict[frozenset, list] = {}
+    for (members, relation, role), card in old.nrel.items():
+        old_nrel_by_members.setdefault(members, []).append(
+            (relation, role, card))
+    nrel: dict[tuple[frozenset, str, str], Card] = {}
+    participation_keys = {
+        (spec.relation, spec.role)
+        for cdef in schema.class_definitions for spec in cdef.participates
+    }
+    for members in classes:
+        tick()
+        if members in reused:
+            for relation, role, card in old_nrel_by_members.get(members, ()):
+                nrel[(members, relation, role)] = card
+            continue
+        for relation, role in participation_keys:
+            merged = merged_participation_card(schema, members, relation, role)
+            if merged is not None:
+                nrel[(members, relation, role)] = merged
+
+    compound_attributes = _delta_compound_attributes(
+        schema, classes, reused, old, natt, budget, tracer)
+    compound_relations = _delta_compound_relations(
+        schema, classes, reused, old, nrel, touched_relations, budget, tracer)
+
+    return Expansion(
+        schema=schema,
+        compound_classes=classes,
+        compound_attributes=compound_attributes,
+        compound_relations=compound_relations,
+        natt=natt,
+        nrel=nrel,
+        strategy=strategy,
+    )
+
+
+def _delta_compound_attributes(schema: Schema, classes: Sequence[frozenset],
+                               reused: frozenset, old: Expansion, natt,
+                               budget: _SizeBudget,
+                               tracer: Union[Tracer, NullTracer]
+                               ) -> dict[str, tuple[CompoundAttribute, ...]]:
+    """Per attribute: copy old compound attributes between reused
+    endpoints, probe only the candidates with a fresh endpoint.
+
+    The fresh-restricted decomposition partitions the relevant candidates
+    ``BL × ALL ∪ (ALL∖BL) × BR`` that have at least one fresh endpoint:
+    ``BL∩F × ALL``, ``BL∩R × F``, ``(ALL∖BL)∩F × BR``, and
+    ``(ALL∖BL)∩R × BR∩F`` (R = reused, F = fresh) — every such pair is
+    generated exactly once.
+    """
+    result: dict[str, tuple[CompoundAttribute, ...]] = {}
+    tick = current_budget().tick
+    copied = 0
+    probed_total = 0
+    for attr in sorted(schema.attribute_symbols):
+        direct = AttrRef(attr)
+        inverse = AttrRef(attr, inverse=True)
+        typing = AttributeTyping(schema, attr)
+        binding_left = [members for members in classes
+                        if is_binding(natt.get((members, direct), _FREE))]
+        binding_right = [members for members in classes
+                         if is_binding(natt.get((members, inverse), _FREE))]
+        left_set = set(binding_left)
+        rest = [members for members in classes if members not in left_set]
+        bl_fresh = [m for m in binding_left if m not in reused]
+        bl_reused = [m for m in binding_left if m in reused]
+        fresh = [m for m in classes if m not in reused]
+        rest_fresh = [m for m in rest if m not in reused]
+        rest_reused = [m for m in rest if m in reused]
+        br_fresh = [m for m in binding_right if m not in reused]
+        candidates = _chain_products(
+            (bl_fresh, classes), (bl_reused, fresh),
+            (rest_fresh, binding_right), (rest_reused, br_fresh))
+
+        found = [ca for ca in old.compound_attributes.get(attr, ())
+                 if ca.left in reused and ca.right in reused]
+        budget.charge(len(found), f"attribute {attr}")
+        copied += len(found)
+        for left, right in candidates:
+            tick()
+            probed_total += 1
+            if typing.consistent(left, right):
+                found.append(CompoundAttribute(attr, left, right))
+                budget.charge(1, f"attribute {attr}")
+        result[attr] = tuple(found)
+    if schema.attribute_symbols:
+        tracer.add("expansion.delta_attributes_copied", copied)
+        tracer.add("expansion.candidates_examined", probed_total)
+    return result
+
+
+def _delta_compound_relations(schema: Schema, classes: Sequence[frozenset],
+                              reused: frozenset, old: Expansion, nrel,
+                              touched_relations: frozenset,
+                              budget: _SizeBudget,
+                              tracer: Union[Tracer, NullTracer]
+                              ) -> dict[str, tuple[CompoundRelation, ...]]:
+    """Per relation: untouched relation definitions copy their compound
+    relations between all-reused assignments and probe only tuples with a
+    fresh member (each binding-position pool refined by the first fresh
+    position); touched relations re-enumerate from scratch."""
+    result: dict[str, tuple[CompoundRelation, ...]] = {}
+    tick = current_budget().tick
+    copied = 0
+    probed_total = 0
+    for rdef in schema.relation_definitions:
+        typing = RelationTyping(schema, rdef.name)
+        roles = rdef.roles
+        binding = {
+            role: [members for members in classes
+                   if is_binding(nrel.get((members, rdef.name, role), _FREE))]
+            for role in roles
+        }
+        nonbinding = {
+            role: [members for members in classes
+                   if not is_binding(nrel.get((members, rdef.name, role),
+                                              _FREE))]
+            for role in roles
+        }
+        base_pools = []
+        for position, role in enumerate(roles):
+            pools = ([nonbinding[r] for r in roles[:position]]
+                     + [binding[role]]
+                     + [list(classes) for _ in roles[position + 1:]])
+            base_pools.append(pools)
+
+        retouch = rdef.name in touched_relations
+        if retouch:
+            candidate_pools = [tuple(pools) for pools in base_pools]
+            found: list[CompoundRelation] = []
+        else:
+            # Refine each binding-position pool tuple by the first fresh
+            # position, so only assignments with >=1 fresh member emerge.
+            candidate_pools = []
+            for pools in base_pools:
+                for position in range(len(pools)):
+                    refined = (
+                        [[m for m in pool if m in reused]
+                         for pool in pools[:position]]
+                        + [[m for m in pools[position] if m not in reused]]
+                        + [list(pool) for pool in pools[position + 1:]])
+                    candidate_pools.append(tuple(refined))
+            found = [cr for cr in old.compound_relations.get(rdef.name, ())
+                     if all(members in reused
+                            for _, members in cr.assignment)]
+            budget.charge(len(found), f"relation {rdef.name}")
+            copied += len(found)
+
+        for pools in candidate_pools:
+            if any(not pool for pool in pools):
+                continue
+            for combo in product(*pools):
+                tick()
+                probed_total += 1
+                assignment = dict(zip(roles, combo))
+                if typing.consistent(assignment):
+                    found.append(CompoundRelation(rdef.name, assignment))
+                    budget.charge(1, f"relation {rdef.name}")
+        result[rdef.name] = tuple(found)
+    if schema.relation_definitions:
+        tracer.add("expansion.delta_relations_copied", copied)
+        tracer.add("expansion.candidates_examined", probed_total)
+    return result
 
 
 def _build_compound_attributes(schema: Schema, classes: Sequence[frozenset],

@@ -40,7 +40,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 from fractions import Fraction
 from math import lcm
-from typing import Optional
+from typing import Optional, Sequence
 
 from ..core.cardinality import INFINITY
 from ..core.errors import LinearSystemError
@@ -301,6 +301,7 @@ def acceptable_support(source: Expansion | PsiSystem,
                        backend: str | LpBackend = "auto", *,
                        use_propagation: bool = True,
                        merge_columns: bool = True,
+                       restrict_to: Optional[Sequence[int]] = None,
                        tracer: "Tracer | NullTracer" = NULL_TRACER
                        ) -> SupportResult:
     """Compute the maximal acceptable support of ``Ψ_S``.
@@ -316,6 +317,14 @@ def acceptable_support(source: Expansion | PsiSystem,
     merging); they exist for the ablation benchmarks and must never change
     the result — a property the test suite asserts.
 
+    ``restrict_to`` limits the computation to a subset of unknown indices,
+    treating every other unknown as pinned to zero from the start.  It is
+    only sound when the restriction is closed under constraint rows and
+    acceptability edges (no constraint or endpoint couples an inside
+    unknown to an outside one) — the delta-revalidation path passes whole
+    connected components of ``Ψ_S`` here, recombining the result with
+    reused verdicts for the untouched components.
+
     ``tracer`` receives the LP work counters: ``lp.rounds`` (fixpoint
     iterations), each round's :attr:`RoundSolution.metrics
     <repro.linear.backends.RoundSolution.metrics>` (``lp.pivots``,
@@ -327,7 +336,10 @@ def acceptable_support(source: Expansion | PsiSystem,
     lp = get_backend(backend)
     system = source if isinstance(source, PsiSystem) else build_system(source)
     entries = _bound_entries(system)
-    active = set(range(system.n_unknowns()))
+    if restrict_to is None:
+        active = set(range(system.n_unknowns()))
+    else:
+        active = set(restrict_to)
     rounds = 0
     backend_used = "propagation"
     values: dict[int, Fraction] = {}

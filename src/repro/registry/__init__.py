@@ -1,0 +1,11 @@
+"""The registry layer: named, versioned, multi-tenant schema storage.
+
+:class:`~repro.registry.registry.SchemaRegistry` maps ``(tenant, name)``
+to a version history over a :class:`~repro.engine.session.SchemaSession`,
+with per-tenant quotas, version pinning, ``name@version`` references, and
+diff-aware revalidation of every put (see :mod:`repro.engine.delta`).
+"""
+
+from .registry import RegistryConfig, SchemaRegistry, SchemaVersion
+
+__all__ = ["RegistryConfig", "SchemaRegistry", "SchemaVersion"]

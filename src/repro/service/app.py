@@ -52,7 +52,7 @@ from __future__ import annotations
 import json
 import threading
 import time
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 from typing import Mapping, Optional
 
 from ..core.budget import Budget, use_budget
@@ -60,6 +60,7 @@ from ..core.errors import BudgetExceeded, CarError, ParseError
 from ..engine.config import EngineConfig
 from ..engine.session import SchemaSession, schema_fingerprint
 from ..obs.tracer import Tracer
+from ..registry import RegistryConfig, SchemaRegistry
 from .admission import AdmissionController, AdmissionRejected
 from .cache import ResultCache
 from .http import ServiceResponse, make_server, new_request_id, \
@@ -112,6 +113,8 @@ class ServiceConfig:
     max_batch_queries: int = 1000
     max_batch_jobs: int = 8
     drain_grace_s: float = 10.0
+    #: Per-tenant quotas of the schema registry (``/v1/schemas``).
+    registry: RegistryConfig = field(default_factory=RegistryConfig)
 
     def __post_init__(self) -> None:
         for name in ("max_inflight", "max_body_bytes", "cache_limit",
@@ -156,6 +159,7 @@ class ReproService:
             tracer=self.tracer)
         self.cache = ResultCache(self.config.cache_limit,
                                  tracer=self.tracer)
+        self.registry = SchemaRegistry(self.session, self.config.registry)
         self._epoch = time.monotonic()
         self._ready = threading.Event()
         self._draining = threading.Event()
@@ -190,9 +194,12 @@ class ReproService:
 
     def _route(self, method: str, path: str, headers: Mapping[str, str],
                body: bytes, request_id: str) -> ServiceResponse:
-        path = path.split("?", 1)[0]
+        path, _, query = path.partition("?")
         methods = self._ROUTES.get(path)
         if methods is None:
+            if path == "/v1/schemas" or path.startswith("/v1/schemas/"):
+                return self._route_registry(method, path, headers, body,
+                                            request_id, query=query)
             return ServiceResponse(404, {"error": {
                 "kind": "NotFound", "message": f"no route for {path!r}"}})
         name = methods.get(method)
@@ -207,6 +214,154 @@ class ReproService:
             return handler(request_id)
         return self._run_admitted(handler, headers, body, request_id)
 
+    def _route_registry(self, method: str, path: str,
+                        headers: Mapping[str, str], body: bytes,
+                        request_id: str, query: str = "") -> ServiceResponse:
+        """Route the ``/v1/schemas`` family (the one path-param tree).
+
+        ====================================  ===========================
+        route                                 handler
+        ====================================  ===========================
+        ``GET    /v1/schemas``                tenant's schema listing
+        ``PUT    /v1/schemas/{name}``         store + revalidate a version
+        ``GET    /v1/schemas/{name}``         latest (or ``?version=N``)
+        ``DELETE /v1/schemas/{name}``         drop a schema (or version)
+        ``GET    /v1/schemas/{name}/versions``  the version history
+        ``POST   /v1/schemas/{name}/pin``     pin/unpin one version
+        ====================================  ===========================
+
+        The tenant comes from the ``X-Repro-Tenant`` header (falling back
+        to the configured default).  Reads run unadmitted, like the other
+        GETs; writes go through the same drain/size/JSON/admission
+        prologue as the reasoning endpoints.
+        """
+        tenant = headers.get("X-Repro-Tenant")
+        parts = [part for part in path.split("/") if part][1:]  # drop v1
+        tail = parts[1:]  # after "schemas"
+        allowed: tuple[str, ...] = ()
+        if not tail:
+            allowed = ("GET",)
+            if method == "GET":
+                return self._registry_guarded(
+                    request_id, lambda: {"schemas":
+                                         self.registry.list(tenant=tenant)})
+        elif len(tail) == 1:
+            name = tail[0]
+            allowed = ("DELETE", "GET", "PUT")
+            if method == "GET":
+                def produce():
+                    version = self._query_version(query)
+                    return {"schema": self.registry.get(
+                        name, tenant=tenant, version=version).summary()}
+                return self._registry_guarded(request_id, produce)
+            if method == "PUT":
+                return self._run_admitted(
+                    self._registry_put_handler(name, tenant),
+                    headers, body, request_id)
+            if method == "DELETE":
+                return self._run_admitted(
+                    self._registry_delete_handler(name, tenant),
+                    headers, body, request_id)
+        elif len(tail) == 2 and tail[1] == "versions":
+            name = tail[0]
+            allowed = ("GET",)
+            if method == "GET":
+                return self._registry_guarded(
+                    request_id, lambda: {
+                        "name": name,
+                        "versions": [v.summary() for v in
+                                     self.registry.versions(
+                                         name, tenant=tenant)]})
+        elif len(tail) == 2 and tail[1] == "pin":
+            name = tail[0]
+            allowed = ("POST",)
+            if method == "POST":
+                return self._run_admitted(
+                    self._registry_pin_handler(name, tenant),
+                    headers, body, request_id)
+        if allowed:
+            return ServiceResponse(
+                405, {"error": {"kind": "MethodNotAllowed",
+                                "message": f"{method} not allowed on "
+                                           f"{path}"}},
+                headers=(("Allow", ", ".join(allowed)),))
+        return ServiceResponse(404, {"error": {
+            "kind": "NotFound", "message": f"no route for {path!r}"}})
+
+    @staticmethod
+    def _query_version(query: str) -> Optional[int]:
+        """The ``version=N`` query parameter, validated, or None."""
+        for pair in query.split("&"):
+            key, _, value = pair.partition("=")
+            if key != "version":
+                continue
+            if not value.isdigit() or int(value) < 1:
+                raise ParseError(f"query parameter 'version' must be a "
+                                 f"positive integer, got {value!r}")
+            return int(value)
+        return None
+
+    def _registry_guarded(self, request_id: str,
+                          produce) -> ServiceResponse:
+        """A registry read with typed errors mapped (GETs skip
+        :meth:`_run_admitted`, so the mapping happens here)."""
+        start = time.perf_counter()
+        try:
+            payload = produce()
+        except CarError as exc:
+            return self._error_response(exc, start)
+        payload["request_id"] = request_id
+        return ServiceResponse(200, payload)
+
+    def _registry_put_handler(self, name: str, tenant: Optional[str]):
+        def handler(document: dict, deadline: Optional[float],
+                    max_steps: Optional[int],
+                    request_id: str) -> ServiceResponse:
+            source = self._required_str(document, "schema")
+            budget = (Budget(deadline, max_steps)
+                      if deadline is not None or max_steps is not None
+                      else None)
+            with use_budget(budget):
+                version, report = self.registry.put(
+                    name, source, tenant=tenant)
+            status = 200 if report.mode == "unchanged" else 201
+            return ServiceResponse(status, {
+                "request_id": request_id, "schema": version.summary(),
+                "revalidation": report.to_json()})
+        return handler
+
+    def _registry_delete_handler(self, name: str, tenant: Optional[str]):
+        def handler(document: dict, deadline: Optional[float],
+                    max_steps: Optional[int],
+                    request_id: str) -> ServiceResponse:
+            version = document.get("version")
+            if version is not None and (not isinstance(version, int)
+                                        or version < 1):
+                raise ParseError(f"delete 'version' must be a positive "
+                                 f"integer, got {version!r}")
+            removed = self.registry.delete(
+                name, tenant=tenant, version=version,
+                drop_artifacts=bool(document.get("drop_artifacts", False)))
+            return ServiceResponse(200, {
+                "request_id": request_id, "name": name,
+                "removed_versions": removed})
+        return handler
+
+    def _registry_pin_handler(self, name: str, tenant: Optional[str]):
+        def handler(document: dict, deadline: Optional[float],
+                    max_steps: Optional[int],
+                    request_id: str) -> ServiceResponse:
+            version = document.get("version")
+            if not isinstance(version, int) or version < 1:
+                raise ParseError(f"pin body needs a positive integer "
+                                 f"'version', got {version!r}")
+            entry = self.registry.pin(
+                name, version, tenant=tenant,
+                pinned=bool(document.get("pinned", True)))
+            return ServiceResponse(200, {
+                "request_id": request_id, "schema": entry.summary()})
+        return handler
+
     def _run_admitted(self, handler, headers: Mapping[str, str],
                       body: bytes, request_id: str) -> ServiceResponse:
         """The POST prologue: drain gate, size gate, JSON, budget,
@@ -219,7 +374,7 @@ class ReproService:
         if len(body) > self.config.max_body_bytes:
             return self.too_large()
         try:
-            document = json.loads(body.decode("utf-8") or "null")
+            document = json.loads(body.decode("utf-8") or "{}")
         except (ValueError, UnicodeDecodeError) as exc:
             return ServiceResponse(400, {"error": {
                 "kind": "BadRequest",
@@ -228,6 +383,8 @@ class ReproService:
             return ServiceResponse(400, {"error": {
                 "kind": "BadRequest",
                 "message": "request body must be a JSON object"}})
+        if "X-Repro-Tenant" in headers:
+            document.setdefault("tenant", headers["X-Repro-Tenant"])
         try:
             deadline, max_steps = self._budget_from(headers)
         except ValueError as exc:
@@ -293,6 +450,7 @@ class ReproService:
 
         A tripped budget (504) carries its partial stats — how many
         hot-loop steps ran and how long — so the client can size a retry.
+        A quota refusal (429) carries ``Retry-After``, like admission.
         """
         error: dict = {"kind": type(exc).__name__, "message": str(exc),
                        "exit_code": exc.exit_code}
@@ -301,7 +459,9 @@ class ReproService:
             error["steps"] = exc.steps
             payload["steps"] = exc.steps
             payload["duration_s"] = round(time.perf_counter() - start, 6)
-        return ServiceResponse(status_for_exit_code(exc.exit_code), payload)
+        status = status_for_exit_code(exc.exit_code)
+        response_headers = (("Retry-After", "1"),) if status == 429 else ()
+        return ServiceResponse(status, payload, headers=response_headers)
 
     def too_large(self) -> ServiceResponse:
         """The 413 response (used from the wire layer's pre-read check)."""
@@ -322,13 +482,14 @@ class ReproService:
         """``POST /v1/satisfiable`` — one formula (or class) verdict.
 
         Body: ``{"schema": <source>, "formula": <formula text>}`` (or
-        ``"class": <name>``).  The result cache is consulted *before* any
-        reasoner; misses run through the warm session under the request
-        budget and populate it.
+        ``"class": <name>``); ``{"schema_ref": "name@version"}`` addresses
+        a registry entry instead of shipping source.  The result cache is
+        consulted *before* any reasoner; misses run through the warm
+        session under the request budget and populate it.
         """
         from ..parser.parser import parse_formula
 
-        schema_source = self._required_str(document, "schema")
+        schema_source = self._schema_source(document)
         if "formula" in document:
             formula_text = self._required_str(document, "formula")
         elif "class" in document:
@@ -370,8 +531,9 @@ class ReproService:
     def _classify(self, document: dict, deadline: Optional[float],
                   max_steps: Optional[int],
                   request_id: str) -> ServiceResponse:
-        """``POST /v1/classify`` — the implied subsumption hierarchy."""
-        schema_source = self._required_str(document, "schema")
+        """``POST /v1/classify`` — the implied subsumption hierarchy
+        (``schema`` source inline, or a registry ``schema_ref``)."""
+        schema_source = self._schema_source(document)
         budget = (Budget(deadline, max_steps)
                   if deadline is not None or max_steps is not None
                   else None)
@@ -393,6 +555,9 @@ class ReproService:
         queries = document.get("queries")
         if not isinstance(queries, list):
             raise ParseError("batch body needs a 'queries' list")
+        tenant = document.get("tenant")
+        queries = [self._resolve_batch_query(query, tenant)
+                   for query in queries]
         if len(queries) > self.config.max_batch_queries:
             return ServiceResponse(413, {
                 "request_id": request_id,
@@ -431,6 +596,28 @@ class ReproService:
                 f"request body needs a non-empty {key!r} string")
         return value
 
+    def _schema_source(self, document: dict) -> str:
+        """The schema source of a query body: inline ``schema`` text, or
+        a registry ``schema_ref`` (``name`` / ``name@version``) resolved
+        for the request's tenant."""
+        if "schema_ref" in document and "schema" not in document:
+            ref = self._required_str(document, "schema_ref")
+            return self.registry.resolve(
+                ref, tenant=document.get("tenant")).source
+        return self._required_str(document, "schema")
+
+    def _resolve_batch_query(self, query, tenant: Optional[str]):
+        """Rewrite one batch query's ``schema_ref`` to inline source
+        (non-dict and ref-less queries pass through untouched)."""
+        if not isinstance(query, dict) or "schema_ref" not in query \
+                or "schema" in query:
+            return query
+        resolved = self.registry.resolve(query["schema_ref"], tenant=tenant)
+        rewritten = dict(query)
+        rewritten.pop("schema_ref")
+        rewritten["schema"] = resolved.source
+        return rewritten
+
     # ------------------------------------------------------------------
     # Introspection endpoints
     # ------------------------------------------------------------------
@@ -462,6 +649,7 @@ class ReproService:
             "admission": self.admission.stats().to_json(),
             "result_cache": self.cache.stats().to_json(),
             "session": self.session.cache_info().to_json(),
+            "registry": self.registry.stats(),
             "counters": dict(sorted(self.tracer.counters.items())),
             "gauges": dict(sorted(self.tracer.gauges.items())),
         })

@@ -19,9 +19,12 @@ Two contracts live here:
   65    malformed input (parse/schema)        422 Unprocessable Entity
   64    unanswerable question                 400 Bad Request
   66    unreadable input                      400 Bad Request
+  67    unknown schema/version (registry)     404 Not Found
+  69    tenant count quota exhausted          429 Too Many Requests
   73    could not produce the output          500 Internal Server Error
   70    internal inconsistency                500 Internal Server Error
   75    budget tripped                        504 Gateway Timeout
+  77    source size quota exceeded            413 Payload Too Large
   ====  ====================================  ===========================
 
 * **The response envelope.**  Every response body is a JSON object
@@ -55,9 +58,12 @@ HTTP_STATUS_BY_EXIT: dict[int, int] = {
     64: 400,   # ReasoningError — the question itself is bad
     65: 422,   # Parse/Schema/SemanticsError — body understood, input not
     66: 400,   # unreadable input (EX_NOINPUT)
+    67: 404,   # RegistryNotFound — no such schema/version
+    69: 429,   # RegistryQuotaError — tenant count quota exhausted
     70: 500,   # internal inconsistency (EX_SOFTWARE)
     73: 500,   # SynthesisError — could not produce the output
     75: 504,   # BudgetExceeded — the service declined to keep paying
+    77: 413,   # RegistrySizeError — source size quota exceeded
 }
 
 
@@ -149,6 +155,12 @@ class _Handler(BaseHTTPRequestHandler):
         self._handle()
 
     def do_POST(self) -> None:  # noqa: N802 - http.server naming
+        self._handle()
+
+    def do_PUT(self) -> None:  # noqa: N802 - http.server naming
+        self._handle()
+
+    def do_DELETE(self) -> None:  # noqa: N802 - http.server naming
         self._handle()
 
 

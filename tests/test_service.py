@@ -29,6 +29,10 @@ from repro.core.errors import (
     ParseError,
     ReasoningError,
     SchemaError,
+    RegistryError,
+    RegistryNotFound,
+    RegistryQuotaError,
+    RegistrySizeError,
     SemanticsError,
     SynthesisError,
 )
@@ -452,6 +456,10 @@ class TestResultCache:
 #: the core/errors.py hierarchy, pinning both renderings of the table.
 ERROR_TABLE = [
     (ParseError, 65, 422),
+    (RegistryError, 65, 422),
+    (RegistryNotFound, 67, 404),
+    (RegistryQuotaError, 69, 429),
+    (RegistrySizeError, 77, 413),
     (SchemaError, 65, 422),
     (SemanticsError, 65, 422),
     (ReasoningError, 64, 400),
