@@ -1,0 +1,284 @@
+"""Closed-loop load generator for the asyncio query service.
+
+Drives ``repro serve`` the way a fleet of real clients would: N
+concurrent keep-alive connections, each issuing requests back-to-back
+(closed loop — a new request starts only when the previous response
+lands), optionally pipelining batches of requests per write.  Raw
+sockets and a minimal HTTP/1.1 response parser keep the client cheap
+enough that the server, not the generator, is the bottleneck.
+
+Importable (``import loadgen``; ``benchmarks/conftest.py`` puts this
+directory on ``sys.path``) and runnable as a CLI for CI smoke tests::
+
+    python benchmarks/loadgen.py --port 8321 --connections 100 \
+        --requests 20 --expect-status 200
+
+The CLI exits non-zero on transport errors, unexpected statuses, or
+malformed v1 envelopes, and prints a JSON summary to stdout.
+"""
+
+from __future__ import annotations
+
+import argparse
+import asyncio
+import json
+import sys
+import time
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+_RECV_LIMIT = 1 << 20
+
+
+@dataclass
+class LoadReport:
+    """Aggregated outcome of one :func:`run_load` drive."""
+
+    requests: int = 0
+    transport_errors: int = 0
+    statuses: Dict[int, int] = field(default_factory=dict)
+    envelope_violations: int = 0
+    elapsed_s: float = 0.0
+    latencies_ms: List[float] = field(default_factory=list)
+
+    @property
+    def rps(self) -> float:
+        return self.requests / self.elapsed_s if self.elapsed_s else 0.0
+
+    def percentile_ms(self, fraction: float) -> float:
+        if not self.latencies_ms:
+            return 0.0
+        ordered = sorted(self.latencies_ms)
+        index = min(len(ordered) - 1,
+                    max(0, round(fraction * (len(ordered) - 1))))
+        return ordered[index]
+
+    def summary(self) -> dict:
+        return {
+            "requests": self.requests,
+            "elapsed_s": self.elapsed_s,
+            "rps": self.rps,
+            "statuses": {str(k): v for k, v in sorted(self.statuses.items())},
+            "transport_errors": self.transport_errors,
+            "envelope_violations": self.envelope_violations,
+            "p50_ms": self.percentile_ms(0.50),
+            "p90_ms": self.percentile_ms(0.90),
+            "p99_ms": self.percentile_ms(0.99),
+            "max_ms": max(self.latencies_ms) if self.latencies_ms else 0.0,
+        }
+
+
+def check_envelope(payload: object) -> bool:
+    """True when ``payload`` is a structurally sound v1 envelope.
+
+    A deliberately self-contained mirror of ``tests/wire.py`` so the
+    generator stays importable without the test package (CI calls it as
+    a bare script).
+    """
+    if not isinstance(payload, dict):
+        return False
+    if set(payload) - {"api_version", "request_id", "ok", "data", "error"}:
+        return False
+    if payload.get("api_version") != 1:
+        return False
+    if not isinstance(payload.get("request_id"), str):
+        return False
+    ok = payload.get("ok")
+    if not isinstance(ok, bool):
+        return False
+    if ok:
+        return "data" in payload and "error" not in payload
+    error = payload.get("error")
+    return (isinstance(error, dict) and "data" not in payload
+            and {"code", "sysexit", "message"} <= set(error))
+
+
+def build_request(method: str, path: str, body: Optional[bytes],
+                  headers: Tuple[Tuple[str, str], ...] = ()) -> bytes:
+    payload = body or b""
+    lines = [f"{method} {path} HTTP/1.1", "Host: loadgen",
+             f"Content-Length: {len(payload)}"]
+    lines += [f"{name}: {value}" for name, value in headers]
+    return "\r\n".join(lines).encode("ascii") + b"\r\n\r\n" + payload
+
+
+async def _read_response(reader: asyncio.StreamReader,
+                         parse_body: bool = True) -> Tuple[int, object]:
+    head = await reader.readuntil(b"\r\n\r\n")
+    status = int(head[9:12])
+    length = 0
+    lower = head.lower()
+    marker = lower.find(b"content-length:")
+    if marker >= 0:
+        end = lower.index(b"\r\n", marker)
+        length = int(head[marker + 15:end])
+    raw = await reader.readexactly(length) if length else b""
+    if not parse_body:
+        return status, None
+    try:
+        payload = json.loads(raw) if raw else None
+    except ValueError:
+        payload = None
+    return status, payload
+
+
+async def _drive_connection(host: str, port: int, raw_request: bytes,
+                            requests: int, pipeline: int,
+                            report: LoadReport,
+                            lock: asyncio.Lock,
+                            timeout: float,
+                            validate: str) -> None:
+    statuses: Dict[int, int] = {}
+    latencies: List[float] = []
+    violations = 0
+    completed = 0
+    try:
+        reader, writer = await asyncio.wait_for(
+            asyncio.open_connection(host, port, limit=_RECV_LIMIT),
+            timeout=timeout)
+        try:
+            remaining = requests
+            while remaining > 0:
+                batch = min(pipeline, remaining)
+                start = time.perf_counter()
+                writer.write(raw_request * batch)
+                await asyncio.wait_for(writer.drain(), timeout=timeout)
+                for _ in range(batch):
+                    parse = (validate == "all"
+                             or (validate == "first" and completed == 0))
+                    status, payload = await asyncio.wait_for(
+                        _read_response(reader, parse_body=parse),
+                        timeout=timeout)
+                    latencies.append(
+                        (time.perf_counter() - start) * 1000.0)
+                    statuses[status] = statuses.get(status, 0) + 1
+                    if parse and not check_envelope(payload):
+                        violations += 1
+                    completed += 1
+                remaining -= batch
+        finally:
+            writer.close()
+            try:
+                await writer.wait_closed()
+            except (ConnectionError, OSError):
+                pass
+    except (ConnectionError, OSError, asyncio.TimeoutError,
+            asyncio.IncompleteReadError):
+        async with lock:
+            report.transport_errors += 1
+    async with lock:
+        report.requests += completed
+        report.envelope_violations += violations
+        report.latencies_ms.extend(latencies)
+        for status, count in statuses.items():
+            report.statuses[status] = report.statuses.get(status, 0) + count
+
+
+async def _run(host: str, port: int, raw_request: bytes, connections: int,
+               requests_per_connection: int, pipeline: int,
+               timeout: float, validate: str) -> LoadReport:
+    report = LoadReport()
+    lock = asyncio.Lock()
+    start = time.perf_counter()
+    await asyncio.gather(*(
+        _drive_connection(host, port, raw_request, requests_per_connection,
+                          pipeline, report, lock, timeout, validate)
+        for _ in range(connections)))
+    report.elapsed_s = time.perf_counter() - start
+    return report
+
+
+def run_load(host: str, port: int, *, connections: int = 10,
+             requests_per_connection: int = 50, pipeline: int = 1,
+             method: str = "POST", path: str = "/v1/satisfiable",
+             body: Optional[dict] = None,
+             headers: Tuple[Tuple[str, str], ...] = (),
+             timeout: float = 30.0, validate: str = "all") -> LoadReport:
+    """Drive the service and return an aggregated :class:`LoadReport`.
+
+    Closed loop: every connection keeps exactly ``pipeline`` requests in
+    flight (1 = strict request/response lockstep).  Latencies are
+    measured from each batch's write to each response's arrival.
+
+    ``validate`` controls envelope checking on the client: ``"all"``
+    parses and checks every body, ``"first"`` only each connection's
+    first (the rest are drained by Content-Length alone — the right mode
+    for throughput runs, where client-side JSON parsing would otherwise
+    compete with the server for the same core), ``"none"`` skips it.
+    """
+    if validate not in ("all", "first", "none"):
+        raise ValueError(f"unknown validate mode {validate!r}")
+    raw = build_request(
+        method, path,
+        json.dumps(body).encode() if body is not None else None, headers)
+    return asyncio.run(_run(host, port, raw, connections,
+                            requests_per_connection, pipeline, timeout,
+                            validate))
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = argparse.ArgumentParser(
+        description="closed-loop load generator for repro serve")
+    parser.add_argument("--host", default="127.0.0.1")
+    parser.add_argument("--port", type=int, required=True)
+    parser.add_argument("--connections", type=int, default=10)
+    parser.add_argument("--requests", type=int, default=50,
+                        help="requests per connection")
+    parser.add_argument("--pipeline", type=int, default=1,
+                        help="requests kept in flight per connection")
+    parser.add_argument("--method", default="POST")
+    parser.add_argument("--path", default="/v1/satisfiable")
+    parser.add_argument("--body", default=None,
+                        help="JSON request body (default: a tiny "
+                             "satisfiability query)")
+    parser.add_argument("--timeout", type=float, default=30.0)
+    parser.add_argument("--validate", choices=("all", "first", "none"),
+                        default="all",
+                        help="how many response bodies to envelope-check")
+    parser.add_argument("--expect-status", type=int, action="append",
+                        default=None,
+                        help="acceptable statuses (repeatable; default "
+                             "200, plus 429/503 which a loaded service "
+                             "may return gracefully)")
+    args = parser.parse_args(argv)
+
+    if args.body is not None:
+        body = json.loads(args.body)
+    elif args.method == "POST":
+        body = {"schema": "class A isa not B endclass class B endclass",
+                "formula": "A and not B"}
+    else:
+        body = None
+    expected = set(args.expect_status or (200, 429, 503))
+
+    report = run_load(args.host, args.port, connections=args.connections,
+                      requests_per_connection=args.requests,
+                      pipeline=args.pipeline, method=args.method,
+                      path=args.path, body=body, timeout=args.timeout,
+                      validate=args.validate)
+    summary = report.summary()
+    unexpected = {status: count for status, count in report.statuses.items()
+                  if status not in expected}
+    summary["unexpected_statuses"] = {
+        str(k): v for k, v in sorted(unexpected.items())}
+    print(json.dumps(summary, indent=2, sort_keys=True))
+
+    if report.transport_errors:
+        print(f"FAIL: {report.transport_errors} transport errors",
+              file=sys.stderr)
+        return 1
+    if report.envelope_violations:
+        print(f"FAIL: {report.envelope_violations} malformed envelopes",
+              file=sys.stderr)
+        return 1
+    if unexpected:
+        print(f"FAIL: unexpected statuses {unexpected}", file=sys.stderr)
+        return 1
+    if report.requests != args.connections * args.requests:
+        print("FAIL: not every request completed", file=sys.stderr)
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -55,25 +55,34 @@ def main() -> None:
         base = f"http://{service.host}:{service.port}"
         print(f"  listening on {base}")
 
+        status, payload = call(base, "/v1/version")
+        print(f"  GET /v1/version       -> {status}, "
+              f"api_version={payload['data']['api_version']}")
+
+        # Every response is the same v1 envelope: {"api_version": 1,
+        # "request_id": ..., "ok": true, "data": {...}} on success,
+        # {"ok": false, "error": {"code", "sysexit", "message"}} on error.
         status, payload = call(base, "/v1/satisfiable",
                                {"schema": SCHEMA, "class": "Student"})
+        data = payload["data"]
         print(f"  POST /v1/satisfiable -> {status}, "
-              f"verdict={payload['verdict']}, cache={payload['cache']}")
+              f"verdict={data['verdict']}, cache={data['cache']}")
         status, payload = call(base, "/v1/satisfiable",
                                {"schema": SCHEMA, "class": "Student"})
+        data = payload["data"]
         print(f"  repeated              -> {status}, "
-              f"verdict={payload['verdict']}, cache={payload['cache']}")
+              f"verdict={data['verdict']}, cache={data['cache']}")
 
         status, payload = call(base, "/v1/classify", {"schema": SCHEMA})
         print(f"  POST /v1/classify     -> {status}, "
-              f"subsumptions={payload['subsumptions']}")
+              f"subsumptions={payload['data']['subsumptions']}")
 
         status, payload = call(base, "/v1/batch", {"queries": [
             {"schema": SCHEMA, "formula": "Student and Professor"},
             {"schema": SCHEMA, "formula": "Student and Person"},
         ]})
         print(f"  POST /v1/batch        -> {status}, "
-              f"summary={payload['summary']}")
+              f"summary={payload['data']['summary']}")
 
         # A 50 ms budget against the paper's EXPTIME-hard reduction maps
         # to HTTP 504, carrying the partial progress made before the trip.
@@ -85,14 +94,18 @@ def main() -> None:
                                {"schema": render_schema(reduction.schema),
                                 "formula": str(reduction.target)},
                                headers={"X-Repro-Timeout-Ms": "50"})
+        error = payload["error"]
         print(f"  50 ms vs EXPTIME      -> {status} "
-              f"({payload['error']['kind']}, steps={payload['steps']})")
+              f"({error['code']}, sysexit={error['sysexit']}, "
+              f"steps={error['steps']})")
 
         status, payload = call(base, "/metrics")
+        metrics = payload["data"]
         print(f"  GET /metrics          -> {status}, "
               f"cache hit rate "
-              f"{payload['result_cache']['hit_rate']:.0%}, "
-              f"admitted {payload['admission']['admitted']}")
+              f"{metrics['result_cache']['hit_rate']:.0%}, "
+              f"admitted {metrics['admission']['admitted']}, "
+              f"p50 {metrics['latency']['p50_ms']:.2f} ms")
     # leaving the with-block drained in-flight requests and shut down
 
 

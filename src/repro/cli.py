@@ -427,6 +427,10 @@ def _cmd_serve(args: argparse.Namespace) -> int:
             max_inflight=args.max_inflight,
             queue_depth=args.queue_depth,
             queue_timeout_s=args.queue_timeout,
+            workers=args.workers,
+            pipeline_depth=args.pipeline_depth,
+            idle_timeout_s=args.idle_timeout,
+            max_header_bytes=args.max_header_bytes,
             max_body_bytes=args.max_body_bytes,
             cache_limit=args.cache_size,
             max_timeout_ms=args.max_timeout_ms,
@@ -489,7 +493,9 @@ def _registry_request(args: argparse.Namespace, method: str, path: str,
         try:
             payload = json.loads(raw)
         except ValueError:
-            payload = {"error": {"kind": "HTTPError", "message": raw}}
+            payload = {"ok": False,
+                       "error": {"code": "http_error", "sysexit": 70,
+                                 "message": raw}}
         return exc.code, payload
 
 
@@ -534,34 +540,35 @@ def _cmd_registry(args: argparse.Namespace) -> int:
     except (urllib.error.URLError, OSError, ValueError) as exc:
         return _fail(args, f"cannot reach {args.url}: {exc}", 69)
 
-    if status >= 400:
+    if status >= 400 or not payload.get("ok", False):
         error = payload.get("error", {})
         message = error.get("message", f"HTTP {status}")
-        return _fail(args, message, int(error.get("exit_code", 70)))
+        return _fail(args, message, int(error.get("sysexit", 70)))
+    data = payload.get("data", {})
     if args.json:
         _emit_json({"command": "registry", "action": action} | payload)
-        return 0 if payload.get("verdict", True) else 1
+        return 0 if data.get("verdict", True) else 1
     if action == "put":
-        schema, revalidation = payload["schema"], payload["revalidation"]
+        schema, revalidation = data["schema"], data["revalidation"]
         clusters = revalidation.get("clusters", {})
         _write(f"{schema['ref']}  fingerprint={schema['fingerprint'][:12]}  "
                f"mode={revalidation['mode']}  "
                f"clusters reused={clusters.get('reused', 0)}"
                f"/{clusters.get('total', 0)}")
     elif action == "get":
-        _write(json.dumps(payload["schema"], indent=2, sort_keys=True))
+        _write(json.dumps(data["schema"], indent=2, sort_keys=True))
     elif action == "list":
-        for row in payload["schemas"]:
+        for row in data["schemas"]:
             _write(f"{row['name']}  latest=v{row['version']}  "
                    f"versions={row['versions']}  "
                    f"pinned={row['pinned_versions']}")
     elif action == "check":
-        verdict = payload["verdict"]
+        verdict = data["verdict"]
         _write(f"{args.ref}: "
                f"{'satisfiable' if verdict else 'unsatisfiable'}")
         return 0 if verdict else 1
     else:
-        _write(f"deleted {payload['removed_versions']} version(s) of "
+        _write(f"deleted {data['removed_versions']} version(s) of "
                f"{args.name}")
     return 0
 
@@ -665,6 +672,21 @@ def build_parser() -> argparse.ArgumentParser:
     serve.add_argument("--queue-timeout", type=float, default=0.5,
                        metavar="SECONDS",
                        help="longest a request may wait for a slot")
+    serve.add_argument("--workers", type=int, default=0, metavar="N",
+                       help="worker-pool threads behind the asyncio front "
+                            "end (0 = auto: max-inflight + 2)")
+    serve.add_argument("--pipeline-depth", type=int, default=16,
+                       metavar="N",
+                       help="max requests one connection may have "
+                            "parsed-but-unanswered (HTTP pipelining)")
+    serve.add_argument("--idle-timeout", type=float, default=30.0,
+                       metavar="SECONDS",
+                       help="close connections idle (or trickling) "
+                            "longer than this")
+    serve.add_argument("--max-header-bytes", type=int, default=32_768,
+                       metavar="N",
+                       help="reject request lines/header blocks larger "
+                            "than this with 431")
     serve.add_argument("--max-body-bytes", type=int, default=1_000_000,
                        metavar="N", help="request bodies above this get 413")
     serve.add_argument("--cache-size", type=int, default=1024, metavar="N",

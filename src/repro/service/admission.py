@@ -116,8 +116,13 @@ class AdmissionController:
     # ------------------------------------------------------------------
     # The request path
     # ------------------------------------------------------------------
-    def acquire(self) -> None:
+    def acquire(self) -> float:
         """Take an execution slot, waiting in the bounded queue if needed.
+
+        Returns the seconds spent waiting in the queue (0.0 when a slot
+        was free immediately) — the caller charges that wait against the
+        request's budget, so a request that queued for most of its
+        ``X-Repro-Timeout-Ms`` does not restart with a full allowance.
 
         Raises :class:`AdmissionRejected` when the queue is already full
         or no slot frees up within ``queue_timeout`` seconds.
@@ -126,7 +131,7 @@ class AdmissionController:
         with self._cond:
             if self._inflight < self.max_inflight:
                 self._admit_locked()
-                return
+                return 0.0
             if self._queued >= self.max_queue:
                 self._rejected_queue_full += 1
                 self._tracer.add("service.rejected_queue_full")
@@ -135,7 +140,8 @@ class AdmissionController:
                     f"{self._inflight} in flight)",
                     retry_after=retry_after, reason="queue_full")
             self._queued += 1
-            deadline = time.monotonic() + self.queue_timeout
+            entered = time.monotonic()
+            deadline = entered + self.queue_timeout
             try:
                 while self._inflight >= self.max_inflight:
                     remaining = deadline - time.monotonic()
@@ -148,6 +154,7 @@ class AdmissionController:
                             retry_after=retry_after, reason="timeout")
                     self._cond.wait(remaining)
                 self._admit_locked()
+                return time.monotonic() - entered
             finally:
                 self._queued -= 1
 

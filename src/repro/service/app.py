@@ -1,4 +1,4 @@
-"""The query service application: routing, budgets, lifecycle.
+"""The query service application: routing, envelope, budgets, lifecycle.
 
 ``repro serve`` keeps one process alive answering schema-reasoning
 queries over HTTP, so the expensive parts of the paper's decision
@@ -8,38 +8,56 @@ across requests instead of once per CLI invocation.
 
 Request flow (see ``docs/architecture.md``)::
 
-    request → admission controller → result cache → SchemaSession
-                  (429/503)             (hit: done)     under Budget
-                                                        (504 on trip)
+    asyncio accept/parse → fast path (introspection, warm cache hits)
+         (wire layer)     → worker pool → admission → result cache
+                                (429/503)    (hit: done)
+                          → SchemaSession under Budget (504 on trip)
 
 * **Admission** (:mod:`repro.service.admission`): bounded in-flight
   execution and a bounded wait queue; overload is turned away at the door
   with 429 + ``Retry-After``, oversized bodies with 413 — the reasoner
-  never sees work the service cannot afford.
+  never sees work the service cannot afford.  Time spent waiting in the
+  admission queue is charged against the request's own budget.
 * **Result cache** (:mod:`repro.service.cache`): completed verdicts keyed
   by ``(schema_fingerprint, formula)``; a repeat query never touches a
-  reasoner.
+  reasoner — and via :meth:`ReproService.try_fast_dispatch` it is
+  answered directly on the event loop, skipping the worker pool.
 * **Artifact cache**: when the engine config carries an ``artifact_dir``
   (``repro serve`` defaults it on, ``--no-artifact-cache`` turns it off),
   session misses rehydrate precompiled
   :class:`~repro.engine.artifact.CompiledSchema` snapshots from disk
   instead of rebuilding Phase 1/2 — so a freshly booted (or restarted)
-  service answers warm for every schema it has ever compiled.  The
-  ``artifact.*`` counters surface in ``/metrics`` like every other
-  tracer counter.
+  service answers warm for every schema it has ever compiled.
 * **Budgets**: every reasoning request runs under a per-request
   :class:`~repro.core.budget.Budget` assembled from the
   ``X-Repro-Timeout-Ms`` / ``X-Repro-Max-Steps`` headers, clamped by the
   server-side caps — a client can ask for *less* time than the server
   allows, never more.  A tripped budget is HTTP 504 carrying the partial
-  stats (steps performed, wall-clock spent), per Theorem 4.1: the service
-  cannot promise to finish, but it promises to stop.
-* **Errors**: the :mod:`repro.core.errors` sysexits codes map onto HTTP
-  statuses through one table (:data:`repro.service.http.HTTP_STATUS_BY_EXIT`).
+  stats, per Theorem 4.1: the service cannot promise to finish, but it
+  promises to stop.
 * **Lifecycle**: ``/healthz`` is process liveness, ``/readyz`` flips to
   503 the moment draining starts, and :meth:`ReproService.drain` stops
   accepting, waits for in-flight work, then closes the session pool —
   the SIGTERM path of ``repro serve``.
+
+**The v1 envelope.**  Every JSON body the service emits — success,
+error, metrics, registry, even the wire layer's protocol errors — is
+built by one serializer (:meth:`ReproService._envelope`) and has exactly
+one of two shapes::
+
+    {"api_version": 1, "request_id": "...", "ok": true,  "data": {...}}
+    {"api_version": 1, "request_id": "...", "ok": false, "error":
+        {"code": "budget_exceeded", "sysexit": 75, "message": "...",
+         "retry_after_ms": 1000?, ...detail}}
+
+``error.code`` is a stable snake_case token (the
+:mod:`repro.core.errors` class name for typed failures, a wire-level
+token such as ``headers_too_large`` otherwise); ``error.sysexit`` is the
+exit code ``repro`` CLI commands would terminate with for the same
+failure, keeping the two surfaces pinned to one table
+(:data:`repro.service.http.HTTP_STATUS_BY_EXIT`).  ``GET /v1/version``
+reports the envelope version next to every other schema version the
+process speaks.
 
 The application logic is socket-free: :meth:`ReproService.dispatch` maps
 ``(method, path, headers, body)`` to a
@@ -50,6 +68,7 @@ and the wire layer stays a thin shell.
 from __future__ import annotations
 
 import json
+import re
 import threading
 import time
 from dataclasses import dataclass, field
@@ -57,19 +76,34 @@ from typing import Mapping, Optional
 
 from ..core.budget import Budget, use_budget
 from ..core.errors import BudgetExceeded, CarError, ParseError
+from ..engine.artifact import ARTIFACT_SCHEMA_VERSION
 from ..engine.config import EngineConfig
 from ..engine.session import SchemaSession, schema_fingerprint
-from ..obs.tracer import Tracer
+from ..engine.stats import STATS_SCHEMA_VERSION
+from ..obs.tracer import TRACE_SCHEMA_VERSION, Tracer
 from ..registry import RegistryConfig, SchemaRegistry
 from .admission import AdmissionController, AdmissionRejected
-from .cache import ResultCache
-from .http import ServiceResponse, make_server, new_request_id, \
+from .cache import LruMemo, ResultCache
+from .http import AsyncServiceServer, ServiceResponse, new_request_id, \
     status_for_exit_code
+from .metrics import LatencyHistogram
 
-__all__ = ["ServiceConfig", "ReproService"]
+__all__ = ["API_VERSION", "ServiceConfig", "ReproService"]
+
+#: The wire-envelope version every response carries.
+API_VERSION = 1
 
 #: Executor modes ``POST /v1/batch`` accepts (mirrors ``repro batch``).
 _BATCH_MODES = ("auto", "process", "thread", "serial")
+
+#: sysexit for wire-level failures that have no CarError behind them.
+_PROTOCOL_SYSEXITS = {400: 64, 404: 67, 405: 64, 408: 64, 413: 77,
+                      429: 69, 431: 64, 501: 64, 503: 69, 504: 75}
+
+
+def _snake(name: str) -> str:
+    """``BudgetExceeded`` → ``budget_exceeded`` (the envelope code)."""
+    return re.sub(r"(?<=[a-z0-9])(?=[A-Z])", "_", name).lower()
 
 
 @dataclass(frozen=True)
@@ -83,6 +117,19 @@ class ServiceConfig:
     max_inflight / queue_depth / queue_timeout_s:
         Admission bounds: concurrent executions, waiting requests, and the
         longest a request may wait for a slot before 429.
+    workers:
+        Worker-pool threads running :meth:`ReproService.dispatch` behind
+        the asyncio front end; 0 (the default) sizes the pool
+        automatically as ``max_inflight + 2`` — enough to saturate
+        admission with two threads to spare for introspection.
+    pipeline_depth:
+        How many requests one connection may have parsed-but-unanswered;
+        the wire layer stops reading a connection that gets further ahead.
+    idle_timeout_s:
+        Connections idle (or trickling — slow-loris) longer than this are
+        closed.
+    max_header_bytes:
+        Request lines and header blocks above this answer 431.
     max_body_bytes:
         Request bodies larger than this are rejected with 413 from their
         ``Content-Length`` alone.
@@ -104,6 +151,10 @@ class ServiceConfig:
     max_inflight: int = 8
     queue_depth: int = 16
     queue_timeout_s: float = 0.5
+    workers: int = 0
+    pipeline_depth: int = 16
+    idle_timeout_s: float = 30.0
+    max_header_bytes: int = 32_768
     max_body_bytes: int = 1_000_000
     cache_limit: int = 1024
     max_timeout_ms: int = 30_000
@@ -117,17 +168,25 @@ class ServiceConfig:
     registry: RegistryConfig = field(default_factory=RegistryConfig)
 
     def __post_init__(self) -> None:
-        for name in ("max_inflight", "max_body_bytes", "cache_limit",
-                     "max_timeout_ms", "max_steps_cap",
-                     "max_batch_queries", "max_batch_jobs"):
+        for name in ("max_inflight", "pipeline_depth", "max_header_bytes",
+                     "max_body_bytes", "cache_limit", "max_timeout_ms",
+                     "max_steps_cap", "max_batch_queries",
+                     "max_batch_jobs"):
             if getattr(self, name) < 1:
                 raise ValueError(
                     f"{name} must be positive, got {getattr(self, name)}")
-        if self.queue_depth < 0:
-            raise ValueError(
-                f"queue_depth must be >= 0, got {self.queue_depth}")
+        if self.queue_depth < 0 or self.workers < 0:
+            raise ValueError("queue_depth and workers must be >= 0")
         if self.queue_timeout_s < 0 or self.drain_grace_s < 0:
             raise ValueError("timeouts must be >= 0")
+        if self.idle_timeout_s <= 0:
+            raise ValueError(
+                f"idle_timeout_s must be > 0, got {self.idle_timeout_s}")
+
+    @property
+    def effective_workers(self) -> int:
+        """The worker-pool size after resolving ``workers=0`` (auto)."""
+        return self.workers if self.workers else self.max_inflight + 2
 
 
 class ReproService:
@@ -160,13 +219,54 @@ class ReproService:
         self.cache = ResultCache(self.config.cache_limit,
                                  tracer=self.tracer)
         self.registry = SchemaRegistry(self.session, self.config.registry)
+        self.latency = LatencyHistogram()
+        self._schema_memo = LruMemo(limit=max(
+            16, min(self.config.cache_limit, 256)))
+        self._formula_memo = LruMemo(limit=max(
+            16, min(self.config.cache_limit, 1024)))
         self._epoch = time.monotonic()
         self._ready = threading.Event()
         self._draining = threading.Event()
-        self._server = None
-        self._thread: Optional[threading.Thread] = None
+        self._server: Optional[AsyncServiceServer] = None
         self.host = self.config.host
         self.port = self.config.port
+
+    # ------------------------------------------------------------------
+    # The envelope: the one serializer every response goes through
+    # ------------------------------------------------------------------
+    def _envelope(self, request_id: str, *, ok: bool, data=None,
+                  error: Optional[dict] = None) -> dict:
+        document = {"api_version": API_VERSION, "request_id": request_id,
+                    "ok": ok}
+        if ok:
+            document["data"] = data
+        else:
+            document["error"] = error
+        return document
+
+    def _ok(self, status: int, request_id: str, data,
+            headers: tuple = ()) -> ServiceResponse:
+        return ServiceResponse(
+            status, self._envelope(request_id, ok=True, data=data),
+            headers=headers)
+
+    def _fail(self, status: int, request_id: str, code: str, message: str,
+              *, sysexit: Optional[int] = None,
+              retry_after_s: Optional[int] = None,
+              detail: Optional[dict] = None,
+              close: bool = False) -> ServiceResponse:
+        if sysexit is None:
+            sysexit = _PROTOCOL_SYSEXITS.get(status, 70)
+        error = {"code": code, "sysexit": sysexit, "message": message}
+        headers: tuple = ()
+        if retry_after_s is not None:
+            error["retry_after_ms"] = retry_after_s * 1000
+            headers = (("Retry-After", str(retry_after_s)),)
+        if detail:
+            error.update(detail)
+        return ServiceResponse(
+            status, self._envelope(request_id, ok=False, error=error),
+            headers=headers, close=close)
 
     # ------------------------------------------------------------------
     # Routing
@@ -176,6 +276,7 @@ class ReproService:
         "/healthz": {"GET": "_healthz"},
         "/readyz": {"GET": "_readyz"},
         "/metrics": {"GET": "_metrics"},
+        "/v1/version": {"GET": "_version"},
         "/v1/satisfiable": {"POST": "_satisfiable"},
         "/v1/classify": {"POST": "_classify"},
         "/v1/batch": {"POST": "_batch"},
@@ -184,13 +285,104 @@ class ReproService:
     def dispatch(self, method: str, path: str, headers: Mapping[str, str],
                  body: bytes) -> ServiceResponse:
         """Answer one request: the socket-free application entry point."""
+        start = time.perf_counter()
         request_id = new_request_id()
         self.tracer.add("service.requests")
         with self.tracer.span("service.request"):
             response = self._route(method, path, headers, body, request_id)
-        response.payload.setdefault("request_id", request_id)
-        self.tracer.add(f"service.responses_{response.status // 100}xx")
+        return self._finish(response, start)
+
+    def try_fast_dispatch(self, method: str, path: str,
+                          headers: Mapping[str, str],
+                          body: bytes) -> Optional[ServiceResponse]:
+        """Answer on the event loop when no reasoning is needed, else None.
+
+        The wire layer calls this before paying the worker-pool hop.  Two
+        request families qualify: GETs (introspection and registry reads
+        — bounded, lock-cheap work) and ``POST /v1/satisfiable`` bodies
+        whose verdict is already in the result cache (the parse memos
+        make re-deriving the cache key nearly free).  Anything else —
+        including any fast-path hiccup — returns None and takes the full
+        dispatch path on a worker.
+        """
+        if method == "GET":
+            return self.dispatch(method, path, headers, body)
+        target, _, _ = path.partition("?")
+        if method != "POST" or target != "/v1/satisfiable" \
+                or len(body) > 65_536 or self._draining.is_set():
+            return None
+        data = self._peek_cached_verdict(headers, body)
+        if data is None:
+            return None
+        start = time.perf_counter()
+        request_id = new_request_id()
+        self.tracer.add("service.requests")
+        self.tracer.add("service.fast_path_hits")
+        return self._finish(self._ok(200, request_id, data), start)
+
+    def _peek_cached_verdict(self, headers: Mapping[str, str],
+                             body: bytes) -> Optional[dict]:
+        """The satisfiable fast path: a cached verdict's data, or None.
+
+        Deliberately conservative — any parse error, unknown ref, or
+        cache miss returns None so the worker-path handler produces the
+        authoritative response (and its errors).
+        """
+        try:
+            document = json.loads(body.decode("utf-8") or "{}")
+            if not isinstance(document, dict):
+                return None
+            if "X-Repro-Tenant" in headers:
+                document.setdefault("tenant", headers["X-Repro-Tenant"])
+            text = document.get("formula", document.get("class"))
+            if not isinstance(text, str) or not text.strip():
+                return None
+            source = self._schema_source(document)
+            fingerprint, _ = self._memo_schema(source)
+            _, formula_key = self._memo_formula(text)
+        except Exception:  # noqa: BLE001 - fall back to the full path
+            return None
+        verdict = self.cache.peek(fingerprint, formula_key)
+        if verdict is None:
+            return None
+        return {"verdict": verdict, "cache": "hit",
+                "schema_fingerprint": fingerprint, "formula": formula_key}
+
+    _STATUS_CLASS_COUNTERS = {
+        klass: f"service.responses_{klass}xx" for klass in range(1, 6)}
+
+    def _finish(self, response: ServiceResponse,
+                start: float) -> ServiceResponse:
+        self.tracer.add(self._STATUS_CLASS_COUNTERS[response.status // 100])
+        self.latency.observe(time.perf_counter() - start)
         return response
+
+    def protocol_error(self, status: int, code: str,
+                       message: str) -> ServiceResponse:
+        """The wire layer's envelope for requests that never parsed
+        (431/413/400/501): counted, enveloped, connection-closing."""
+        start = time.perf_counter()
+        request_id = new_request_id()
+        self.tracer.add("service.requests")
+        return self._finish(
+            self._fail(status, request_id, code, message, close=True),
+            start)
+
+    def overloaded(self) -> ServiceResponse:
+        """The wire layer's 429 when the worker pool's feed is full.
+
+        Admission inside the pool bounds *reasoning*; this bounds the
+        number of dispatches waiting for a pool thread at all, so extreme
+        connection counts degrade into instant 429s instead of an
+        unbounded executor queue.
+        """
+        start = time.perf_counter()
+        request_id = new_request_id()
+        self.tracer.add("service.requests")
+        return self._finish(
+            self._fail(429, request_id, "overloaded",
+                       "worker pool backlog is full", retry_after_s=1),
+            start)
 
     def _route(self, method: str, path: str, headers: Mapping[str, str],
                body: bytes, request_id: str) -> ServiceResponse:
@@ -200,15 +392,15 @@ class ReproService:
             if path == "/v1/schemas" or path.startswith("/v1/schemas/"):
                 return self._route_registry(method, path, headers, body,
                                             request_id, query=query)
-            return ServiceResponse(404, {"error": {
-                "kind": "NotFound", "message": f"no route for {path!r}"}})
+            return self._fail(404, request_id, "not_found",
+                              f"no route for {path!r}")
         name = methods.get(method)
         if name is None:
-            return ServiceResponse(
-                405, {"error": {"kind": "MethodNotAllowed",
-                                "message": f"{method} not allowed on "
-                                           f"{path}"}},
-                headers=(("Allow", ", ".join(sorted(methods))),))
+            response = self._fail(
+                405, request_id, "method_not_allowed",
+                f"{method} not allowed on {path}")
+            response.headers = (("Allow", ", ".join(sorted(methods))),)
+            return response
         handler = getattr(self, name)
         if method == "GET":
             return handler(request_id)
@@ -280,13 +472,13 @@ class ReproService:
                     self._registry_pin_handler(name, tenant),
                     headers, body, request_id)
         if allowed:
-            return ServiceResponse(
-                405, {"error": {"kind": "MethodNotAllowed",
-                                "message": f"{method} not allowed on "
-                                           f"{path}"}},
-                headers=(("Allow", ", ".join(allowed)),))
-        return ServiceResponse(404, {"error": {
-            "kind": "NotFound", "message": f"no route for {path!r}"}})
+            response = self._fail(
+                405, request_id, "method_not_allowed",
+                f"{method} not allowed on {path}")
+            response.headers = (("Allow", ", ".join(allowed)),)
+            return response
+        return self._fail(404, request_id, "not_found",
+                          f"no route for {path!r}")
 
     @staticmethod
     def _query_version(query: str) -> Optional[int]:
@@ -307,11 +499,10 @@ class ReproService:
         :meth:`_run_admitted`, so the mapping happens here)."""
         start = time.perf_counter()
         try:
-            payload = produce()
+            data = produce()
         except CarError as exc:
-            return self._error_response(exc, start)
-        payload["request_id"] = request_id
-        return ServiceResponse(200, payload)
+            return self._error_response(exc, start, request_id)
+        return self._ok(200, request_id, data)
 
     def _registry_put_handler(self, name: str, tenant: Optional[str]):
         def handler(document: dict, deadline: Optional[float],
@@ -325,8 +516,8 @@ class ReproService:
                 version, report = self.registry.put(
                     name, source, tenant=tenant)
             status = 200 if report.mode == "unchanged" else 201
-            return ServiceResponse(status, {
-                "request_id": request_id, "schema": version.summary(),
+            return self._ok(status, request_id, {
+                "schema": version.summary(),
                 "revalidation": report.to_json()})
         return handler
 
@@ -342,9 +533,8 @@ class ReproService:
             removed = self.registry.delete(
                 name, tenant=tenant, version=version,
                 drop_artifacts=bool(document.get("drop_artifacts", False)))
-            return ServiceResponse(200, {
-                "request_id": request_id, "name": name,
-                "removed_versions": removed})
+            return self._ok(200, request_id, {
+                "name": name, "removed_versions": removed})
         return handler
 
     def _registry_pin_handler(self, name: str, tenant: Optional[str]):
@@ -358,8 +548,7 @@ class ReproService:
             entry = self.registry.pin(
                 name, version, tenant=tenant,
                 pinned=bool(document.get("pinned", True)))
-            return ServiceResponse(200, {
-                "request_id": request_id, "schema": entry.summary()})
+            return self._ok(200, request_id, {"schema": entry.summary()})
         return handler
 
     def _run_admitted(self, handler, headers: Mapping[str, str],
@@ -367,47 +556,53 @@ class ReproService:
         """The POST prologue: drain gate, size gate, JSON, budget,
         admission — then the endpoint handler, with errors mapped."""
         if self._draining.is_set():
-            return ServiceResponse(
-                503, {"error": {"kind": "Draining",
-                                "message": "service is shutting down"}},
-                headers=(("Retry-After", "1"),))
+            return self._fail(503, request_id, "draining",
+                              "service is shutting down", retry_after_s=1)
         if len(body) > self.config.max_body_bytes:
-            return self.too_large()
+            self.tracer.add("service.rejected_body_too_large")
+            return self._fail(
+                413, request_id, "payload_too_large",
+                f"request body exceeds {self.config.max_body_bytes} bytes")
         try:
             document = json.loads(body.decode("utf-8") or "{}")
         except (ValueError, UnicodeDecodeError) as exc:
-            return ServiceResponse(400, {"error": {
-                "kind": "BadRequest",
-                "message": f"request body is not valid JSON: {exc}"}})
+            return self._fail(400, request_id, "bad_request",
+                              f"request body is not valid JSON: {exc}")
         if not isinstance(document, dict):
-            return ServiceResponse(400, {"error": {
-                "kind": "BadRequest",
-                "message": "request body must be a JSON object"}})
+            return self._fail(400, request_id, "bad_request",
+                              "request body must be a JSON object")
         if "X-Repro-Tenant" in headers:
             document.setdefault("tenant", headers["X-Repro-Tenant"])
         try:
             deadline, max_steps = self._budget_from(headers)
         except ValueError as exc:
-            return ServiceResponse(400, {"error": {
-                "kind": "BadRequest", "message": str(exc)}})
+            return self._fail(400, request_id, "bad_request", str(exc))
         try:
-            self.admission.acquire()
+            waited = self.admission.acquire()
         except AdmissionRejected as exc:
-            return ServiceResponse(
-                429, {"error": {"kind": "AdmissionRejected",
-                                "message": str(exc),
-                                "reason": exc.reason}},
-                headers=(("Retry-After", str(exc.retry_after)),))
+            return self._fail(
+                429, request_id, "admission_rejected", str(exc),
+                sysexit=69, retry_after_s=exc.retry_after,
+                detail={"reason": exc.reason})
         start = time.perf_counter()
         try:
+            # The queue wait already spent part of this request's life:
+            # charge it, so waiting ~its whole X-Repro-Timeout-Ms cannot
+            # buy a full budget after admission.
+            if deadline is not None and waited > 0:
+                deadline -= waited
+                if deadline <= 0:
+                    raise BudgetExceeded(
+                        f"deadline exhausted after {waited:.3f}s in the "
+                        f"admission queue", steps=0)
             return handler(document, deadline, max_steps, request_id)
         except CarError as exc:
-            return self._error_response(exc, start)
+            return self._error_response(exc, start, request_id)
         except Exception as exc:  # noqa: BLE001 - the service must answer
             self.tracer.add("service.internal_errors")
-            return ServiceResponse(500, {"error": {
-                "kind": type(exc).__name__, "message": str(exc),
-                "exit_code": 70}})
+            return self._fail(
+                500, request_id, "internal_error",
+                f"{type(exc).__name__}: {exc}", sysexit=70)
         finally:
             self.admission.release()
 
@@ -444,38 +639,47 @@ class ReproService:
             raise ValueError(f"{name} must be positive, got {value}")
         return value
 
-    def _error_response(self, exc: CarError,
-                        start: float) -> ServiceResponse:
+    def _error_response(self, exc: CarError, start: float,
+                        request_id: str) -> ServiceResponse:
         """Map a typed failure onto the stable sysexits→HTTP table.
 
         A tripped budget (504) carries its partial stats — how many
         hot-loop steps ran and how long — so the client can size a retry.
         A quota refusal (429) carries ``Retry-After``, like admission.
         """
-        error: dict = {"kind": type(exc).__name__, "message": str(exc),
-                       "exit_code": exc.exit_code}
-        payload: dict = {"error": error}
-        if isinstance(exc, BudgetExceeded):
-            error["steps"] = exc.steps
-            payload["steps"] = exc.steps
-            payload["duration_s"] = round(time.perf_counter() - start, 6)
         status = status_for_exit_code(exc.exit_code)
-        response_headers = (("Retry-After", "1"),) if status == 429 else ()
-        return ServiceResponse(status, payload, headers=response_headers)
-
-    def too_large(self) -> ServiceResponse:
-        """The 413 response (used from the wire layer's pre-read check)."""
-        self.tracer.add("service.rejected_body_too_large")
-        return ServiceResponse(
-            413,
-            {"error": {"kind": "PayloadTooLarge",
-                       "message": f"request body exceeds "
-                                  f"{self.config.max_body_bytes} bytes"},
-             "request_id": new_request_id()})
+        detail: dict = {}
+        if isinstance(exc, BudgetExceeded):
+            detail["steps"] = exc.steps
+            detail["duration_s"] = round(time.perf_counter() - start, 6)
+        return self._fail(
+            status, request_id, _snake(type(exc).__name__), str(exc),
+            sysexit=exc.exit_code,
+            retry_after_s=1 if status == 429 else None, detail=detail)
 
     # ------------------------------------------------------------------
     # Reasoning endpoints
     # ------------------------------------------------------------------
+    def _memo_schema(self, source: str):
+        """``(fingerprint, Schema)`` for a source text, memoized."""
+        entry = self._schema_memo.get(source)
+        if entry is None:
+            from ..parser.parser import parse_schema
+            schema = parse_schema(source)
+            entry = (schema_fingerprint(schema), schema)
+            self._schema_memo.put(source, entry)
+        return entry
+
+    def _memo_formula(self, text: str):
+        """``(Formula, canonical key)`` for a formula text, memoized."""
+        entry = self._formula_memo.get(text)
+        if entry is None:
+            from ..parser.parser import parse_formula
+            formula = parse_formula(text)
+            entry = (formula, str(formula))
+            self._formula_memo.put(text, entry)
+        return entry
+
     def _satisfiable(self, document: dict, deadline: Optional[float],
                      max_steps: Optional[int],
                      request_id: str) -> ServiceResponse:
@@ -487,8 +691,6 @@ class ReproService:
         consulted *before* any reasoner; misses run through the warm
         session under the request budget and populate it.
         """
-        from ..parser.parser import parse_formula
-
         schema_source = self._schema_source(document)
         if "formula" in document:
             formula_text = self._required_str(document, "formula")
@@ -497,35 +699,29 @@ class ReproService:
         else:
             raise ParseError(
                 "satisfiable body needs a 'formula' (or 'class') key")
-        formula = parse_formula(formula_text)
-        from ..parser.parser import parse_schema
-
-        schema = parse_schema(schema_source)
-        fingerprint = schema_fingerprint(schema)
-        key = str(formula)
+        formula, key = self._memo_formula(formula_text)
+        fingerprint, schema = self._memo_schema(schema_source)
         cached = self.cache.get(fingerprint, key)
         if cached is not None:
-            return ServiceResponse(200, {
-                "request_id": request_id, "verdict": cached,
-                "cache": "hit", "schema_fingerprint": fingerprint,
-                "formula": key})
+            return self._ok(200, request_id, {
+                "verdict": cached, "cache": "hit",
+                "schema_fingerprint": fingerprint, "formula": key})
         outcome = self.session.check_many_detailed(
             schema, [formula], deadline=deadline, max_steps=max_steps,
             collect_stats=False)[0]
         if not outcome.ok:
-            payload: dict = {"request_id": request_id,
-                             "error": outcome.error.to_json(),
-                             "cache": "miss",
-                             "schema_fingerprint": fingerprint,
-                             "steps": outcome.steps,
-                             "duration_s": round(outcome.duration, 6)}
-            return ServiceResponse(
-                status_for_exit_code(outcome.error.exit_code), payload)
+            detail = {"steps": outcome.steps,
+                      "duration_s": round(outcome.duration, 6),
+                      "schema_fingerprint": fingerprint}
+            return self._fail(
+                status_for_exit_code(outcome.error.exit_code), request_id,
+                _snake(outcome.error.kind), outcome.error.message,
+                sysexit=outcome.error.exit_code, detail=detail)
         self.cache.put(fingerprint, key, outcome.verdict)
-        return ServiceResponse(200, {
-            "request_id": request_id, "verdict": outcome.verdict,
-            "cache": "miss", "schema_fingerprint": fingerprint,
-            "formula": key, "steps": outcome.steps,
+        return self._ok(200, request_id, {
+            "verdict": outcome.verdict, "cache": "miss",
+            "schema_fingerprint": fingerprint, "formula": key,
+            "steps": outcome.steps,
             "duration_s": round(outcome.duration, 6)})
 
     def _classify(self, document: dict, deadline: Optional[float],
@@ -539,8 +735,7 @@ class ReproService:
                   else None)
         with use_budget(budget):
             classification = self.session.classify(schema_source)
-        return ServiceResponse(200, {
-            "request_id": request_id,
+        return self._ok(200, request_id, {
             "subsumptions": sorted(map(list,
                                        classification.subsumptions)),
             "equivalence_groups": [sorted(group) for group in
@@ -559,12 +754,10 @@ class ReproService:
         queries = [self._resolve_batch_query(query, tenant)
                    for query in queries]
         if len(queries) > self.config.max_batch_queries:
-            return ServiceResponse(413, {
-                "request_id": request_id,
-                "error": {"kind": "PayloadTooLarge",
-                          "message": f"batch of {len(queries)} exceeds "
-                                     f"the {self.config.max_batch_queries}"
-                                     f"-query bound"}})
+            return self._fail(
+                413, request_id, "payload_too_large",
+                f"batch of {len(queries)} exceeds the "
+                f"{self.config.max_batch_queries}-query bound", sysexit=77)
         jobs = document.get("jobs", 1)
         mode = document.get("mode", "auto")
         if not isinstance(jobs, int) or jobs < 1:
@@ -584,8 +777,8 @@ class ReproService:
             "failed": sum(1 for o in outcomes
                           if not o.ok and not o.timed_out),
         }
-        return ServiceResponse(200, {
-            "request_id": request_id, "summary": summary,
+        return self._ok(200, request_id, {
+            "summary": summary,
             "outcomes": [o.to_json() for o in outcomes]})
 
     @staticmethod
@@ -623,31 +816,40 @@ class ReproService:
     # ------------------------------------------------------------------
     def _healthz(self, request_id: str) -> ServiceResponse:
         """Liveness: 200 whenever the process can answer at all."""
-        return ServiceResponse(200, {
-            "request_id": request_id, "status": "ok",
+        return self._ok(200, request_id, {
+            "status": "ok",
             "uptime_s": round(time.monotonic() - self._epoch, 3)})
 
     def _readyz(self, request_id: str) -> ServiceResponse:
         """Readiness: 200 only while started and not draining."""
         if self._draining.is_set():
-            return ServiceResponse(503, {"request_id": request_id,
-                                         "status": "draining"},
-                                   headers=(("Retry-After", "1"),))
+            return self._fail(503, request_id, "draining",
+                              "service is shutting down", retry_after_s=1)
         if not self._ready.is_set():
-            return ServiceResponse(503, {"request_id": request_id,
-                                         "status": "starting"},
-                                   headers=(("Retry-After", "1"),))
-        return ServiceResponse(200, {"request_id": request_id,
-                                     "status": "ready"})
+            return self._fail(503, request_id, "starting",
+                              "service is still starting", retry_after_s=1)
+        return self._ok(200, request_id, {"status": "ready"})
+
+    def _version(self, request_id: str) -> ServiceResponse:
+        """``GET /v1/version`` — every schema version this process
+        speaks: the wire envelope, compiled artifacts, trace exports,
+        stats snapshots."""
+        return self._ok(200, request_id, {
+            "api_version": API_VERSION,
+            "artifact_schema_version": ARTIFACT_SCHEMA_VERSION,
+            "trace_schema_version": TRACE_SCHEMA_VERSION,
+            "stats_schema_version": STATS_SCHEMA_VERSION,
+        })
 
     def _metrics(self, request_id: str) -> ServiceResponse:
         """Every counter the service keeps, as one JSON document:
-        admission, result cache, session pipeline cache, tracer bus."""
-        return ServiceResponse(200, {
-            "request_id": request_id,
+        admission, result cache, latency percentiles, session pipeline
+        cache, registry occupancy, tracer bus."""
+        return self._ok(200, request_id, {
             "uptime_s": round(time.monotonic() - self._epoch, 3),
             "admission": self.admission.stats().to_json(),
             "result_cache": self.cache.stats().to_json(),
+            "latency": self.latency.snapshot(),
             "session": self.session.cache_info().to_json(),
             "registry": self.registry.stats(),
             "counters": dict(sorted(self.tracer.counters.items())),
@@ -658,20 +860,16 @@ class ReproService:
     # Lifecycle
     # ------------------------------------------------------------------
     def start(self) -> tuple[str, int]:
-        """Bind the server and start accepting on a background thread.
+        """Bind the asyncio front end and start accepting.
 
         Returns the bound ``(host, port)`` — with ``port=0`` this is where
         the ephemeral port becomes known.
         """
         if self._server is not None:
             raise RuntimeError("service already started")
-        self._server = make_server(self, self.config.host,
-                                   self.config.port)
-        self.host, self.port = self._server.server_address[:2]
-        self._thread = threading.Thread(
-            target=self._server.serve_forever, name="repro-service",
-            daemon=True)
-        self._thread.start()
+        self._server = AsyncServiceServer(self, self.config.host,
+                                          self.config.port)
+        self.host, self.port = self._server.start()
         self._ready.set()
         return self.host, self.port
 
@@ -679,22 +877,21 @@ class ReproService:
         """Graceful shutdown: refuse new work, finish in-flight, close.
 
         Marks the service draining (``/readyz`` flips to 503, new POSTs
-        get 503 + ``Retry-After``), stops the accept loop, waits up to
-        ``grace`` seconds (default ``config.drain_grace_s``) for in-flight
-        requests, then closes the listening socket and the session's
-        worker pool.  Returns True when everything drained in time.
+        get 503 + ``Retry-After``), closes the listening socket, waits up
+        to ``grace`` seconds (default ``config.drain_grace_s``) for
+        in-flight requests, then tears down live connections, the worker
+        pool, and the session.  Returns True when everything drained in
+        time.
         """
         grace = grace if grace is not None else self.config.drain_grace_s
         self._draining.set()
         self._ready.clear()
+        if self._server is not None:
+            self._server.stop_accepting()
         drained = self.admission.wait_idle(grace)
         if self._server is not None:
-            self._server.shutdown()
-            if self._thread is not None:
-                self._thread.join(timeout=5.0)
-            self._server.server_close()
+            self._server.close()
             self._server = None
-            self._thread = None
         self.session.close()
         return drained
 

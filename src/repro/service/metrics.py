@@ -1,0 +1,104 @@
+"""Latency accounting for the service: a lock-guarded log-bucket histogram.
+
+The asyncio front end answers thousands of requests a second, so the
+service cannot afford to keep (or sort) every observed latency just to
+report percentiles.  :class:`LatencyHistogram` buckets observations on a
+geometric grid instead: fixed memory, O(1) ``observe``, and percentile
+estimates whose error is bounded by the bucket growth factor (~10% with
+the default 1.25 ratio) — plenty for the p50/p99 rows ``/metrics`` and
+``BENCH_service.json`` report.
+
+The histogram is deliberately tracer-independent: the tracer's counters
+are monotone sums, while percentiles need the full distribution shape.
+``/metrics`` carries both.
+"""
+
+from __future__ import annotations
+
+import threading
+from bisect import bisect_left
+
+__all__ = ["LatencyHistogram"]
+
+#: Bucket grid: first boundary and geometric growth per bucket.
+_FIRST_BOUNDARY_S = 50e-6
+_GROWTH = 1.25
+_BUCKETS = 96  # covers ~50µs .. ~100s
+
+
+def _boundaries() -> list[float]:
+    bounds, edge = [], _FIRST_BOUNDARY_S
+    for _ in range(_BUCKETS):
+        bounds.append(edge)
+        edge *= _GROWTH
+    return bounds
+
+
+class LatencyHistogram:
+    """Fixed-size geometric histogram of durations (seconds).
+
+    ``observe`` files each duration into the first bucket whose upper
+    boundary contains it; ``percentile`` walks the cumulative counts and
+    returns the boundary of the bucket where the rank falls.  Thread-safe:
+    worker-pool threads observe concurrently with ``/metrics`` snapshots.
+    """
+
+    __slots__ = ("_lock", "_counts", "_bounds", "_count", "_sum", "_max")
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._bounds = _boundaries()
+        self._counts = [0] * (len(self._bounds) + 1)
+        self._count = 0
+        self._sum = 0.0
+        self._max = 0.0
+
+    def observe(self, seconds: float) -> None:
+        index = bisect_left(self._bounds, seconds)
+        with self._lock:
+            self._counts[index] += 1
+            self._count += 1
+            self._sum += seconds
+            if seconds > self._max:
+                self._max = seconds
+
+    def __len__(self) -> int:
+        with self._lock:
+            return self._count
+
+    def percentile(self, p: float) -> float:
+        """The latency (seconds) at percentile ``p`` in [0, 100]."""
+        if not 0 <= p <= 100:
+            raise ValueError(f"percentile must be in [0, 100], got {p}")
+        with self._lock:
+            return self._percentile_locked(p)
+
+    def _percentile_locked(self, p: float) -> float:
+        if self._count == 0:
+            return 0.0
+        rank = max(1, round(self._count * p / 100.0))
+        seen = 0
+        for index, count in enumerate(self._counts):
+            seen += count
+            if seen >= rank:
+                if index >= len(self._bounds):
+                    return self._max
+                return min(self._bounds[index], self._max)
+        return self._max  # pragma: no cover - rank <= count always hits
+
+    def snapshot(self) -> dict:
+        """The ``/metrics`` rendering: count, mean, p50/p90/p99, max (ms)."""
+        with self._lock:
+            count = self._count
+            mean_s = self._sum / count if count else 0.0
+            p50, p90, p99 = (self._percentile_locked(p)
+                             for p in (50.0, 90.0, 99.0))
+            max_s = self._max
+        return {
+            "count": count,
+            "mean_ms": round(mean_s * 1000, 4),
+            "p50_ms": round(p50 * 1000, 4),
+            "p90_ms": round(p90 * 1000, 4),
+            "p99_ms": round(p99 * 1000, 4),
+            "max_ms": round(max_s * 1000, 4),
+        }

@@ -7,10 +7,11 @@ import pytest
 
 from repro.core.errors import (RegistryError, RegistryNotFound,
                                RegistryQuotaError, RegistrySizeError)
-from repro.engine import EngineConfig, SchemaSession, schema_fingerprint
+from repro.engine import EngineConfig, SchemaSession
 from repro.registry import RegistryConfig, SchemaRegistry
 from repro.service.app import ReproService, ServiceConfig
 from repro.service.http import status_for_exit_code
+from tests.wire import check_envelope, unwrap
 
 SCHEMA_V1 = "class A isa B endclass class B endclass"
 SCHEMA_V2 = "class A isa B and C endclass class B endclass class C endclass"
@@ -244,7 +245,14 @@ def service():
 
 def call(service, method, path, body=None, headers=None):
     raw = json.dumps(body).encode() if body is not None else b""
-    return service.dispatch(method, path, headers or {}, raw)
+    response = service.dispatch(method, path, headers or {}, raw)
+    # registry routes speak the same v1 envelope as every other endpoint
+    check_envelope(response.payload, status=response.status)
+    return response
+
+
+def data_of(response):
+    return unwrap(response.payload, status=response.status)
 
 
 class TestRegistryEndpoints:
@@ -252,29 +260,29 @@ class TestRegistryEndpoints:
         response = call(service, "PUT", "/v1/schemas/inv",
                         {"schema": SCHEMA_V1})
         assert response.status == 201
-        assert response.payload["schema"]["ref"] == "inv@1"
-        assert response.payload["revalidation"]["mode"] == "fresh"
+        assert data_of(response)["schema"]["ref"] == "inv@1"
+        assert data_of(response)["revalidation"]["mode"] == "fresh"
         response = call(service, "PUT", "/v1/schemas/inv",
                         {"schema": SCHEMA_V2})
         assert response.status == 201
-        assert response.payload["revalidation"]["mode"] == "delta"
+        assert data_of(response)["revalidation"]["mode"] == "delta"
         response = call(service, "GET", "/v1/schemas/inv")
         assert response.status == 200
-        assert response.payload["schema"]["version"] == 2
+        assert data_of(response)["schema"]["version"] == 2
         response = call(service, "GET", "/v1/schemas/inv/versions")
-        assert [v["version"] for v in response.payload["versions"]] == [1, 2]
+        assert [v["version"] for v in data_of(response)["versions"]] == [1, 2]
         response = call(service, "GET", "/v1/schemas")
-        assert [s["name"] for s in response.payload["schemas"]] == ["inv"]
+        assert [s["name"] for s in data_of(response)["schemas"]] == ["inv"]
 
     def test_get_by_version_query_parameter(self, service):
         call(service, "PUT", "/v1/schemas/inv", {"schema": SCHEMA_V1})
         call(service, "PUT", "/v1/schemas/inv", {"schema": SCHEMA_V2})
         response = call(service, "GET", "/v1/schemas/inv?version=1")
         assert response.status == 200
-        assert response.payload["schema"]["ref"] == "inv@1"
+        assert data_of(response)["schema"]["ref"] == "inv@1"
         response = call(service, "GET", "/v1/schemas/inv?version=9")
         assert response.status == 404
-        assert response.payload["error"]["exit_code"] == 67
+        assert response.payload["error"]["sysexit"] == 67
         response = call(service, "GET", "/v1/schemas/inv?version=zero")
         assert response.status == 422
         response = call(service, "GET", "/v1/schemas/inv?version=0")
@@ -285,28 +293,28 @@ class TestRegistryEndpoints:
         response = call(service, "PUT", "/v1/schemas/inv",
                         {"schema": SCHEMA_V1})
         assert response.status == 200
-        assert response.payload["revalidation"]["mode"] == "unchanged"
+        assert data_of(response)["revalidation"]["mode"] == "unchanged"
 
     def test_query_by_schema_ref(self, service):
         call(service, "PUT", "/v1/schemas/inv", {"schema": SCHEMA_V2})
         response = call(service, "POST", "/v1/satisfiable",
                         {"schema_ref": "inv@1", "class": "A"})
-        assert response.status == 200 and response.payload["verdict"]
+        assert response.status == 200 and data_of(response)["verdict"]
         response = call(service, "POST", "/v1/classify",
                         {"schema_ref": "inv"})
         assert response.status == 200
-        assert ["A", "B"] in response.payload["subsumptions"]
+        assert ["A", "B"] in data_of(response)["subsumptions"]
         response = call(service, "POST", "/v1/batch", {"queries": [
             {"schema_ref": "inv", "formula": "A"},
             {"schema": SCHEMA_V3, "formula": "A"}]})
         assert response.status == 200
-        assert response.payload["summary"]["ok"] == 2
+        assert data_of(response)["summary"]["ok"] == 2
 
     def test_missing_ref_is_404(self, service):
         response = call(service, "POST", "/v1/satisfiable",
                         {"schema_ref": "ghost", "class": "A"})
         assert response.status == 404
-        assert response.payload["error"]["exit_code"] == 67
+        assert response.payload["error"]["sysexit"] == 67
         response = call(service, "GET", "/v1/schemas/ghost")
         assert response.status == 404
         response = call(service, "GET", "/v1/schemas/ghost/versions")
@@ -318,7 +326,7 @@ class TestRegistryEndpoints:
         response = call(service, "PUT", "/v1/schemas/c",
                         {"schema": SCHEMA_V1})
         assert response.status == 429
-        assert response.payload["error"]["exit_code"] == 69
+        assert response.payload["error"]["sysexit"] == 69
         assert dict(response.headers).get("Retry-After") == "1"
 
     def test_size_breach_is_413(self):
@@ -327,13 +335,13 @@ class TestRegistryEndpoints:
         response = call(service, "PUT", "/v1/schemas/big",
                         {"schema": SCHEMA_V1 + " " * 200})
         assert response.status == 413
-        assert response.payload["error"]["exit_code"] == 77
+        assert response.payload["error"]["sysexit"] == 77
 
     def test_tenant_header_scopes_every_route(self, service):
         acme = {"X-Repro-Tenant": "acme"}
         call(service, "PUT", "/v1/schemas/inv", {"schema": SCHEMA_V1}, acme)
         response = call(service, "GET", "/v1/schemas/inv", headers=acme)
-        assert response.payload["schema"]["tenant"] == "acme"
+        assert data_of(response)["schema"]["tenant"] == "acme"
         assert call(service, "GET", "/v1/schemas/inv").status == 404
         response = call(service, "POST", "/v1/satisfiable",
                         {"schema_ref": "inv", "class": "A"}, acme)
@@ -345,16 +353,16 @@ class TestRegistryEndpoints:
         response = call(service, "POST", "/v1/schemas/inv/pin",
                         {"version": 1})
         assert response.status == 200
-        assert response.payload["schema"]["pinned"]
+        assert data_of(response)["schema"]["pinned"]
         response = call(service, "POST", "/v1/schemas/inv/pin",
                         {"version": "x"})
         assert response.status == 422
         response = call(service, "DELETE", "/v1/schemas/inv",
                         {"version": 2})
         assert response.status == 200
-        assert response.payload["removed_versions"] == 1
+        assert data_of(response)["removed_versions"] == 1
         response = call(service, "DELETE", "/v1/schemas/inv")
-        assert response.payload["removed_versions"] == 1
+        assert data_of(response)["removed_versions"] == 1
 
     def test_method_and_route_misses(self, service):
         assert call(service, "PATCH", "/v1/schemas/inv").status == 405
@@ -369,7 +377,7 @@ class TestRegistryEndpoints:
         call(service, "PUT", "/v1/schemas/inv", {"schema": SCHEMA_V1})
         call(service, "PUT", "/v1/schemas/inv", {"schema": SCHEMA_V2})
         response = call(service, "GET", "/metrics")
-        payload = response.payload
+        payload = data_of(response)
         assert payload["registry"]["schemas"] == 1
         assert payload["registry"]["tenants"]["default"]["versions"] == 2
         assert payload["counters"]["registry.put"] == 2

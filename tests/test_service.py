@@ -42,6 +42,7 @@ from repro.service.admission import AdmissionController, AdmissionRejected
 from repro.service.app import ReproService, ServiceConfig
 from repro.service.cache import ResultCache
 from repro.service.http import HTTP_STATUS_BY_EXIT, status_for_exit_code
+from tests.wire import check_envelope, unwrap, unwrap_error
 
 GOOD_SCHEMA = """
 class Person endclass
@@ -54,7 +55,10 @@ DISJOINT_SCHEMA = "class A isa not B endclass class B endclass"
 
 def _dispatch(service, method, path, body=None, headers=None):
     raw = b"" if body is None else json.dumps(body).encode()
-    return service.dispatch(method, path, headers or {}, raw)
+    response = service.dispatch(method, path, headers or {}, raw)
+    # every dispatch in the suite validates the one v1 envelope schema
+    check_envelope(response.payload, status=response.status)
+    return response
 
 
 @pytest.fixture
@@ -71,7 +75,7 @@ class TestRouting:
     def test_unknown_path_is_404(self, service):
         response = _dispatch(service, "GET", "/nope")
         assert response.status == 404
-        assert response.payload["error"]["kind"] == "NotFound"
+        assert response.payload["error"]["code"] == "not_found"
 
     def test_wrong_method_is_405_with_allow(self, service):
         response = _dispatch(service, "GET", "/v1/satisfiable")
@@ -94,7 +98,7 @@ class TestRouting:
         response = _dispatch(service, "POST", "/v1/satisfiable",
                              {"formula": "A"})
         assert response.status == 422
-        assert response.payload["error"]["kind"] == "ParseError"
+        assert response.payload["error"]["code"] == "parse_error"
 
     def test_missing_formula_key_is_422(self, service):
         response = _dispatch(service, "POST", "/v1/satisfiable",
@@ -105,20 +109,21 @@ class TestRouting:
         response = _dispatch(service, "POST", "/v1/satisfiable",
                              {"schema": "class endclass", "formula": "A"})
         assert response.status == 422
-        assert response.payload["error"]["exit_code"] == 65
+        assert response.payload["error"]["sysexit"] == 65
 
     def test_unknown_class_is_400(self, service):
         response = _dispatch(service, "POST", "/v1/satisfiable",
                              {"schema": DISJOINT_SCHEMA, "class": "Nope"})
         assert response.status == 400
-        assert response.payload["error"]["exit_code"] == 64
+        assert response.payload["error"]["sysexit"] == 64
 
     def test_oversized_body_is_413(self):
         svc = ReproService(ServiceConfig(port=0, max_body_bytes=64))
         response = _dispatch(svc, "POST", "/v1/satisfiable",
                              {"schema": "x" * 100, "formula": "A"})
         assert response.status == 413
-        assert response.payload["error"]["kind"] == "PayloadTooLarge"
+        assert response.payload["error"]["code"] == "payload_too_large"
+        assert response.payload["error"]["sysexit"] == 77
 
     def test_every_response_carries_a_request_id(self, service):
         seen = set()
@@ -152,15 +157,16 @@ class TestSatisfiable:
                              {"schema": DISJOINT_SCHEMA,
                               "formula": "A and not B"})
         assert response.status == 200
-        assert response.payload["verdict"] is True
-        assert response.payload["cache"] == "miss"
+        data = unwrap(response.payload)
+        assert data["verdict"] is True
+        assert data["cache"] == "miss"
 
     def test_verdict_false(self, service):
         response = _dispatch(service, "POST", "/v1/satisfiable",
                              {"schema": DISJOINT_SCHEMA,
                               "formula": "A and B"})
         assert response.status == 200
-        assert response.payload["verdict"] is False
+        assert response.payload["data"]["verdict"] is False
 
     def test_class_key_matches_cli_satisfiable(self, service, tmp_path):
         path = tmp_path / "schema.car"
@@ -170,15 +176,16 @@ class TestSatisfiable:
             response = _dispatch(service, "POST", "/v1/satisfiable",
                                  {"schema": GOOD_SCHEMA, "class": name})
             assert response.status == 200
-            assert response.payload["verdict"] is (cli_exit == 0)
+            assert response.payload["data"]["verdict"] is (cli_exit == 0)
 
     def test_repeat_query_hits_the_result_cache(self, service):
         body = {"schema": DISJOINT_SCHEMA, "formula": "A"}
         first = _dispatch(service, "POST", "/v1/satisfiable", body)
         second = _dispatch(service, "POST", "/v1/satisfiable", body)
-        assert first.payload["cache"] == "miss"
-        assert second.payload["cache"] == "hit"
-        assert second.payload["verdict"] == first.payload["verdict"]
+        assert first.payload["data"]["cache"] == "miss"
+        assert second.payload["data"]["cache"] == "hit"
+        assert (second.payload["data"]["verdict"]
+                == first.payload["data"]["verdict"])
         assert service.cache.stats().hits == 1
 
     def test_reordered_schema_shares_a_cache_entry(self, service):
@@ -187,9 +194,9 @@ class TestSatisfiable:
                           {"schema": DISJOINT_SCHEMA, "formula": "A"})
         second = _dispatch(service, "POST", "/v1/satisfiable",
                            {"schema": reordered, "formula": "A"})
-        assert second.payload["cache"] == "hit"
-        assert (first.payload["schema_fingerprint"]
-                == second.payload["schema_fingerprint"])
+        assert second.payload["data"]["cache"] == "hit"
+        assert (first.payload["data"]["schema_fingerprint"]
+                == second.payload["data"]["schema_fingerprint"])
 
     def test_errors_are_not_cached(self, service):
         body = {"schema": DISJOINT_SCHEMA, "class": "Nope"}
@@ -204,7 +211,8 @@ class TestClassify:
         response = _dispatch(service, "POST", "/v1/classify",
                              {"schema": GOOD_SCHEMA})
         assert response.status == 200
-        assert ["Student", "Person"] in response.payload["subsumptions"]
+        assert ["Student", "Person"] in \
+            response.payload["data"]["subsumptions"]
 
     def test_parse_error_is_422(self, service):
         response = _dispatch(service, "POST", "/v1/classify",
@@ -220,9 +228,10 @@ class TestBatch:
             {"schema": "class C isa not C endclass", "formula": "C"},
         ]})
         assert response.status == 200
-        assert response.payload["summary"] == {
+        assert response.payload["data"]["summary"] == {
             "total": 3, "ok": 3, "timed_out": 0, "failed": 0}
-        verdicts = [o["verdict"] for o in response.payload["outcomes"]]
+        verdicts = [o["verdict"]
+                    for o in response.payload["data"]["outcomes"]]
         assert verdicts == [True, False, False]
 
     def test_bad_query_is_isolated_not_fatal(self, service):
@@ -231,8 +240,8 @@ class TestBatch:
             {"schema": DISJOINT_SCHEMA, "formula": "A"},
         ]})
         assert response.status == 200
-        assert response.payload["summary"]["failed"] == 1
-        assert response.payload["summary"]["ok"] == 1
+        assert response.payload["data"]["summary"]["failed"] == 1
+        assert response.payload["data"]["summary"]["ok"] == 1
 
     def test_missing_queries_key_is_422(self, service):
         response = _dispatch(service, "POST", "/v1/batch", {"batch": []})
@@ -254,7 +263,7 @@ class TestIntrospection:
     def test_healthz(self, service):
         response = _dispatch(service, "GET", "/healthz")
         assert response.status == 200
-        assert response.payload["status"] == "ok"
+        assert response.payload["data"]["status"] == "ok"
 
     def test_readyz_flips_on_drain(self, service):
         service._ready.set()
@@ -262,7 +271,7 @@ class TestIntrospection:
         service._draining.set()
         response = _dispatch(service, "GET", "/readyz")
         assert response.status == 503
-        assert response.payload["status"] == "draining"
+        assert response.payload["error"]["code"] == "draining"
 
     def test_post_while_draining_is_503_with_retry_after(self, service):
         service._draining.set()
@@ -276,12 +285,22 @@ class TestIntrospection:
                   {"schema": DISJOINT_SCHEMA, "formula": "A"})
         response = _dispatch(service, "GET", "/metrics")
         assert response.status == 200
-        payload = response.payload
-        assert payload["admission"]["admitted"] == 1
-        assert payload["result_cache"]["misses"] == 1
-        assert payload["session"]["misses"] == 1
-        assert payload["counters"]["service.requests"] >= 1
-        assert payload["counters"]["session.cache_misses"] == 1
+        data = unwrap(response.payload)
+        assert data["admission"]["admitted"] == 1
+        assert data["result_cache"]["misses"] == 1
+        assert data["session"]["misses"] == 1
+        assert data["counters"]["service.requests"] >= 1
+        assert data["counters"]["session.cache_misses"] == 1
+        assert data["latency"]["count"] >= 1
+        assert data["latency"]["p99_ms"] >= data["latency"]["p50_ms"]
+
+    def test_version_reports_every_schema_version(self, service):
+        response = _dispatch(service, "GET", "/v1/version")
+        assert response.status == 200
+        data = unwrap(response.payload)
+        assert data["api_version"] == 1
+        assert {"artifact_schema_version", "trace_schema_version",
+                "stats_schema_version"} <= set(data)
 
 
 # ----------------------------------------------------------------------
@@ -313,8 +332,9 @@ class TestBudgets:
                              _exptime_query(),
                              headers={"X-Repro-Max-Steps": "5"})
         assert response.status == 504
-        assert response.payload["error"]["exit_code"] == 75
-        assert response.payload["steps"] >= 1
+        error = unwrap_error(response.payload)
+        assert error["sysexit"] == 75
+        assert error["steps"] >= 1
 
     def test_deadline_trips_504_fast_with_partial_stats(self, service):
         start = time.perf_counter()
@@ -323,8 +343,9 @@ class TestBudgets:
                              headers={"X-Repro-Timeout-Ms": "50"})
         wall = time.perf_counter() - start
         assert response.status == 504
-        assert response.payload["error"]["kind"] == "BudgetExceeded"
-        assert response.payload["duration_s"] > 0
+        error = unwrap_error(response.payload)
+        assert error["code"] == "budget_exceeded"
+        assert error["duration_s"] > 0
         assert wall < 2.0
 
     def test_classify_honors_the_budget(self, service):
@@ -332,6 +353,33 @@ class TestBudgets:
                              _exptime_query(),
                              headers={"X-Repro-Timeout-Ms": "50"})
         assert response.status == 504
+
+    def test_admission_queue_wait_is_charged_to_the_budget(self):
+        """A request that waited ~its whole X-Repro-Timeout-Ms in the
+        admission queue must not restart with a full budget: the wait is
+        subtracted, so here it trips 504 immediately after admission."""
+        svc = ReproService(ServiceConfig(port=0, max_inflight=1,
+                                         queue_depth=4,
+                                         queue_timeout_s=10.0))
+        svc.admission.acquire()  # hold the only slot
+        result = {}
+
+        def queued():
+            result["response"] = _dispatch(
+                svc, "POST", "/v1/satisfiable",
+                {"schema": DISJOINT_SCHEMA, "formula": "A"},
+                headers={"X-Repro-Timeout-Ms": "100"})
+
+        thread = threading.Thread(target=queued)
+        thread.start()
+        time.sleep(0.4)  # well past the 100ms the client budgeted
+        svc.admission.release()
+        thread.join(timeout=10)
+        response = result["response"]
+        assert response.status == 504
+        error = unwrap_error(response.payload)
+        assert error["code"] == "budget_exceeded"
+        assert "admission queue" in error["message"]
 
 
 # ----------------------------------------------------------------------
@@ -629,7 +677,7 @@ class TestLiveHttp:
         for formula, expected in cases:
             status, payload = results[formula]
             assert status == 200
-            assert payload["verdict"] is expected
+            assert unwrap(payload, status=status)["verdict"] is expected
 
     def test_exptime_504_does_not_disturb_other_requests(self,
                                                          live_service):
@@ -649,14 +697,18 @@ class TestLiveHttp:
             {"schema": DISJOINT_SCHEMA, "formula": "A"})
         thread.join(timeout=10)
         wall = time.perf_counter() - start
-        assert easy_status == 200 and easy_payload["verdict"] is True
+        assert easy_status == 200
+        assert unwrap(easy_payload)["verdict"] is True
         status, payload = outcome["hard"]
         assert status == 504
-        assert payload["error"]["exit_code"] == 75
+        assert unwrap_error(payload, status=status)["sysexit"] == 75
         assert wall < 5.0
 
     def test_saturated_service_returns_429_not_a_crash(self, live_service):
         svc, base = live_service
+        # An uncached formula: warm hits would legitimately bypass
+        # admission via the event-loop fast path and answer 200.
+        cold = {"schema": DISJOINT_SCHEMA, "formula": "B and (A or not A)"}
         # Hold every slot so the next POST overflows the (empty) queue.
         for _ in range(svc.config.max_inflight):
             svc.admission.acquire()
@@ -665,15 +717,15 @@ class TestLiveHttp:
         try:
             saved = svc.admission.max_queue, svc.admission.queue_timeout
             svc.admission.max_queue = 0
-            status, payload = _http(base, "POST", "/v1/satisfiable",
-                                    {"schema": DISJOINT_SCHEMA,
-                                     "formula": "A"})
+            status, payload = _http(base, "POST", "/v1/satisfiable", cold)
         finally:
             svc.admission.max_queue, svc.admission.queue_timeout = saved
             for _ in range(svc.config.max_inflight):
                 svc.admission.release()
         assert status == 429
-        assert payload["error"]["kind"] == "AdmissionRejected"
+        error = unwrap_error(payload, status=status)
+        assert error["code"] == "admission_rejected"
+        assert error["retry_after_ms"] >= 1000
         # and the service still answers once slots free up
         status, payload = _http(base, "POST", "/v1/satisfiable",
                                 {"schema": DISJOINT_SCHEMA, "formula": "A"})
@@ -686,14 +738,27 @@ class TestLiveHttp:
             {"schema": DISJOINT_SCHEMA, "formula": "A and B"},
         ]})
         assert status == 200
-        assert payload["summary"]["ok"] == 2
+        assert unwrap(payload, status=status)["summary"]["ok"] == 2
 
     def test_metrics_round_trip(self, live_service):
         _, base = live_service
         status, payload = _http(base, "GET", "/metrics")
         assert status == 200
+        data = unwrap(payload, status=status)
         assert {"admission", "result_cache", "session", "counters",
-                "gauges", "uptime_s"} <= set(payload)
+                "gauges", "uptime_s", "latency"} <= set(data)
+        assert data["counters"]["service.connections_opened"] >= 1
+
+    def test_warm_hit_takes_the_event_loop_fast_path(self, live_service):
+        svc, base = live_service
+        body = {"schema": DISJOINT_SCHEMA, "formula": "not A and not B"}
+        before = svc.tracer.counters.get("service.fast_path_hits", 0)
+        first = _http(base, "POST", "/v1/satisfiable", body)
+        assert unwrap(first[1])["cache"] == "miss"
+        second = _http(base, "POST", "/v1/satisfiable", body)
+        assert unwrap(second[1])["cache"] == "hit"
+        after = svc.tracer.counters.get("service.fast_path_hits", 0)
+        assert after == before + 1
 
 
 # ----------------------------------------------------------------------
@@ -716,7 +781,8 @@ class TestServeCommand:
             status, payload = _http(base, "POST", "/v1/satisfiable",
                                     {"schema": DISJOINT_SCHEMA,
                                      "formula": "A"})
-            assert status == 200 and payload["verdict"] is True
+            assert status == 200
+            assert unwrap(payload, status=status)["verdict"] is True
             proc.send_signal(signal.SIGTERM)
             assert proc.wait(timeout=15) == 0
             assert "shutdown complete" in proc.stderr.read()

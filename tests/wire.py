@@ -1,0 +1,79 @@
+"""Shared wire-contract helpers: the one v1-envelope validator.
+
+Every test that looks at a service response — unit dispatches, live
+HTTP round trips, registry routes, CI smoke assertions — validates the
+body through :func:`check_envelope` first, so the envelope schema is
+pinned in exactly one place.  ``unwrap``/``unwrap_error`` are the
+ergonomic forms: validate, then hand back the ``data`` or ``error``
+member the test actually wants to inspect.
+"""
+
+from __future__ import annotations
+
+import re
+
+from repro.service import HTTP_STATUS_BY_EXIT
+
+_ENVELOPE_KEYS = {"api_version", "request_id", "ok", "data", "error"}
+_ERROR_REQUIRED = {"code", "sysexit", "message"}
+_CODE_RE = re.compile(r"^[a-z][a-z0-9_]*$")
+
+#: sysexits the envelope may carry: the pinned table plus EX_USAGE-free
+#: internal failure (70 maps to 500 there already).
+_KNOWN_SYSEXITS = set(HTTP_STATUS_BY_EXIT)
+
+
+def check_envelope(payload: dict, *, status: int = None) -> dict:
+    """Assert ``payload`` is a well-formed v1 envelope; return it.
+
+    When ``status`` is given, also checks the ``ok`` flag agrees with
+    the HTTP status class and that error sysexits stay consistent with
+    the pinned sysexits→HTTP table.
+    """
+    assert isinstance(payload, dict), f"body is not an object: {payload!r}"
+    unknown = set(payload) - _ENVELOPE_KEYS
+    assert not unknown, f"unexpected envelope keys: {sorted(unknown)}"
+    assert payload.get("api_version") == 1, payload
+    request_id = payload.get("request_id")
+    assert isinstance(request_id, str) and request_id, payload
+    ok = payload.get("ok")
+    assert isinstance(ok, bool), payload
+    if ok:
+        assert "data" in payload and "error" not in payload, payload
+    else:
+        assert "error" in payload and "data" not in payload, payload
+        error = payload["error"]
+        assert isinstance(error, dict), payload
+        missing = _ERROR_REQUIRED - set(error)
+        assert not missing, f"error missing {sorted(missing)}: {error}"
+        assert _CODE_RE.match(error["code"]), error
+        assert isinstance(error["sysexit"], int), error
+        assert isinstance(error["message"], str), error
+        if "retry_after_ms" in error:
+            assert isinstance(error["retry_after_ms"], int), error
+            assert error["retry_after_ms"] > 0, error
+        # A sysexit from the pinned table must agree with the status the
+        # table assigns it (protocol-only statuses like 431/503 carry
+        # sysexits whose table status differs — those are not in-table
+        # round trips, so only check codes the table can produce).
+        if status is not None and error["sysexit"] in _KNOWN_SYSEXITS:
+            table_status = HTTP_STATUS_BY_EXIT[error["sysexit"]]
+            assert status in (table_status, 405, 408, 431, 501, 503), \
+                (status, error)
+    if status is not None:
+        assert ok == (status < 400), (status, payload)
+    return payload
+
+
+def unwrap(payload: dict, *, status: int = None) -> dict:
+    """Validate a success envelope and return its ``data`` member."""
+    check_envelope(payload, status=status)
+    assert payload["ok"] is True, payload
+    return payload["data"]
+
+
+def unwrap_error(payload: dict, *, status: int = None) -> dict:
+    """Validate an error envelope and return its ``error`` member."""
+    check_envelope(payload, status=status)
+    assert payload["ok"] is False, payload
+    return payload["error"]
