@@ -753,6 +753,61 @@ def query_service() -> None:
     assert easy_payload["data"]["verdict"] is True
 
 
+def lp_backends() -> None:
+    from repro.core.cardinality import Card
+    from repro.core.formulas import Lit
+    from repro.core.schema import Attr, ClassDef, Schema
+    from repro.linear.backends import SparseExactBackend
+    from repro.obs.tracer import Tracer
+    from repro.workloads.generators import hierarchy_schema
+
+    def cluster(i: int, fan: int):
+        a, b = f"A{i}", f"B{i}"
+        return [
+            ClassDef(a, isa=~Lit(b),
+                     attributes=[Attr(f"link{i}", Card(fan, fan), b)]),
+            ClassDef(b, attributes=[Attr(inv(f"link{i}"), Card(1, 1), a)]),
+        ]
+
+    rows = []
+    # 10x the committed Theorem 4.3 series (which stops at 32 clusters).
+    for n_clusters in (8, 32, 64, 128, 320):
+        classes = []
+        for i in range(n_clusters):
+            classes.extend(cluster(i, fan=2 + (i % 3)))
+        system = build_system(build_expansion(Schema(classes)))
+        sparse_s, sparse = timed(
+            lambda s=system: acceptable_support(s, backend="exact-sparse"))
+        dense_s, dense = timed(
+            lambda s=system: acceptable_support(s, backend="exact"))
+        assert sparse.support == dense.support
+        rows.append((n_clusters, system.size(), system.n_unknowns(),
+                     dense_s, sparse_s, round(dense_s / max(sparse_s, 1e-9), 1)))
+    emit(
+        "LP backends — dense exact vs sparse fraction-free on Psi_S",
+        ["clusters", "|Psi_S|", "unknowns", "exact s", "exact-sparse s",
+         "speedup"], rows)
+
+    rows = []
+    for depth, branching in ((3, 3), (4, 3), (5, 3)):
+        schema = hierarchy_schema(depth, branching, with_attributes=True,
+                                  seed=9)
+        system = build_system(build_expansion(schema))
+        lp_s, lp_solution = timed(lambda s=system: SparseExactBackend().solve(
+            s, list(range(s.n_unknowns()))))
+        tracer = Tracer()
+        closed_s, closed = timed(lambda s=system: acceptable_support(
+            s, backend="exact-sparse", hierarchy=True, tracer=tracer))
+        assert closed.backend_used == "closed-form"
+        assert tracer.counters.get("lp.pivots", 0) == 0
+        rows.append((f"{depth}x{branching}", system.size(),
+                     lp_solution.metrics.get("lp.pivots", 0), lp_s, closed_s))
+    emit(
+        "Section 4.4 closed form vs sparse LP on hierarchies",
+        ["hierarchy", "|Psi_S|", "LP pivots", "sparse LP s",
+         "closed form s"], rows)
+
+
 SECTIONS = [
     ("Figures 1 & 2", figures),
     ("Theorem 4.1 (EXPTIME-hardness shape)", theorem41),
@@ -769,6 +824,8 @@ SECTIONS = [
     ("Parallel batch (executor, deadlines)", parallel_batch),
     ("Query service (admission, result cache, budgets)", query_service),
     ("Registry revalidation (delta rebuild vs cold)", registry_revalidation),
+    ("LP backends (sparse fraction-free vs dense exact, Section 4.4)",
+     lp_backends),
     ("Ablations", ablations),
 ]
 

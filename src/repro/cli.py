@@ -20,6 +20,9 @@ syntax:
 * ``serve``      — run the long-lived HTTP query service
   (:mod:`repro.service`): JSON endpoints with admission control, a
   result cache, per-request budgets, and health/metrics introspection;
+* ``backends``   — list the registered LP backends with their capability
+  contracts (``--json`` for machine-readable auditing of the solver in
+  use);
 * ``registry``   — manage named, versioned schemas on a running service
   (``put``/``get``/``list``/``check``/``delete``): a thin HTTP client
   for the ``/v1/schemas`` endpoints, so edits revalidate incrementally
@@ -69,7 +72,7 @@ from pathlib import Path
 from typing import Optional, Sequence
 
 from .core.budget import Budget, use_budget
-from .core.errors import CarError
+from .core.errors import CarError, LinearSystemError
 from .core.schema import Schema
 from .engine.config import EngineConfig
 from .engine.session import SchemaSession
@@ -573,6 +576,40 @@ def _cmd_registry(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_backends(args: argparse.Namespace) -> int:
+    """List the registered LP backends with their capability contracts."""
+    from .linear.backends import available_backends, get_backend
+
+    default = get_backend("auto")
+    entries = available_backends()
+    if args.json:
+        _emit_json({
+            "command": "backends",
+            "default": default.name,
+            "backends": [entry.as_dict() for entry in entries],
+        })
+        return 0
+    for entry in entries:
+        marker = "  (default)" if entry.name == default.name else ""
+        _write(f"{entry.name}{marker}")
+        _write(f"  {entry.summary}")
+        capabilities = entry.capabilities
+        _write(f"  arithmetic={capabilities.arithmetic} "
+               f"sparse={capabilities.sparse} "
+               f"closed_form={capabilities.closed_form} "
+               f"degeneracy={capabilities.degeneracy}")
+        if entry.parameters:
+            _write("  parameters: "
+                   + ", ".join(f"{entry.name}:{p}=..." for p in entry.parameters))
+        if entry.aliases:
+            notes = [alias + (" (deprecated)"
+                              if alias in entry.deprecated_aliases else "")
+                     for alias in entry.aliases]
+            _write("  aliases: " + ", ".join(notes))
+        _write()
+    return 0
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
@@ -590,9 +627,12 @@ def build_parser() -> argparse.ArgumentParser:
         sub.add_argument("--strategy", default="auto",
                          choices=("auto", "naive", "strategic", "hierarchy"),
                          help="compound-class enumeration strategy")
-        sub.add_argument("--backend", default="auto",
-                         choices=("auto", "exact", "float-fallback"),
-                         help="LP backend for the support computation")
+        sub.add_argument("--backend", default="auto", metavar="SPEC",
+                         help="LP backend for the support computation: a "
+                              "registered name or parameterized spec "
+                              "(e.g. auto, exact, exact-sparse, "
+                              "float-fallback, auto:limit=500); see "
+                              "'repro backends'")
         sub.add_argument("--json", action="store_true",
                          help="print a machine-readable JSON document")
         sub.add_argument("--profile", action="store_true",
@@ -708,9 +748,10 @@ def build_parser() -> argparse.ArgumentParser:
     serve.add_argument("--strategy", default="auto",
                        choices=("auto", "naive", "strategic", "hierarchy"),
                        help="compound-class enumeration strategy")
-    serve.add_argument("--backend", default="auto",
-                       choices=("auto", "exact", "float-fallback"),
-                       help="LP backend for the support computation")
+    serve.add_argument("--backend", default="auto", metavar="SPEC",
+                       help="LP backend for the support computation: a "
+                            "registered name or parameterized spec (see "
+                            "'repro backends')")
     serve.add_argument("--json", action="store_true",
                        help=argparse.SUPPRESS)
     serve.add_argument("--profile", action="store_true",
@@ -728,6 +769,15 @@ def build_parser() -> argparse.ArgumentParser:
                        help="do not read or write precompiled pipeline "
                             "snapshots")
     serve.set_defaults(handler=_cmd_serve, per_query_budget=True)
+
+    backends_cmd = subparsers.add_parser(
+        "backends",
+        help="list the registered LP backends and their capabilities")
+    backends_cmd.add_argument("--json", action="store_true",
+                              help="print a machine-readable JSON document")
+    backends_cmd.set_defaults(handler=_cmd_backends, per_query_budget=False,
+                              strategy="auto", backend="auto",
+                              no_artifact_cache=True)
 
     registry = subparsers.add_parser(
         "registry",
@@ -821,7 +871,12 @@ def _fail(args: argparse.Namespace, message: str, code: int) -> int:
 def main(argv: Optional[Sequence[str]] = None) -> int:
     parser = build_parser()
     args = parser.parse_args(argv)
-    args.session = _make_session(args)
+    try:
+        args.session = _make_session(args)
+    except LinearSystemError as error:
+        # An unknown/malformed --backend spec is a usage error (exit 2),
+        # same as a rejected argparse choice used to be.
+        parser.error(str(error))
     try:
         # The session context manager shuts any batch worker pool down
         # before interpreter teardown — a live ProcessPoolExecutor at exit

@@ -40,8 +40,9 @@ class EngineConfig:
         :class:`~repro.core.errors.ReasoningError` instead of running out
         of memory on adversarial schemas.
     lp_backend:
-        Name of the registered LP backend answering the max-support rounds
-        (``"auto"``, ``"exact"``, ``"float-fallback"`` — see
+        Registered LP backend answering the max-support rounds, by name or
+        parameterized spec (``"auto"``, ``"exact"``, ``"exact-sparse"``,
+        ``"float-fallback"``, ``"auto:limit=500"`` — see
         :mod:`repro.linear.backends`).
     incremental_augmented:
         Reuse the compound classes of clusters untouched by a query class

@@ -2,30 +2,41 @@
 
 The package splits into the *bookkeeping* layer (``support`` — propagation
 rules and the fixpoint loop; ``system`` — building ``Ψ_S``) and the
-*arithmetic core* (``backends`` — pluggable LP backends selected by name;
-``simplex`` — the exact rational solver the ``"exact"`` backend wraps).
+*arithmetic core* (``backends`` — pluggable LP backends selected by name or
+parameterized spec, each carrying a capability contract; ``simplex`` — the
+dense exact rational solver behind ``"exact"``; ``sparse`` — the sparse
+fraction-free simplex and §4.4 closed form behind ``"exact-sparse"``).
 """
 
 from .backends import (
     AutoBackend,
+    BackendCapabilities,
+    BackendDescription,
     ExactBackend,
     FloatFallbackBackend,
     LpBackend,
     RoundSolution,
+    SparseExactBackend,
     available_backends,
+    backend_capabilities,
+    describe_backend,
     get_backend,
     register_backend,
 )
 from .ratios import RatioBounds, population_ratio_bounds
 from .simplex import INFEASIBLE, OPTIMAL, UNBOUNDED, LpResult, solve_lp
+from .sparse import SparseTableau, hierarchy_witness, solve_max_support_sparse
 from .support import PinEvent, SupportResult, acceptable_support
-from .system import Constraint, PsiSystem, Unknown, build_system
+from .system import Constraint, PsiSystem, Unknown, bound_entries, build_system
 
 __all__ = [
-    "AutoBackend", "ExactBackend", "FloatFallbackBackend", "LpBackend",
-    "RoundSolution", "available_backends", "get_backend", "register_backend",
+    "AutoBackend", "BackendCapabilities", "BackendDescription",
+    "ExactBackend", "FloatFallbackBackend", "LpBackend", "RoundSolution",
+    "SparseExactBackend", "available_backends", "backend_capabilities",
+    "describe_backend", "get_backend", "register_backend",
     "RatioBounds", "population_ratio_bounds",
     "INFEASIBLE", "OPTIMAL", "UNBOUNDED", "LpResult", "solve_lp",
+    "SparseTableau", "hierarchy_witness", "solve_max_support_sparse",
     "PinEvent", "SupportResult", "acceptable_support",
-    "Constraint", "PsiSystem", "Unknown", "build_system",
+    "Constraint", "PsiSystem", "Unknown", "bound_entries", "build_system",
 ]

@@ -1,0 +1,321 @@
+"""Sparse fraction-free Phase-2 simplex and the §4.4 closed form.
+
+``Ψ_S`` is extremely sparse: acceptability couples each compound
+attribute/relation only to its endpoint classes, and every ``Natt``/``Nrel``
+entry touches one compound-class column plus its summands.  The dense
+all-:class:`~fractions.Fraction` tableau of :mod:`repro.linear.simplex`
+ignores that structure — every pivot rewrites the full ``m × (n+m)``
+rectangle and every entry pays a gcd inside ``Fraction`` arithmetic.
+
+This module keeps the tableau **sparse and integer**:
+
+* each row is a ``{column: int numerator}`` dict with one positive integer
+  denominator shared by the whole row (the right-hand side shares it too);
+* a column index (``column → set of row ids``) lets a pivot touch only the
+  rows actually containing the entering column;
+* pivoting is fraction-free in the Bareiss style — rows update by integer
+  cross-multiplication ``row_i·p - a_ic·row_r`` followed by **one** gcd
+  normalization per updated row, instead of a gcd per arithmetic operation.
+
+The max-support LP (maximize ``Σ t_g`` s.t. ``Ψ rows``, ``t_g ≤ x_g``,
+``t_g ≤ 1``) has a nonnegative right-hand side throughout, so the slack
+basis is primal feasible from the start: **no Phase 1, no artificial
+variables** — a single run of Bland-rule primal simplex suffices, which is
+the structural reason this solver can skip half of what the dense two-phase
+core does.
+
+The second short-circuit is Section 4.4: for detected generalization
+hierarchies the support question has a closed-form answer.  After the
+propagation rules reach their fixpoint, every surviving unknown is
+supportable, and :func:`hierarchy_witness` *constructs* the certifying
+solution directly (classes at 1, each cardinality entry's live summands
+sharing the entry's feasible mass) and re-verifies it against every
+disequation exactly — soundness rests on the verification, not on the
+hierarchy detection, so a schema that fools the shape test still gets the
+correct LP answer via the normal solver.
+"""
+
+from __future__ import annotations
+
+from fractions import Fraction
+from math import gcd, lcm
+from typing import Optional, Sequence
+
+from ..core.budget import current_budget
+from ..core.cardinality import INFINITY
+from ..core.errors import LinearSystemError
+from .system import PsiSystem, bound_entries
+
+__all__ = ["SparseTableau", "solve_max_support_sparse", "hierarchy_witness"]
+
+
+class SparseTableau:
+    """A sparse, fraction-free simplex tableau for ``max c·x, Ax ≤ b, x ≥ 0``
+    with ``b ≥ 0`` (slack basis feasible — single-phase).
+
+    ``rows``/``rhs`` are integer; slack columns ``n_structural + i`` are
+    appended internally.  Row ``i`` represents the rational row
+    ``num[i][j] / den[i]`` with ``den[i] > 0``; ``rhs[i]`` shares the
+    denominator, which cancels out of both the ratio test
+    (``rhs[i]/num[i][c]``) and the basic-variable readout — the simplex
+    never builds a :class:`~fractions.Fraction` until the final solution.
+    """
+
+    def __init__(self, rows: Sequence[dict[int, int]], rhs: Sequence[int],
+                 objective: dict[int, int], n_structural: int):
+        m = len(rows)
+        if len(rhs) != m:
+            raise LinearSystemError(
+                f"{m} constraint rows but {len(rhs)} right-hand sides")
+        if any(value < 0 for value in rhs):
+            raise LinearSystemError(
+                "SparseTableau requires b ≥ 0 (slack-basis feasibility)")
+        self.n_structural = n_structural
+        self.num: list[dict[int, int]] = []
+        self.den: list[int] = [1] * m
+        self.rhs: list[int] = list(rhs)
+        self.basis: list[int] = []
+        self.cols: dict[int, set[int]] = {}
+        for i, row in enumerate(rows):
+            stored = {j: v for j, v in row.items() if v}
+            stored[n_structural + i] = 1  # the slack column
+            self.num.append(stored)
+            self.basis.append(n_structural + i)
+            for j in stored:
+                self.cols.setdefault(j, set()).add(i)
+        # Reduced costs: the slack basis has zero cost, so c - z == c.
+        self.obj_num: dict[int, int] = {j: v for j, v in objective.items() if v}
+        self.obj_den: int = 1
+        self.pivots = 0
+
+    # ------------------------------------------------------------------
+    def _normalize(self, row: dict[int, int], rhs: int,
+                   den: int) -> tuple[int, int]:
+        """Fix the denominator sign and divide the whole row by its gcd.
+
+        One normalization per row per pivot keeps entries at the size of
+        (scaled) minors — the fraction-free analogue of Bareiss division —
+        without paying a gcd on every multiply.
+        """
+        if den < 0:
+            den, rhs = -den, -rhs
+            for j in row:
+                row[j] = -row[j]
+        g = gcd(den, rhs)
+        for value in row.values():
+            if g == 1:
+                break
+            g = gcd(g, value)
+        if g > 1:
+            den //= g
+            rhs //= g
+            for j in row:
+                row[j] //= g
+        return rhs, den
+
+    def pivot(self, r: int, c: int) -> None:
+        prc = self.num[r][c]
+        row_r = self.num[r]
+        rhs_r = self.rhs[r]
+        touched = self.cols.get(c, set())
+        for i in list(touched):
+            if i == r:
+                continue
+            row_i = self.num[i]
+            nic = row_i[c]
+            # row_i ← row_i·prc − nic·row_r  (den_i ← den_i·prc), touching
+            # only row_i's nonzeros plus row_r's support.
+            for j in row_i:
+                row_i[j] *= prc
+            for j, vrj in row_r.items():
+                delta = nic * vrj
+                cur = row_i.get(j)
+                if cur is None:
+                    row_i[j] = -delta
+                    self.cols.setdefault(j, set()).add(i)
+                else:
+                    new = cur - delta
+                    if new:
+                        row_i[j] = new
+                    else:
+                        del row_i[j]
+                        self.cols[j].discard(i)
+            new_rhs = self.rhs[i] * prc - nic * rhs_r
+            new_den = self.den[i] * prc
+            self.rhs[i], self.den[i] = self._normalize(row_i, new_rhs, new_den)
+        oc = self.obj_num.get(c)
+        if oc:
+            obj = self.obj_num
+            for j in obj:
+                obj[j] *= prc
+            for j, vrj in row_r.items():
+                delta = oc * vrj
+                cur = obj.get(j)
+                if cur is None:
+                    obj[j] = -delta
+                else:
+                    new = cur - delta
+                    if new:
+                        obj[j] = new
+                    else:
+                        del obj[j]
+            new_den = self.obj_den * prc
+            if new_den < 0:
+                new_den = -new_den
+                for j in obj:
+                    obj[j] = -obj[j]
+            g = new_den
+            for value in obj.values():
+                if g == 1:
+                    break
+                g = gcd(g, value)
+            if g > 1:
+                new_den //= g
+                for j in obj:
+                    obj[j] //= g
+            self.obj_den = new_den
+        self.basis[r] = c
+        self.pivots += 1
+
+    def run(self) -> None:
+        """Primal simplex with Bland's rule until optimality.
+
+        Entering: the smallest column with positive reduced cost (the sign
+        of the integer numerator — ``obj_den > 0`` is an invariant).
+        Leaving: the minimum-ratio row, ties broken toward the smallest
+        basic variable; ratios compare by integer cross-multiplication.
+        Each iteration ticks the ambient budget, so deadlines and step
+        bounds interrupt long pivot sequences exactly as in the dense core.
+        """
+        tick = current_budget().tick
+        while True:
+            tick()
+            entering = min(
+                (j for j, v in self.obj_num.items() if v > 0), default=-1)
+            if entering < 0:
+                return
+            leaving = -1
+            best_num = best_den = 0  # best ratio = best_num / best_den
+            for i in self.cols.get(entering, ()):  # only rows with the column
+                coeff = self.num[i][entering]
+                if coeff <= 0:
+                    continue
+                # ratio rhs[i]/coeff vs best: cross-multiply (both dens > 0)
+                if leaving < 0:
+                    better = True
+                else:
+                    lhs = self.rhs[i] * best_den
+                    rhs = best_num * coeff
+                    better = lhs < rhs or (lhs == rhs
+                                           and self.basis[i]
+                                           < self.basis[leaving])
+                if better:
+                    leaving, best_num, best_den = i, self.rhs[i], coeff
+            if leaving < 0:
+                raise LinearSystemError(
+                    "max-support LP is unbounded; it is bounded by "
+                    "construction (t ≤ 1), this cannot happen")
+            self.pivot(leaving, entering)
+
+    def solution(self) -> list[Fraction]:
+        """Structural-variable values at the current (optimal) basis."""
+        values = [Fraction(0)] * self.n_structural
+        for i, var in enumerate(self.basis):
+            if var < self.n_structural:
+                values[var] = Fraction(self.rhs[i], self.num[i][var])
+        return values
+
+
+def solve_max_support_sparse(groups, rows) -> tuple[list[Fraction], int]:
+    """The max-support LP over grouped columns on the sparse tableau.
+
+    Same contract as
+    :func:`repro.linear.backends.solve_exact_groups` — ``groups`` from
+    :func:`~repro.linear.backends.grouped_columns`, ``rows`` as sparse
+    ``{group: Fraction}`` dicts — but solved by the single-phase sparse
+    fraction-free simplex.  Returns ``(group x-values, pivot count)``.
+    """
+    k = len(groups)
+    int_rows: list[dict[int, int]] = []
+    rhs: list[int] = []
+    for row in rows:
+        scale = lcm(*(coeff.denominator for coeff in row.values()))
+        int_rows.append({g: int(coeff * scale) for g, coeff in row.items()})
+        rhs.append(0)
+    for g in range(k):
+        int_rows.append({g: -1, k + g: 1})   # t_g - x_g ≤ 0
+        rhs.append(0)
+        int_rows.append({k + g: 1})          # t_g ≤ 1
+        rhs.append(1)
+    objective = {k + g: 1 for g in range(k)}
+    tableau = SparseTableau(int_rows, rhs, objective, 2 * k)
+    tableau.run()
+    return tableau.solution()[:k], tableau.pivots
+
+
+# ----------------------------------------------------------------------
+# Section 4.4: the hierarchy closed form
+# ----------------------------------------------------------------------
+def hierarchy_witness(system: PsiSystem,
+                      active: Sequence[int]) -> Optional[dict[int, Fraction]]:
+    """Construct-and-verify the §4.4 closed-form answer.
+
+    For a detected generalization hierarchy whose propagation fixpoint left
+    ``active`` alive, *every* active unknown is supportable, and a witness
+    is directly constructible: each compound class counts 1 object, and the
+    live summands of each ``Natt``/``Nrel`` entry share the entry's
+    feasible mass (the upper bound when finite, else ``max(lower, 1)``)
+    equally.  The construction applies when each active compound unknown is
+    governed by at most one bound entry — true of hierarchy-shaped systems,
+    where attributes have no inverse declarations and no relations exist.
+
+    Returns the witness only after **exact verification** against every
+    disequation (inactive unknowns at zero) and the acceptability condition,
+    so a ``None`` result (construction or verification failed) simply sends
+    the caller to the ordinary LP — the closed form can never change a
+    verdict, only skip the solver.
+    """
+    active_set = set(active)
+    values: dict[int, Fraction] = {}
+    for index in active_set:
+        if any(endpoint not in active_set
+               for endpoint in system.endpoints_of(index)):
+            return None  # acceptability not yet propagated; let the LP pin
+    for index in system.class_unknown_indices():
+        if index in active_set:
+            values[index] = Fraction(1)
+    assigned: set[int] = set()
+    for class_index, summands, card, _origin in bound_entries(system):
+        live = [s for s in summands if s in active_set]
+        if not live:
+            # The lower row needs live partners when the class is active —
+            # the propagation rules pin such classes before we get here.
+            if class_index in active_set and card.lower >= 1:
+                return None
+            continue
+        if class_index not in active_set:
+            if card.upper is not INFINITY:
+                return None  # summands should have been pinned already
+            continue  # only ``lower·0 ≤ Σ``: vacuous for positive summands
+        if card.is_empty():
+            return None
+        mass = card.upper if card.upper is not INFINITY else max(card.lower, 1)
+        if mass <= 0:
+            return None
+        share = Fraction(mass, len(live))
+        for s in live:
+            if s in assigned:
+                return None  # coupled entries (inverses/relations): use LP
+            values[s] = share
+            assigned.add(s)
+    for index in active_set:
+        values.setdefault(index, Fraction(1))  # unconstrained compounds
+    # The safety net making the closed form unconditionally sound: every
+    # disequation re-checked exactly, like any other backend certificate.
+    zero = Fraction(0)
+    for constraint in system.constraints:
+        total = sum((coeff * values.get(var, zero)
+                     for var, coeff in constraint.coefficients), zero)
+        if total > 0:
+            return None
+    return values

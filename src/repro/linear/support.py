@@ -27,12 +27,18 @@ The computation:
 3. Pin everything the LP zeroed and repeat until nothing changes.
 
 The LP arithmetic lives behind the backend registry of
-:mod:`repro.linear.backends`: ``"exact"`` (the rational simplex,
-authoritative), ``"float-fallback"`` (HiGGS float-first with exact
-re-verification and an exact safety net), and ``"auto"`` (size-based
-choice).  Because the maximal support is unique, every sound backend yields
-the same verdicts — the differential suite in ``tests/test_backends.py``
-pins ``"exact"`` and ``"float-fallback"`` to identical support sets.
+:mod:`repro.linear.backends`: ``"exact"`` (the dense rational simplex,
+the reference core), ``"exact-sparse"`` (the sparse fraction-free simplex
+with the §4.4 hierarchy closed form), ``"float-fallback"`` (HiGHS
+float-first with exact re-verification and an exact safety net), and
+``"auto"`` (size-based choice).  Because the maximal support is unique,
+every sound backend yields the same verdicts — the differential suite in
+``tests/test_backends.py`` pins all of them to identical support sets.
+
+When the caller knows the schema is a detected generalization hierarchy it
+passes ``hierarchy=True``; the hint is forwarded only to backends whose
+declared capabilities include closed-form support, which then answer via
+the Section 4.4 construct-and-verify path with zero simplex pivots.
 """
 
 from __future__ import annotations
@@ -49,13 +55,14 @@ from ..obs.tracer import NULL_TRACER, NullTracer, Tracer
 from .backends import (
     EXACT_BACKEND_LIMIT,
     LpBackend,
+    backend_capabilities,
     get_backend,
     grouped_columns,
     rationalize,
     verify_rows,
 )
 from .simplex import OPTIMAL, solve_lp
-from .system import PsiSystem, Unknown, build_system
+from .system import PsiSystem, Unknown, bound_entries, build_system
 
 __all__ = ["SupportResult", "acceptable_support", "minimize_witness", "PinEvent"]
 
@@ -127,30 +134,6 @@ class SupportResult:
 # ----------------------------------------------------------------------
 # Combinatorial propagation
 # ----------------------------------------------------------------------
-def _bound_entries(system: PsiSystem):
-    """Precompute ``(class_index, summand_indices, card)`` per Natt/Nrel entry."""
-    expansion = system.expansion
-    entries = []
-    for (members, ref), card in expansion.natt.items():
-        class_index = system.index_of(members)
-        if ref.inverse:
-            summands = expansion.attributes_with_right(ref.name, members)
-        else:
-            summands = expansion.attributes_with_left(ref.name, members)
-        origin = f"{{{', '.join(sorted(members))}}} => {ref} : {card}"
-        entries.append((class_index,
-                        tuple(system.index_of(s) for s in summands), card,
-                        origin))
-    for (members, relation, role), card in expansion.nrel.items():
-        class_index = system.index_of(members)
-        summands = expansion.relations_with_role(relation, role, members)
-        origin = f"{{{', '.join(sorted(members))}}} => {relation}[{role}] : {card}"
-        entries.append((class_index,
-                        tuple(system.index_of(s) for s in summands), card,
-                        origin))
-    return entries
-
-
 def _propagate(system: PsiSystem, active: set[int], entries,
                log: list, round_number: int) -> bool:
     """One pass of the sound pinning rules; returns True when ``active``
@@ -302,15 +285,25 @@ def acceptable_support(source: Expansion | PsiSystem,
                        use_propagation: bool = True,
                        merge_columns: bool = True,
                        restrict_to: Optional[Sequence[int]] = None,
+                       hierarchy: bool = False,
                        tracer: "Tracer | NullTracer" = NULL_TRACER
                        ) -> SupportResult:
     """Compute the maximal acceptable support of ``Ψ_S``.
 
     Accepts either an :class:`Expansion` (the system is built on the fly) or
     a prebuilt :class:`PsiSystem`.  ``backend`` selects the LP arithmetic
-    core by registry name — ``"auto"`` (default), ``"exact"``,
-    ``"float-fallback"`` (alias ``"float"``) — or may be any object
-    implementing the :class:`~repro.linear.backends.LpBackend` protocol.
+    core by registry name or parameterized spec — ``"auto"`` (default),
+    ``"exact"``, ``"exact-sparse"``, ``"float-fallback"``,
+    ``"auto:limit=500"`` — or may be any object implementing the
+    :class:`~repro.linear.backends.LpBackend` protocol.
+
+    ``hierarchy`` asserts the source schema was detected as a
+    generalization hierarchy (Section 4.4).  Backends whose capabilities
+    declare closed-form support then construct the witness directly and
+    verify it exactly instead of running the simplex; the hint is never
+    forwarded to backends without that capability, and a failed
+    construction silently falls back to the LP, so it can only skip work,
+    never change a verdict.
 
     ``use_propagation`` and ``merge_columns`` disable the two engineering
     optimizations (combinatorial pre-pinning and interchangeable-column
@@ -327,15 +320,18 @@ def acceptable_support(source: Expansion | PsiSystem,
 
     ``tracer`` receives the LP work counters: ``lp.rounds`` (fixpoint
     iterations), each round's :attr:`RoundSolution.metrics
-    <repro.linear.backends.RoundSolution.metrics>` (``lp.pivots``,
-    ``lp.exact_solves``, ``lp.float_solves``, ``lp.degenerate_detections``,
+    <repro.linear.backends.RoundSolution.metrics>` (the documented
+    :data:`~repro.linear.backends.METRIC_KEYS` schema — ``lp.pivots``,
+    ``lp.exact_solves``, ``lp.sparse_solves``, ``lp.float_solves``,
+    ``lp.hierarchy_closed_form``, ``lp.degenerate_detections``,
     ``lp.float_exact_fallbacks``, ``lp.rationalize_repairs``), and the pin
     tallies ``support.pins_acceptability`` / ``support.pins_propagation`` /
     ``support.pins_linear``.
     """
     lp = get_backend(backend)
+    forward_hierarchy = hierarchy and backend_capabilities(lp).closed_form
     system = source if isinstance(source, PsiSystem) else build_system(source)
-    entries = _bound_entries(system)
+    entries = bound_entries(system)
     if restrict_to is None:
         active = set(range(system.n_unknowns()))
     else:
@@ -349,8 +345,12 @@ def acceptable_support(source: Expansion | PsiSystem,
         if use_propagation:
             while _propagate(system, active, entries, log, rounds):
                 pass
-        solution = lp.solve(system, sorted(active),
-                            merge_columns=merge_columns)
+        if forward_hierarchy:
+            solution = lp.solve(system, sorted(active),
+                                merge_columns=merge_columns, hierarchy=True)
+        else:
+            solution = lp.solve(system, sorted(active),
+                                merge_columns=merge_columns)
         for name, amount in solution.metrics.items():
             tracer.add(name, amount)
         values, support, backend_used = (solution.values,

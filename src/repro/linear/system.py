@@ -28,7 +28,8 @@ from ..core.errors import LinearSystemError
 from ..expansion.compound import CompoundAttribute, CompoundRelation
 from ..expansion.expansion import Expansion
 
-__all__ = ["Unknown", "Constraint", "PsiSystem", "build_system"]
+__all__ = ["Unknown", "Constraint", "PsiSystem", "build_system",
+           "bound_entries"]
 
 #: An unknown is identified by the compound object it counts.
 Unknown = Union[frozenset, CompoundAttribute, CompoundRelation]
@@ -195,3 +196,33 @@ class PsiSystem:
 def build_system(expansion: Expansion) -> PsiSystem:
     """Derive ``Ψ_S`` from the expansion of a schema."""
     return PsiSystem(expansion)
+
+
+def bound_entries(system: PsiSystem):
+    """``(class_index, summand_indices, card, origin)`` per Natt/Nrel entry.
+
+    The per-entry view of the system the combinatorial layers work from:
+    the propagation rules of :mod:`repro.linear.support` and the §4.4
+    closed form of :mod:`repro.linear.sparse` both reason entry-by-entry
+    rather than row-by-row (an entry owns its lower *and* upper row).
+    """
+    expansion = system.expansion
+    entries = []
+    for (members, ref), card in expansion.natt.items():
+        class_index = system.index_of(members)
+        if ref.inverse:
+            summands = expansion.attributes_with_right(ref.name, members)
+        else:
+            summands = expansion.attributes_with_left(ref.name, members)
+        origin = f"{{{', '.join(sorted(members))}}} => {ref} : {card}"
+        entries.append((class_index,
+                        tuple(system.index_of(s) for s in summands), card,
+                        origin))
+    for (members, relation, role), card in expansion.nrel.items():
+        class_index = system.index_of(members)
+        summands = expansion.relations_with_role(relation, role, members)
+        origin = f"{{{', '.join(sorted(members))}}} => {relation}[{role}] : {card}"
+        entries.append((class_index,
+                        tuple(system.index_of(s) for s in summands), card,
+                        origin))
+    return entries

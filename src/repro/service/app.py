@@ -832,13 +832,24 @@ class ReproService:
 
     def _version(self, request_id: str) -> ServiceResponse:
         """``GET /v1/version`` — every schema version this process
-        speaks: the wire envelope, compiled artifacts, trace exports,
-        stats snapshots."""
+        speaks (the wire envelope, compiled artifacts, trace exports,
+        stats snapshots) plus the identity of the LP backend answering
+        Phase 2, so clients can pin or audit the solver in use."""
+        from ..linear.backends import describe_backend, get_backend
+
+        spec = self.session.config.lp_backend
+        backend = get_backend(spec)
+        description = describe_backend(backend)
         return self._ok(200, request_id, {
             "api_version": API_VERSION,
             "artifact_schema_version": ARTIFACT_SCHEMA_VERSION,
             "trace_schema_version": TRACE_SCHEMA_VERSION,
             "stats_schema_version": STATS_SCHEMA_VERSION,
+            "lp_backend": {
+                "spec": spec,
+                "name": description.name,
+                "capabilities": description.capabilities.as_dict(),
+            },
         })
 
     def _metrics(self, request_id: str) -> ServiceResponse:

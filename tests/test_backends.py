@@ -3,9 +3,11 @@
 The maximal acceptable support of ``Ψ_S`` is unique (solutions of the
 homogeneous system are closed under addition), so every sound backend must
 compute the *same* support set — backends may only differ in witness values
-and wall-clock.  The differential tests here pin ``"exact"`` and
-``"float-fallback"`` to identical verdicts on seeded random schemas and on
-hypothesis-generated rich schemas.
+and wall-clock.  The differential tests here pin ``"exact"``,
+``"exact-sparse"``, and ``"float-fallback"`` to identical verdicts on
+seeded random schemas and on hypothesis-generated rich schemas, and the
+capability tests pin the redesigned registry API (described entries,
+parameterized specs, deprecated aliases, the §4.4 closed-form path).
 """
 
 from fractions import Fraction
@@ -17,11 +19,18 @@ from repro.core.errors import LinearSystemError
 from repro.engine import EngineConfig
 from repro.expansion.expansion import build_expansion
 from repro.linear.backends import (
+    AutoBackend,
+    BackendCapabilities,
+    BackendDescription,
     ExactBackend,
     FloatFallbackBackend,
     LpBackend,
     RoundSolution,
+    SparseExactBackend,
     available_backends,
+    backend_capabilities,
+    bump_metric,
+    describe_backend,
     get_backend,
     register_backend,
 )
@@ -39,13 +48,22 @@ from .strategies import rich_schemas
 
 class TestRegistry:
     def test_builtin_backends_registered(self):
-        names = available_backends()
-        assert "exact" in names
-        assert "float-fallback" in names
-        assert "auto" in names
+        entries = available_backends()
+        assert all(isinstance(entry, BackendDescription) for entry in entries)
+        names = {entry.name for entry in entries}
+        assert {"exact", "exact-sparse", "float-fallback", "auto"} <= names
 
-    def test_float_alias_is_float_fallback(self):
-        assert get_backend("float") is get_backend("float-fallback")
+    def test_described_entries_fold_aliases(self):
+        by_name = {entry.name: entry for entry in available_backends()}
+        fallback = by_name["float-fallback"]
+        assert "float" in fallback.aliases
+        assert "float" in fallback.deprecated_aliases
+        assert "limit" in by_name["auto"].parameters
+
+    def test_float_alias_is_deprecated(self):
+        with pytest.warns(DeprecationWarning, match='alias "float"'):
+            resolved = get_backend("float")
+        assert resolved is get_backend("float-fallback")
 
     def test_unknown_name_raises(self):
         with pytest.raises(LinearSystemError, match="unknown LP backend"):
@@ -91,6 +109,99 @@ class TestRegistry:
             backends._REGISTRY.pop("test-tracing", None)
 
 
+class TestCapabilityContract:
+    def test_builtin_capabilities(self):
+        assert get_backend("exact").capabilities() == BackendCapabilities(
+            arithmetic="exact-rational", sparse=False, closed_form=False,
+            degeneracy="bland-anticycling")
+        sparse = get_backend("exact-sparse").capabilities()
+        assert sparse.sparse and sparse.closed_form
+        assert sparse.arithmetic == "exact-rational"
+        assert get_backend("auto").capabilities().arithmetic == "hybrid"
+        assert (get_backend("float-fallback").capabilities().degeneracy
+                == "ambiguity-band-exact-fallback")
+
+    def test_describe_matches_capabilities(self):
+        for name in ("exact", "exact-sparse", "float-fallback", "auto"):
+            backend = get_backend(name)
+            description = backend.describe()
+            assert description.name == name
+            assert description.capabilities == backend.capabilities()
+            assert description.summary
+
+    def test_foreign_backend_gets_conservative_defaults(self):
+        class Bare:
+            name = "bare"
+
+            def solve(self, system, positive_indices, *, merge_columns=True):
+                raise NotImplementedError
+
+        capabilities = backend_capabilities(Bare())
+        assert not capabilities.closed_form
+        assert not capabilities.sparse
+        description = describe_backend(Bare())
+        assert description.name == "bare"
+
+    def test_description_round_trips_to_dict(self):
+        entry = get_backend("auto").describe()
+        as_dict = entry.as_dict()
+        assert as_dict["name"] == "auto"
+        assert as_dict["capabilities"]["closed_form"] is True
+        assert as_dict["parameters"] == ["limit"]
+
+
+class TestParameterizedSpecs:
+    def test_auto_limit_spec(self):
+        backend = get_backend("auto:limit=5")
+        assert isinstance(backend, AutoBackend)
+        assert backend._limit == 5
+
+    def test_spec_validates_in_engine_config(self):
+        assert EngineConfig(lp_backend="auto:limit=500").lp_backend == \
+            "auto:limit=500"
+
+    def test_nonpositive_limit_rejected(self):
+        with pytest.raises(LinearSystemError, match="must be positive"):
+            get_backend("auto:limit=0")
+
+    def test_unparameterized_backend_rejects_params(self):
+        with pytest.raises(LinearSystemError, match="takes no spec"):
+            get_backend("exact:limit=5")
+
+    def test_malformed_params_rejected(self):
+        with pytest.raises(LinearSystemError, match="malformed"):
+            get_backend("auto:limit")
+
+    def test_unknown_param_rejected(self):
+        with pytest.raises(LinearSystemError, match="bad parameters"):
+            get_backend("auto:bogus=3")
+
+    def test_unknown_name_with_params_rejected(self):
+        with pytest.raises(LinearSystemError, match="unknown LP backend"):
+            get_backend("bogus:limit=5")
+
+
+class TestMetricSchema:
+    def test_bump_metric_rejects_undocumented_keys(self):
+        with pytest.raises(LinearSystemError, match="unknown solver metric"):
+            bump_metric({}, "lp.made_up")
+
+    def test_bump_metric_accumulates(self):
+        metrics = {}
+        bump_metric(metrics, "lp.pivots", 3)
+        bump_metric(metrics, "lp.pivots", 2)
+        assert metrics == {"lp.pivots": 5}
+
+    def test_solver_metrics_stay_on_schema(self):
+        from repro.linear.backends import METRIC_KEYS
+
+        system = build_system(build_expansion(random_schema(5, seed=4)))
+        for name in ("exact", "exact-sparse", "float-fallback", "auto"):
+            solution = get_backend(name).solve(
+                system, list(range(system.n_unknowns())))
+            assert set(solution.metrics) <= METRIC_KEYS
+
+
 class TestRoundSolutions:
     def test_exact_solution_is_rational_and_acceptable(self):
         system = build_system(build_expansion(random_schema(5, seed=1)))
@@ -115,37 +226,36 @@ class TestRoundSolutions:
 
 
 class TestBackendEquivalence:
-    """Exact and float-fallback must agree on every schema — Theorem 3.3's
+    """Every sound backend must agree on every schema — Theorem 3.3's
     verdicts cannot depend on the arithmetic core."""
 
     SEEDS = range(8)
+    BACKENDS = ("exact", "exact-sparse", "float-fallback")
 
     def support_sets(self, schema):
         expansion = build_expansion(schema)
-        exact = acceptable_support(expansion, backend="exact")
-        fallback = acceptable_support(expansion, backend="float-fallback")
-        return exact, fallback
+        return [acceptable_support(expansion, backend=name)
+                for name in self.BACKENDS]
+
+    def assert_agree(self, results):
+        assert len({result.support for result in results}) == 1
 
     @pytest.mark.parametrize("seed", SEEDS)
     def test_random_schemas(self, seed):
-        exact, fallback = self.support_sets(random_schema(6, seed=seed))
-        assert exact.support == fallback.support
+        self.assert_agree(self.support_sets(random_schema(6, seed=seed)))
 
     @pytest.mark.parametrize("seed", range(4))
     def test_clustered_schemas(self, seed):
-        exact, fallback = self.support_sets(
-            clustered_schema(3, 3, seed=seed))
-        assert exact.support == fallback.support
+        self.assert_agree(self.support_sets(clustered_schema(3, 3, seed=seed)))
 
     def test_hierarchy_schema(self):
-        exact, fallback = self.support_sets(hierarchy_schema(3, 2))
-        assert exact.support == fallback.support
+        self.assert_agree(self.support_sets(hierarchy_schema(3, 2)))
 
     @pytest.mark.parametrize("seed", SEEDS)
     def test_reasoner_verdicts_per_backend(self, seed):
         schema = random_schema(6, seed=seed)
         verdicts = {}
-        for backend in ("exact", "float-fallback", "auto"):
+        for backend in ("exact", "exact-sparse", "float-fallback", "auto"):
             reasoner = Reasoner(
                 schema, config=EngineConfig(lp_backend=backend))
             verdicts[backend] = tuple(reasoner.satisfiable_classes())
@@ -155,14 +265,13 @@ class TestBackendEquivalence:
               suppress_health_check=[HealthCheck.too_slow])
     @given(schema=rich_schemas())
     def test_rich_schemas_property(self, schema):
-        exact, fallback = self.support_sets(schema)
-        assert exact.support == fallback.support
+        self.assert_agree(self.support_sets(schema))
 
     @pytest.mark.parametrize("seed", range(4))
     def test_witnesses_verify_exactly(self, seed):
-        """Both backends' witnesses must satisfy every disequation."""
+        """Every backend's witness must satisfy every disequation."""
         system = build_system(build_expansion(random_schema(6, seed=seed)))
-        for backend in ("exact", "float-fallback"):
+        for backend in self.BACKENDS:
             result = acceptable_support(system, backend=backend)
             for constraint in system.constraints:
                 total = sum(
@@ -170,3 +279,104 @@ class TestBackendEquivalence:
                      for var, coeff in constraint.coefficients),
                     Fraction(0))
                 assert total <= 0
+
+
+class TestStrategyBackendSweep:
+    """Sparse vs dense exact across enumeration strategies: the Phase-1
+    strategy decides *which* compound classes exist, the backend decides the
+    arithmetic — verdicts must be invariant in both dimensions."""
+
+    @pytest.mark.parametrize("seed", range(4))
+    @pytest.mark.parametrize("strategy", ("naive", "strategic", "auto"))
+    def test_random_verdicts_invariant(self, seed, strategy):
+        schema = random_schema(5, seed=seed)
+        verdicts = {}
+        for backend in ("exact", "exact-sparse"):
+            reasoner = Reasoner(schema, config=EngineConfig(
+                strategy=strategy, lp_backend=backend))
+            verdicts[backend] = tuple(reasoner.satisfiable_classes())
+        assert verdicts["exact"] == verdicts["exact-sparse"]
+
+    @pytest.mark.parametrize("strategy", ("naive", "strategic", "hierarchy",
+                                          "auto"))
+    def test_hierarchy_verdicts_invariant(self, strategy):
+        schema = hierarchy_schema(2, 3, with_attributes=True, seed=3)
+        verdicts = {}
+        for backend in ("exact", "exact-sparse", "auto"):
+            reasoner = Reasoner(schema, config=EngineConfig(
+                strategy=strategy, lp_backend=backend))
+            verdicts[backend] = tuple(reasoner.satisfiable_classes())
+        assert len(set(verdicts.values())) == 1, verdicts
+
+
+class TestClosedForm:
+    """The §4.4 short-circuit: hierarchy-flagged systems answer without a
+    single simplex pivot, and never change a verdict."""
+
+    def test_hierarchy_flag_takes_closed_form(self):
+        system = build_system(build_expansion(
+            hierarchy_schema(3, 3, with_attributes=True, seed=1)))
+        plain = acceptable_support(system, backend="exact-sparse")
+        flagged = acceptable_support(system, backend="exact-sparse",
+                                     hierarchy=True)
+        assert flagged.support == plain.support
+        assert flagged.backend_used == "closed-form"
+
+    def test_closed_form_pivots_are_zero(self):
+        system = build_system(build_expansion(
+            hierarchy_schema(2, 3, with_attributes=True, seed=5)))
+        solution = SparseExactBackend().solve(
+            system, list(range(system.n_unknowns())), hierarchy=True)
+        assert solution.backend_used == "closed-form"
+        assert solution.metrics == {"lp.hierarchy_closed_form": 1}
+        assert "lp.pivots" not in solution.metrics
+
+    def test_closed_form_witness_verifies_exactly(self):
+        system = build_system(build_expansion(
+            hierarchy_schema(3, 2, with_attributes=True, seed=7)))
+        result = acceptable_support(system, backend="exact-sparse",
+                                    hierarchy=True)
+        assert result.backend_used == "closed-form"
+        for constraint in system.constraints:
+            total = sum((coeff * result.solution[var]
+                         for var, coeff in constraint.coefficients),
+                        Fraction(0))
+            assert total <= 0
+        for index in result.support:
+            assert result.solution[index] > 0
+
+    def test_flag_on_non_hierarchy_is_harmless(self):
+        """A schema that is not hierarchy-shaped fails the construct-and-
+        verify attempt and silently takes the ordinary LP."""
+        system = build_system(build_expansion(random_schema(6, seed=2)))
+        flagged = acceptable_support(system, backend="exact-sparse",
+                                     hierarchy=True)
+        plain = acceptable_support(system, backend="exact")
+        assert flagged.support == plain.support
+
+    def test_flag_never_reaches_closed_form_free_backends(self):
+        """Foreign backends without the capability keep the old solve
+        signature and must not receive the hierarchy keyword."""
+
+        class Strict:
+            name = "test-strict"
+
+            def __init__(self):
+                self._inner = ExactBackend()
+
+            def solve(self, system, positive_indices, *, merge_columns=True):
+                return self._inner.solve(system, positive_indices,
+                                         merge_columns=merge_columns)
+
+        register_backend(Strict())
+        try:
+            system = build_system(build_expansion(
+                hierarchy_schema(2, 2, with_attributes=True, seed=0)))
+            result = acceptable_support(system, backend="test-strict",
+                                        hierarchy=True)
+            reference = acceptable_support(system, backend="exact")
+            assert result.support == reference.support
+        finally:
+            from repro.linear import backends
+
+            backends._REGISTRY.pop("test-strict", None)

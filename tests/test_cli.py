@@ -158,7 +158,8 @@ class TestJsonOutput:
         document = self.parse(capsys)
         assert document["command"] == "stats"
         assert document["classes"] == 3
-        assert document["lp_backend"] in ("exact", "float", "propagation")
+        assert document["lp_backend"] in (
+            "exact", "exact-sparse", "float", "closed-form", "propagation")
         assert "psi_unknowns" in document
 
     def test_validate_text_matches_report_str(self, good_file, capsys):
@@ -172,7 +173,8 @@ class TestJsonOutput:
 
 
 class TestBackendFlag:
-    @pytest.mark.parametrize("backend", ["auto", "exact", "float-fallback"])
+    @pytest.mark.parametrize("backend", ["auto", "exact", "exact-sparse",
+                                         "float-fallback", "auto:limit=50"])
     def test_backend_accepted_everywhere(self, good_file, backend, capsys):
         assert main(["validate", good_file, "--backend", backend]) == 0
         assert main(["satisfiable", good_file, "Student",

@@ -149,6 +149,42 @@ class TestDifferentialRandomizedEdits:
         new = edit_tighten_card(old, rng)
         assert_equivalent(revalidated(old, new), new)
 
+class TestSparseBackendDelta:
+    """The sparse exact backend threads through ``restrict_to`` delta
+    re-solving: revalidation under ``lp_backend="exact-sparse"`` must match
+    a cold rebuild for every edit kind, and match the dense-exact verdicts."""
+
+    SPARSE = EngineConfig(lp_backend="exact-sparse")
+
+    @pytest.mark.parametrize("seed", range(3))
+    @pytest.mark.parametrize("edit", EDITS)
+    def test_random_schema_edits(self, seed, edit):
+        rng = random.Random(seed)
+        old = random_schema(7, seed=seed)
+        new = edit(old, rng)
+        assert_equivalent(revalidated(old, new, self.SPARSE), new,
+                          self.SPARSE)
+
+    @pytest.mark.parametrize("seed", range(2))
+    @pytest.mark.parametrize("edit", EDITS)
+    def test_clustered_schema_edits(self, seed, edit):
+        rng = random.Random(seed)
+        old = clustered_schema(4, 3, seed=seed)
+        new = edit(old, rng)
+        assert_equivalent(revalidated(old, new, self.SPARSE), new,
+                          self.SPARSE)
+
+    @pytest.mark.parametrize("seed", range(3))
+    def test_sparse_delta_matches_dense_delta(self, seed):
+        rng = random.Random(seed)
+        old = clustered_schema(3, 3, seed=seed)
+        new = edit_tighten_card(old, rng)
+        dense = revalidated(old, new, EngineConfig(lp_backend="exact"))
+        sparse = revalidated(old, new, self.SPARSE)
+        assert support_set(dense) == support_set(sparse)
+
+
+class TestChainedEdits:
     @pytest.mark.parametrize("seed", range(4))
     def test_chained_edits_carry_the_artifact_forward(self, seed):
         """v1 → v2 → v3 → v4, each revalidated from its predecessor's

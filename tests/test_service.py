@@ -300,7 +300,19 @@ class TestIntrospection:
         data = unwrap(response.payload)
         assert data["api_version"] == 1
         assert {"artifact_schema_version", "trace_schema_version",
-                "stats_schema_version"} <= set(data)
+                "stats_schema_version", "lp_backend"} <= set(data)
+
+    def test_version_reports_backend_identity(self, service):
+        """Clients audit the solver in use via the version envelope."""
+        data = unwrap(_dispatch(service, "GET", "/v1/version").payload)
+        backend = data["lp_backend"]
+        assert backend["spec"] == "auto"
+        assert backend["name"] == "auto"
+        capabilities = backend["capabilities"]
+        assert capabilities["closed_form"] is True
+        assert capabilities["sparse"] is True
+        assert set(capabilities) == {"arithmetic", "sparse", "closed_form",
+                                     "degeneracy"}
 
 
 # ----------------------------------------------------------------------

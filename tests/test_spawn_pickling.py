@@ -86,3 +86,24 @@ def test_engine_config_round_trips_under_spawn(spawn_pool, tmp_path):
     clone = spawn_round_trip(spawn_pool, config)
     assert clone == config
     assert clone.artifact_dir == config.artifact_dir
+
+
+def test_sparse_backend_config_round_trips_under_spawn(spawn_pool):
+    """The sparse backend crosses the spawn boundary the same way every
+    backend does: as its registry spec inside EngineConfig, revalidated by
+    the child's ``__post_init__`` — including a parameterized auto spec."""
+    for spec in ("exact-sparse", "auto:limit=500"):
+        config = EngineConfig(lp_backend=spec)
+        clone = spawn_round_trip(spawn_pool, config)
+        assert clone == config
+        assert clone.lp_backend == spec
+
+
+def test_sparse_backend_instance_round_trips_under_spawn(spawn_pool):
+    """The backend object itself is stateless and must pickle too — the
+    executor's shard payloads may embed resolved backends."""
+    from repro.linear.backends import SparseExactBackend
+
+    clone = spawn_round_trip(spawn_pool, SparseExactBackend())
+    assert clone.name == "exact-sparse"
+    assert clone.capabilities().closed_form
