@@ -556,6 +556,117 @@ def parallel_batch() -> None:
            wall_s)])
 
 
+def query_answering() -> None:
+    import json as json_module
+    import urllib.error
+    import urllib.request
+
+    from repro.qa import QueryRewriter, certain_answers, parse_query
+    from repro.qa.data import database_from_document
+    from repro.reasoner.satisfiability import Reasoner as _Reasoner
+    from repro.workloads.query_workloads import (
+        query_workload,
+        sample_database,
+        taxonomy_schema,
+    )
+
+    # Warm rewrite cache vs cold saturation over growing taxonomies: the
+    # cold side pays the specialize/eliminate/unify fixpoint plus the
+    # subsumption pruning per query, the warm side an LRU lookup on the
+    # canonical rendering.  The committed acceptance bar lives in
+    # bench_query.py (WARM_SPEEDUP_BAR = 5x); these rows record the
+    # actual ratios.
+    # Shapes stay below ~16 classes: the taxonomy is one G_S cluster, and
+    # the closure build's satisfiability probes (negated-filler classes)
+    # defeat the genuine-hierarchy detection, so enumeration is
+    # exponential in the cluster size.
+    rows = []
+    for branching, depth in ((2, 2), (3, 2), (2, 3)):
+        schema = taxonomy_schema(branching, depth)
+        closure = _Reasoner(schema).pipeline.closure_index()
+        queries = [parse_query(source, schema)
+                   for _, source in query_workload(schema, per_shape=4,
+                                                   seed=3)]
+
+        def run_cold(closure=closure, queries=queries):
+            rewriter = QueryRewriter(closure)
+            return [rewriter.rewrite(query) for query in queries]
+
+        warm_rewriter = QueryRewriter(closure)
+        results = [warm_rewriter.rewrite(query) for query in queries]
+        cold_s = best_of(run_cold, rounds=3)
+        warm_s = best_of(lambda r=warm_rewriter, q=queries: [
+            r.rewrite(query) for query in q], rounds=3)
+        rows.append((f"{branching}^{depth}",
+                     len(schema.class_symbols), len(queries),
+                     sum(len(r.disjuncts) for r in results),
+                     sum(r.steps for r in results), cold_s, warm_s,
+                     cold_s / warm_s if warm_s else 0.0))
+    emit("Query rewriting — warm cache vs cold saturation "
+         "(star/chain/boolean workload)",
+         ["taxonomy", "classes", "queries", "disjuncts", "steps",
+          "cold s", "warm s", "speedup"], rows)
+
+    # Certain answers end to end: rewriting + plain evaluation over a
+    # seeded open-world database, per query shape.
+    schema = taxonomy_schema(2, 3)
+    reasoner = _Reasoner(schema)
+    rewriter = QueryRewriter(reasoner.pipeline.closure_index())
+    database = database_from_document(
+        schema, sample_database(schema, 24, seed=5))
+    shape_rows: dict = {}
+    for shape, source in query_workload(schema, per_shape=5, seed=5):
+        query = parse_query(source, schema)
+        seconds, answer = timed(lambda q=query: certain_answers(
+            rewriter, q, database, reasoner=reasoner))
+        stats = shape_rows.setdefault(shape, [0, 0, 0, 0.0])
+        stats[0] += 1
+        stats[1] += answer.disjuncts
+        stats[2] += (int(bool(answer.boolean)) if answer.is_boolean
+                     else len(answer.answers))
+        stats[3] += seconds
+    print()
+    emit("Certain answers — rewriting + evaluation over a seeded database "
+         "(24 objects)",
+         ["shape", "queries", "disjuncts", "answers", "total s"],
+         [(shape, *stats) for shape, stats in sorted(shape_rows.items())])
+
+    # The wire path: PUT /v1/schemas once, then POST /v1/query by
+    # schema_ref — cold miss, then result-cache hits.
+    from repro.parser.printer import render_schema
+    from repro.service import ReproService, ServiceConfig
+
+    def call(base, path, body, method="POST"):
+        request = urllib.request.Request(
+            base + path, data=json_module.dumps(body).encode(),
+            method=method)
+        try:
+            with urllib.request.urlopen(request, timeout=30) as response:
+                return response.status, json_module.loads(response.read())
+        except urllib.error.HTTPError as error:
+            return error.code, json_module.loads(error.read())
+
+    source = render_schema(taxonomy_schema(2, 2))
+    rows = []
+    with ReproService(ServiceConfig(port=0)) as service:
+        base = f"http://{service.host}:{service.port}"
+        status, _ = call(base, "/v1/schemas/bench", {"schema": source},
+                         method="PUT")
+        assert status == 201  # stored fresh
+        body = {"schema_ref": "bench", "query": "q(x) :- T(x)"}
+        for label in ("cold miss", "warm hit", "warm hit (repeat)"):
+            seconds, (status, payload) = timed(
+                lambda: call(base, "/v1/query", body))
+            assert status == 200 and payload["ok"]
+            rows.append((label, payload["data"]["cache"],
+                         len(payload["data"]["disjuncts"])
+                         if isinstance(payload["data"]["disjuncts"], list)
+                         else payload["data"]["disjuncts"], seconds))
+    print()
+    emit("Query answering — POST /v1/query by schema_ref (result cache)",
+         ["request", "cache", "disjuncts", "seconds"], rows)
+
+
 def registry_revalidation() -> None:
     from repro.core.formulas import Clause, Formula, Lit
     from repro.core.schema import ClassDef, Schema
@@ -823,6 +934,8 @@ SECTIONS = [
     ("Session reuse (SchemaSession warm vs cold)", session_reuse),
     ("Parallel batch (executor, deadlines)", parallel_batch),
     ("Query service (admission, result cache, budgets)", query_service),
+    ("Query answering (CQ rewriting, certain answers, /v1/query)",
+     query_answering),
     ("Registry revalidation (delta rebuild vs cold)", registry_revalidation),
     ("LP backends (sparse fraction-free vs dense exact, Section 4.4)",
      lp_backends),

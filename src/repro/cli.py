@@ -8,6 +8,8 @@ syntax:
   explanations for unsatisfiable ones;
 * ``classify``   — the implied subsumption hierarchy;
 * ``satisfiable``— one class, with an explanation on failure;
+* ``query``      — certain answers of a conjunctive query, optionally
+  over a JSON database document (``--database``);
 * ``synthesize`` — generate a sample database state and print it;
 * ``render``     — parse and pretty-print (format / canonicalize);
 * ``stats``      — pipeline size measurements;
@@ -243,6 +245,49 @@ def _cmd_synthesize(args: argparse.Namespace) -> int:
         for name in sorted(interp.mentioned_relations()):
             for tup in sorted(interp.relation_ext(name), key=str):
                 _write(f"{name}{tup}")
+    return 0
+
+
+def _cmd_query(args: argparse.Namespace) -> int:
+    """``repro query schema.car 'q(x) :- Person(x)'`` — certain answers.
+
+    The query runs through :meth:`SchemaSession.query
+    <repro.engine.session.SchemaSession.query>`: PerfectRef-style
+    rewriting against the schema's implication closure, then plain
+    evaluation over the optional ``--database`` document.  Exit status:
+    boolean queries report their verdict (0 entailed, 1 not); open
+    queries exit 0 with the answer rows (possibly none).  A tripped
+    ``--timeout``/``--max-steps`` budget exits 75 like every command.
+    """
+    schema = _read_schema(args.schema)
+    query_text = sys.stdin.read() if args.cq == "-" else args.cq
+    database = None
+    if args.database is not None:
+        raw = (sys.stdin.read() if args.database == "-"
+               else Path(args.database).read_text(encoding="utf-8"))
+        try:
+            database = json.loads(raw)
+        except ValueError as exc:
+            return _fail(args, f"database file is not valid JSON: {exc}", 65)
+    answer = args.session.query(schema, query_text, database)
+    if args.json:
+        _emit_json({"command": "query", **answer.as_document()})
+        return 0 if (answer.boolean or not answer.is_boolean) else 1
+    rewrite = (f"{answer.disjuncts} disjunct(s), "
+               f"{answer.rewrite_steps} rewrite step(s), "
+               f"cache {'hit' if answer.rewrite_cached else 'miss'}")
+    if answer.inconsistent:
+        _write(f"database is inconsistent with the schema — every tuple "
+               f"is a certain answer ({rewrite})")
+        return 0
+    if answer.is_boolean:
+        _write(f"{'entailed' if answer.boolean else 'not entailed'} "
+               f"({rewrite})")
+        return 0 if answer.boolean else 1
+    _write(f"{len(answer.answers)} certain answer(s) over "
+           f"({', '.join(answer.variables)}) ({rewrite})")
+    for row in answer.answers:
+        _write("  " + ", ".join(str(value) for value in row))
     return 0
 
 
@@ -672,6 +717,16 @@ def build_parser() -> argparse.ArgumentParser:
                        help="multiply the base witness")
     synth.add_argument("--full", action="store_true",
                        help="print the entire database state")
+    query_cmd = add("query", _cmd_query,
+                    "compute the certain answers of a conjunctive query")
+    query_cmd.add_argument("cq", help="conjunctive query, e.g. "
+                                      "'q(x) :- Person(x), works_for(x, y)' "
+                                      "('-' for stdin)")
+    query_cmd.add_argument("--database", metavar="FILE", default=None,
+                           help="JSON database document to evaluate over "
+                                "('-' for stdin): {\"objects\": {...}, "
+                                "\"attributes\": [...], \"relations\": "
+                                "[...]}")
     add("render", _cmd_render, "parse and pretty-print the schema")
     add("stats", _cmd_stats, "print pipeline size measurements")
     batch = add("batch", _cmd_batch,

@@ -53,6 +53,7 @@ if TYPE_CHECKING:  # pragma: no cover - typing only
     from ..expansion.tables import SchemaTables
     from ..linear.support import SupportResult
     from ..linear.system import PsiSystem
+    from ..qa.closure import ClosureIndex
     from .config import EngineConfig
 
 __all__ = [
@@ -68,8 +69,10 @@ __all__ = [
 #: the snapshot fields *or* to the pickled shape of the stage products —
 #: a loader finding a different version treats the entry as stale and
 #: rebuilds from source.  v2 added the optional :class:`SupportSnapshot`
-#: (support verdicts keyed by unknown, consumed by delta revalidation).
-ARTIFACT_SCHEMA_VERSION = 2
+#: (support verdicts keyed by unknown, consumed by delta revalidation);
+#: v3 added the optional query-rewriting
+#: :class:`~repro.qa.closure.ClosureIndex`.
+ARTIFACT_SCHEMA_VERSION = 3
 
 #: Environment variable overriding the default artifact directory
 #: (useful for tests and hermetic CI runs).
@@ -196,6 +199,11 @@ class CompiledSchema:
     #: across LP backends (the support itself is backend-independent) and
     #: so the cheap on-system-built persist hook need not force Phase 2.
     support: Optional[SupportSnapshot] = None
+    #: The query-rewriting implication closure, present only when it had
+    #: been built by compile() time (the ``/v1/query`` path forces it; a
+    #: satisfiability-only run never pays for it).  Optional with a None
+    #: default so v2-shaped pickles of the same version would still load.
+    closure: Optional["ClosureIndex"] = None
 
     def summary(self) -> dict:
         """A small JSON-able description (the ``repro compile`` line)."""
@@ -207,6 +215,7 @@ class CompiledSchema:
             "compound_classes": len(self.expansion.compound_classes),
             "psi_size": self.system.size(),
             "has_support": self.support is not None,
+            "has_closure": self.closure is not None,
         }
 
 

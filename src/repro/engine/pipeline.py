@@ -134,6 +134,8 @@ class Pipeline:
         self._expansion_delta = None
         self._support_seed = None
         self.delta_stats: dict = {}
+        # The query-rewriting closure (built on demand by closure_index).
+        self._closure_index = None
         # Schema-level derived structures, shared by several consumers.
         self._clusters: Optional[list[frozenset]] = None
         self._cluster_map: Optional[dict] = None
@@ -189,6 +191,9 @@ class Pipeline:
                       if self.config.strategy != "naive" else None),
             hierarchy_effective=self._hierarchy_effective,
             support=snapshot,
+            # Like the support: ride along only when already built — a
+            # satisfiability-only compile never pays for the closure.
+            closure=self._closure_index,
         )
 
     @classmethod
@@ -235,6 +240,7 @@ class Pipeline:
         if artifact.clusters is not None:
             pipeline._clusters = list(artifact.clusters)
         pipeline._hierarchy_effective = artifact.hierarchy_effective
+        pipeline._closure_index = artifact.closure
         return pipeline
 
     @classmethod
@@ -347,6 +353,21 @@ class Pipeline:
             merge_columns=self.config.merge_columns,
             hierarchy=self.is_hierarchy(),
             tracer=self.tracer)
+
+    # ------------------------------------------------------------------
+    # Query-rewriting closure
+    # ------------------------------------------------------------------
+    def closure_index(self):
+        """The query-rewriting :class:`~repro.qa.closure.ClosureIndex` of
+        this schema, built on first use (forcing the support stage) and
+        cached for the pipeline's lifetime.  Rides inside
+        :meth:`compile` snapshots once built, so artifact-cache hits skip
+        the classification entirely."""
+        if self._closure_index is None:
+            from ..qa.closure import closure_for_pipeline
+
+            self._closure_index = closure_for_pipeline(self)
+        return self._closure_index
 
     # ------------------------------------------------------------------
     # Shared schema-level structures

@@ -104,6 +104,9 @@ class SchemaSession:
     def __init__(self, config: Optional[EngineConfig] = None):
         self.config = config if config is not None else EngineConfig()
         self._cache: "OrderedDict[str, Reasoner]" = OrderedDict()
+        # Query rewriters by schema fingerprint: each holds the per-schema
+        # rewrite cache, bounded like the reasoner LRU.
+        self._rewriters: OrderedDict = OrderedDict()
         self._executor = None
         self._hits = 0
         self._misses = 0
@@ -348,6 +351,11 @@ class SchemaSession:
                           if entry is not None]
             for reasoner in popped:
                 reasoner.pipeline.on_system_built = None
+            if schema is None:
+                self._rewriters.clear()
+            else:
+                for fingerprint in fingerprints:
+                    self._rewriters.pop(fingerprint, None)
             self._tracer.gauge("session.cache_size", len(self._cache))
         if drop_artifacts and self._artifact_cache is not None:
             if schema is None:
@@ -493,6 +501,63 @@ class SchemaSession:
                                       payload.collect_stats,
                                       payload.fingerprint)
                 for index, formula in payload.queries]
+
+    # ------------------------------------------------------------------
+    # Conjunctive-query answering
+    # ------------------------------------------------------------------
+    def query(self, schema: SchemaLike, query, database=None):
+        """Certain answers of a conjunctive query over ``schema``.
+
+        ``query`` is concrete syntax (``q(x) :- Person(x), works_for(x,
+        y)``) or a parsed :class:`~repro.qa.ast.ConjunctiveQuery`;
+        ``database`` is a :class:`~repro.semantics.database.Database`, the
+        JSON document shape of :func:`~repro.qa.data.database_from_document`,
+        or None (schema-only entailment).  The schema's
+        :class:`~repro.qa.rewriter.QueryRewriter` — and with it the
+        rewrite cache — is kept warm per fingerprint, parallel to the
+        reasoner LRU.  Returns a :class:`~repro.qa.evaluator.QueryAnswer`.
+        """
+        from ..qa import certain_answers, database_from_document, parse_query
+        from ..semantics.database import Database
+
+        schema_obj = _as_schema(schema)
+        fingerprint = schema_fingerprint(schema_obj)
+        reasoner = self.reasoner(schema_obj)
+        rewriter = self._rewriter_for(fingerprint, reasoner)
+        if isinstance(query, str):
+            query = parse_query(query, reasoner.schema)
+        else:
+            query.validate(reasoner.schema)
+        if database is not None and not isinstance(database, Database):
+            database = database_from_document(reasoner.schema, database)
+        return certain_answers(rewriter, query, database,
+                               reasoner=reasoner, tracer=self._tracer)
+
+    def _rewriter_for(self, fingerprint: str, reasoner: "Reasoner"):
+        """The warm :class:`~repro.qa.rewriter.QueryRewriter` for one
+        schema, building (and persisting) its closure index on first use."""
+        with self._lock:
+            rewriter = self._rewriters.get(fingerprint)
+            if rewriter is not None:
+                self._rewriters.move_to_end(fingerprint)
+                return rewriter
+        # Closure construction happens outside the lock (it forces the
+        # support stage); a racing thread at worst builds it twice.
+        closure = reasoner.pipeline.closure_index()
+        if (self._artifact_cache is not None
+                and "system" in reasoner.pipeline._artifacts):
+            # Re-store so the next process rehydrates the closure too.
+            self._artifact_cache.store(reasoner.pipeline.compile())
+        from ..qa import QueryRewriter
+
+        with self._lock:
+            rewriter = self._rewriters.get(fingerprint)
+            if rewriter is None:
+                rewriter = QueryRewriter(closure, tracer=self._tracer)
+                self._rewriters[fingerprint] = rewriter
+                while len(self._rewriters) > self.config.session_cache_limit:
+                    self._rewriters.popitem(last=False)
+            return rewriter
 
     def check_coherence(self, schema: SchemaLike) -> "CoherenceReport":
         """Whole-schema validation through the warm pipeline."""

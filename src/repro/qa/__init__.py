@@ -1,0 +1,47 @@
+"""Conjunctive-query answering over validated CAR schemas.
+
+The paper's Ψ_S machinery decides satisfiability and implication; this
+package turns those implications into *query answering*: given a schema
+``S`` and a database ``D`` (a :class:`~repro.semantics.database.Database`
+holding asserted facts), compute the **certain answers** of a conjunctive
+query — the tuples of database objects the query retrieves in *every*
+model of ``S`` extending ``D``.
+
+The route is rewriting (the DL-Lite "PerfectRef" idiom adapted to CAR):
+
+1. :func:`build_closure_index` compiles the schema's implication closure —
+   subsumptions, mandatory participations, role-filler constraints — once
+   per compiled schema (it rides in :class:`CompiledSchema` artifacts);
+2. :class:`QueryRewriter` rewrites the query into a union of conjunctive
+   queries whose *plain* evaluation over the asserted facts yields the
+   certain answers;
+3. :func:`certain_answers` evaluates the union over the database snapshot,
+   falling back to the reasoner for inconsistent/unsatisfiable edge cases.
+
+Soundness caveat: certain answers computed this way are sound only for
+*satisfiable* schemas — see ``docs/architecture.md``.
+"""
+
+from .ast import (
+    AttributeAtom,
+    ClassAtom,
+    ConjunctiveQuery,
+    Const,
+    QueryValidationError,
+    RelationAtom,
+    Var,
+    render_query,
+)
+from .closure import ClosureIndex, build_closure_index
+from .data import database_from_document
+from .evaluator import QueryAnswer, certain_answers, evaluate_disjuncts
+from .parser import parse_query
+from .rewriter import QueryRewriter, RewriteResult
+
+__all__ = [
+    "Var", "Const", "ClassAtom", "AttributeAtom", "RelationAtom",
+    "ConjunctiveQuery", "QueryValidationError", "render_query",
+    "parse_query", "ClosureIndex", "build_closure_index",
+    "QueryRewriter", "RewriteResult", "QueryAnswer", "certain_answers",
+    "evaluate_disjuncts", "database_from_document",
+]

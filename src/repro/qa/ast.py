@@ -1,0 +1,261 @@
+"""Conjunctive-query AST: terms, atoms, and the query itself.
+
+A conjunctive query (CQ) over a CAR schema is an existentially quantified
+conjunction of atoms::
+
+    q(x) :- Person(x), works_for(x, y), Dept(y)
+
+* **terms** are variables (``x``) or quoted constants (``"alice"``,
+  naming database objects);
+* a **class atom** ``C(t)`` asserts membership of ``t`` in class ``C``;
+* an **attribute atom** ``a(s, f)`` asserts an ``a``-link from ``s`` to
+  ``f``;
+* a **relation atom** ``R(t1, …, tk)`` asserts a tuple of the k-ary
+  relation ``R``, terms bound to roles positionally in declaration order.
+
+Head variables are the *distinguished* (answer) variables; every other
+variable is existential.  A query with an empty head (``q() :- …``) is
+**boolean**.  All types are immutable and hashable so queries can key
+caches directly.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, Union
+
+from ..core.errors import SchemaError
+from ..core.schema import Schema
+
+__all__ = [
+    "Var", "Const", "Term", "ClassAtom", "AttributeAtom", "RelationAtom",
+    "Atom", "ConjunctiveQuery", "QueryValidationError", "render_query",
+]
+
+
+class QueryValidationError(SchemaError):
+    """A syntactically valid query mentions symbols the schema lacks or
+    uses them at the wrong arity (sysexit 65, like every schema error)."""
+
+
+@dataclass(frozen=True, slots=True)
+class Var:
+    """A query variable."""
+
+    name: str
+
+    def __str__(self) -> str:
+        return self.name
+
+
+@dataclass(frozen=True, slots=True)
+class Const:
+    """A constant naming a database object (quoted in the surface syntax)."""
+
+    value: str
+
+    def __str__(self) -> str:
+        return f'"{self.value}"'
+
+
+Term = Union[Var, Const]
+
+
+@dataclass(frozen=True, slots=True)
+class ClassAtom:
+    """``C(t)`` — membership of ``t`` in class ``C``."""
+
+    name: str
+    term: Term
+
+    def terms(self) -> tuple[Term, ...]:
+        return (self.term,)
+
+    def with_terms(self, terms: tuple[Term, ...]) -> "ClassAtom":
+        return ClassAtom(self.name, terms[0])
+
+    def __str__(self) -> str:
+        return f"{self.name}({self.term})"
+
+
+@dataclass(frozen=True, slots=True)
+class AttributeAtom:
+    """``a(s, f)`` — an ``a``-link from source ``s`` to filler ``f``."""
+
+    name: str
+    source: Term
+    filler: Term
+
+    def terms(self) -> tuple[Term, ...]:
+        return (self.source, self.filler)
+
+    def with_terms(self, terms: tuple[Term, ...]) -> "AttributeAtom":
+        return AttributeAtom(self.name, terms[0], terms[1])
+
+    def __str__(self) -> str:
+        return f"{self.name}({self.source}, {self.filler})"
+
+
+@dataclass(frozen=True, slots=True)
+class RelationAtom:
+    """``R(t1, …, tk)`` — a tuple of ``R``, terms aligned with the
+    relation's declared roles."""
+
+    name: str
+    roles: tuple[str, ...]
+    args: tuple[Term, ...]
+
+    def terms(self) -> tuple[Term, ...]:
+        return self.args
+
+    def with_terms(self, terms: tuple[Term, ...]) -> "RelationAtom":
+        return RelationAtom(self.name, self.roles, tuple(terms))
+
+    def term_at(self, role: str) -> Term:
+        return self.args[self.roles.index(role)]
+
+    def __str__(self) -> str:
+        rendered = ", ".join(str(term) for term in self.args)
+        return f"{self.name}({rendered})"
+
+
+Atom = Union[ClassAtom, AttributeAtom, RelationAtom]
+
+
+@dataclass(frozen=True, slots=True)
+class ConjunctiveQuery:
+    """An existentially quantified conjunction of atoms with a head.
+
+    ``head`` holds the distinguished variables in answer order; every
+    variable in ``atoms`` not in the head is existential.
+    """
+
+    head: tuple[Var, ...]
+    atoms: tuple[Atom, ...]
+    name: str = "q"
+
+    @property
+    def arity(self) -> int:
+        return len(self.head)
+
+    @property
+    def is_boolean(self) -> bool:
+        return not self.head
+
+    def variables(self) -> tuple[Var, ...]:
+        """Every variable, head first, then by first body occurrence."""
+        seen: dict[Var, None] = {}
+        for var in self.head:
+            seen.setdefault(var, None)
+        for atom in self.atoms:
+            for term in atom.terms():
+                if isinstance(term, Var):
+                    seen.setdefault(term, None)
+        return tuple(seen)
+
+    def term_occurrences(self) -> dict[Term, int]:
+        """How many times each term occurs across the body atoms."""
+        counts: dict[Term, int] = {}
+        for atom in self.atoms:
+            for term in atom.terms():
+                counts[term] = counts.get(term, 0) + 1
+        return counts
+
+    def is_unshared_existential(self, term: Term) -> bool:
+        """True for a variable that is not distinguished and occurs exactly
+        once in the body — the *unbound* witnesses atom elimination needs."""
+        if not isinstance(term, Var) or term in self.head:
+            return False
+        return self.term_occurrences().get(term, 0) == 1
+
+    def validate(self, schema: Schema) -> None:
+        """Check every atom against the schema's alphabets and arities.
+
+        Raises :class:`QueryValidationError` (sysexit 65) on unknown class,
+        attribute, or relation symbols, arity mismatches, and head
+        variables that never occur in the body (unsafe queries).
+        """
+        body_vars = {term for atom in self.atoms for term in atom.terms()
+                     if isinstance(term, Var)}
+        for var in self.head:
+            if var not in body_vars:
+                raise QueryValidationError(
+                    f"head variable {var} does not occur in the query body")
+        for atom in self.atoms:
+            if isinstance(atom, ClassAtom):
+                if atom.name not in schema.class_symbols:
+                    raise QueryValidationError(
+                        f"class {atom.name!r} does not occur in the schema")
+            elif isinstance(atom, AttributeAtom):
+                if atom.name not in schema.attribute_symbols:
+                    raise QueryValidationError(
+                        f"attribute {atom.name!r} does not occur in the "
+                        f"schema")
+            else:
+                if atom.name not in schema.relation_symbols:
+                    raise QueryValidationError(
+                        f"relation {atom.name!r} does not occur in the "
+                        f"schema")
+                declared = schema.relation(atom.name).roles
+                if atom.roles != tuple(declared):
+                    raise QueryValidationError(
+                        f"relation {atom.name!r} used with roles "
+                        f"{atom.roles}, declared {tuple(declared)}")
+
+    def __str__(self) -> str:
+        return render_query(self)
+
+
+def render_query(query: ConjunctiveQuery) -> str:
+    """The concrete syntax of a query (parses back to an equal query)."""
+    head = ", ".join(str(var) for var in query.head)
+    body = ", ".join(str(atom) for atom in query.atoms) or "true"
+    return f"{query.name}({head}) :- {body}"
+
+
+def canonical_query(query: ConjunctiveQuery) -> ConjunctiveQuery:
+    """A canonically renamed, canonically ordered copy of ``query``.
+
+    Variables are renamed ``x0, x1, …`` by first occurrence and atoms
+    sorted by a rename-independent key, iterated to a fixpoint, so that
+    syntactic variants of one query usually collapse onto one
+    representative.  The renaming is *deterministic* (equal inputs give
+    equal outputs) but not a perfect graph canonicalization — distinct
+    keys for α-equivalent queries only cost a cache miss, never a wrong
+    answer.
+    """
+    atoms = list(query.atoms)
+    for _ in range(max(len(atoms), 1)):
+        naming = _occurrence_naming(query.head, atoms)
+        keyed = sorted(atoms, key=lambda atom: _atom_key(atom, naming))
+        if keyed == atoms:
+            break
+        atoms = keyed
+    naming = _occurrence_naming(query.head, atoms)
+    renamed = [atom.with_terms(tuple(naming.get(t, t) for t in atom.terms()))
+               for atom in atoms]
+    head = tuple(naming[var] for var in query.head)
+    return ConjunctiveQuery(head, tuple(renamed), "q")
+
+
+def _occurrence_naming(head: Iterable[Var],
+                       atoms: Iterable[Atom]) -> dict[Term, Var]:
+    naming: dict[Term, Var] = {}
+    for var in head:
+        naming.setdefault(var, Var(f"x{len(naming)}"))
+    for atom in atoms:
+        for term in atom.terms():
+            if isinstance(term, Var):
+                naming.setdefault(term, Var(f"x{len(naming)}"))
+    return naming
+
+
+def _atom_key(atom: Atom, naming: dict[Term, Var]) -> tuple:
+    kind = type(atom).__name__
+    terms = tuple(
+        ("v", naming[t].name) if isinstance(t, Var) else ("c", t.value)
+        for t in atom.terms())
+    return (kind, atom.name, terms)
+
+
+__all__ += ["canonical_query"]

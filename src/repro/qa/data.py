@@ -1,0 +1,76 @@
+"""Loading database states from the wire/CLI JSON document shape.
+
+The document mirrors the v1 envelope's ``database`` field of
+``POST /v1/query`` and the ``--database`` file of ``repro query``::
+
+    {
+      "objects": {"alice": ["Person"], "acme": ["Dept"], "bob": []},
+      "attributes": [["advisor", "alice", "bob"]],
+      "relations": [["works_for", {"emp": "alice", "dept": "acme"}]]
+    }
+
+``objects`` maps object names to their asserted classes (open world: the
+listed facts are asserted, not complete).  ``attributes`` holds
+``[name, source, filler]`` triples; ``relations`` holds
+``[name, {role: object, …}]`` pairs with exactly the declared roles.
+Malformed documents raise :class:`~repro.core.errors.SemanticsError`
+(sysexit 65); unknown symbols surface the
+:class:`~repro.semantics.database.Database` errors unchanged.
+"""
+
+from __future__ import annotations
+
+from typing import Mapping
+
+from ..core.errors import SemanticsError
+from ..core.schema import Schema
+from ..semantics.database import Database
+
+__all__ = ["database_from_document"]
+
+
+def database_from_document(schema: Schema, document: Mapping) -> Database:
+    """Build a :class:`Database` over ``schema`` from the JSON shape above."""
+    if not isinstance(document, Mapping):
+        raise SemanticsError(
+            f"database document must be an object, got "
+            f"{type(document).__name__}")
+    unknown = set(document) - {"objects", "attributes", "relations"}
+    if unknown:
+        raise SemanticsError(
+            f"database document has unknown keys: {sorted(unknown)}")
+    database = Database(schema)
+
+    objects = document.get("objects", {})
+    if not isinstance(objects, Mapping):
+        raise SemanticsError('"objects" must map object names to class lists')
+    for name, classes in objects.items():
+        if not isinstance(classes, (list, tuple)) \
+                or not all(isinstance(c, str) for c in classes):
+            raise SemanticsError(
+                f"classes of object {name!r} must be a list of strings")
+        database.insert(name, *classes)
+
+    attributes = document.get("attributes", [])
+    if not isinstance(attributes, (list, tuple)):
+        raise SemanticsError('"attributes" must be a list of '
+                             '[name, source, filler] triples')
+    for entry in attributes:
+        if not isinstance(entry, (list, tuple)) or len(entry) != 3:
+            raise SemanticsError(
+                f"attribute entry {entry!r} is not [name, source, filler]")
+        name, source, filler = entry
+        database.set_attribute(name, source, filler)
+
+    relations = document.get("relations", [])
+    if not isinstance(relations, (list, tuple)):
+        raise SemanticsError('"relations" must be a list of '
+                             '[name, {role: object}] pairs')
+    for entry in relations:
+        if not isinstance(entry, (list, tuple)) or len(entry) != 2 \
+                or not isinstance(entry[1], Mapping):
+            raise SemanticsError(
+                f"relation entry {entry!r} is not [name, {{role: object}}]")
+        name, assignment = entry
+        database.add_tuple(name, **dict(assignment))
+    return database

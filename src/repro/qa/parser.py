@@ -1,0 +1,223 @@
+"""Parser for the conjunctive-query surface syntax.
+
+Grammar::
+
+    query   := IDENT "(" [term ("," term)*] ")" ":-" body
+    body    := "true" | atom ("," atom)*
+    atom    := IDENT "(" term ("," term)* ")"
+    term    := IDENT | STRING
+
+``IDENT`` terms are variables; ``STRING`` terms (double-quoted) are
+constants naming database objects.  ``#`` starts a comment to end of
+line.  Atoms are classified against the schema: arity-1 symbols must be
+class symbols; arity-2+ symbols resolve to an attribute (binary,
+``(source, filler)``) or a relation (terms bound to the declared roles
+positionally).
+
+The schema lexer is *not* reused: it treats ``--`` as a comment opener
+and has no ``-`` token, so the query connective ``:-`` needs its own
+tiny tokenizer — the parser mirrors ``parser/parser.py``'s
+recursive-descent idioms instead.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..core.errors import ParseError
+from ..core.schema import Schema
+from .ast import (
+    AttributeAtom,
+    Atom,
+    ClassAtom,
+    ConjunctiveQuery,
+    Const,
+    QueryValidationError,
+    RelationAtom,
+    Term,
+    Var,
+)
+
+__all__ = ["parse_query", "QueryParser"]
+
+
+@dataclass(frozen=True, slots=True)
+class QToken:
+    kind: str  # IDENT, STRING, LPAREN, RPAREN, COMMA, ARROW, EOF
+    text: str
+    line: int
+    column: int
+
+
+def _tokenize(source: str) -> list[QToken]:
+    tokens: list[QToken] = []
+    line, column = 1, 1
+    index = 0
+    length = len(source)
+    while index < length:
+        char = source[index]
+        if char == "\n":
+            line += 1
+            column = 1
+            index += 1
+            continue
+        if char in " \t\r":
+            index += 1
+            column += 1
+            continue
+        if char == "#":
+            while index < length and source[index] != "\n":
+                index += 1
+            continue
+        if char == ":" and index + 1 < length and source[index + 1] == "-":
+            tokens.append(QToken("ARROW", ":-", line, column))
+            index += 2
+            column += 2
+            continue
+        if char == '"':
+            end = source.find('"', index + 1)
+            if end < 0:
+                raise ParseError("unterminated constant", line, column)
+            text = source[index + 1:end]
+            tokens.append(QToken("STRING", text, line, column))
+            column += end - index + 1
+            index = end + 1
+            continue
+        if char.isalpha() or char == "_":
+            start = index
+            while index < length and (source[index].isalnum()
+                                      or source[index] == "_"):
+                index += 1
+            text = source[start:index]
+            tokens.append(QToken("IDENT", text, line, column))
+            column += index - start
+            continue
+        punct = {"(": "LPAREN", ")": "RPAREN", ",": "COMMA"}.get(char)
+        if punct is None:
+            raise ParseError(f"unexpected character {char!r} in query",
+                             line, column)
+        tokens.append(QToken(punct, char, line, column))
+        index += 1
+        column += 1
+    tokens.append(QToken("EOF", "", line, column))
+    return tokens
+
+
+class QueryParser:
+    """Stateful recursive-descent parser over the query token list."""
+
+    def __init__(self, source: str, schema: Schema):
+        self._tokens = _tokenize(source)
+        self._pos = 0
+        self._schema = schema
+
+    # ------------------------------------------------------------------
+    # Token plumbing (the schema parser's idiom)
+    # ------------------------------------------------------------------
+    def _peek(self) -> QToken:
+        return self._tokens[self._pos]
+
+    def _next(self) -> QToken:
+        token = self._tokens[self._pos]
+        if token.kind != "EOF":
+            self._pos += 1
+        return token
+
+    def _eat(self, kind: str, what: str) -> QToken:
+        token = self._peek()
+        if token.kind != kind:
+            raise ParseError(f"expected {what}, found {token.text!r}",
+                             token.line, token.column)
+        return self._next()
+
+    # ------------------------------------------------------------------
+    # Entry point
+    # ------------------------------------------------------------------
+    def parse_query(self) -> ConjunctiveQuery:
+        name = self._eat("IDENT", "query name").text
+        self._eat("LPAREN", "'('")
+        head: list[Var] = []
+        if self._peek().kind != "RPAREN":
+            head.append(self._parse_head_var())
+            while self._peek().kind == "COMMA":
+                self._next()
+                head.append(self._parse_head_var())
+        self._eat("RPAREN", "')'")
+        self._eat("ARROW", "':-'")
+        atoms: list[Atom] = []
+        token = self._peek()
+        if token.kind == "IDENT" and token.text == "true" \
+                and self._tokens[self._pos + 1].kind != "LPAREN":
+            self._next()
+        else:
+            atoms.append(self._parse_atom())
+            while self._peek().kind == "COMMA":
+                self._next()
+                atoms.append(self._parse_atom())
+        token = self._peek()
+        if token.kind != "EOF":
+            raise ParseError(f"unexpected trailing input {token.text!r}",
+                             token.line, token.column)
+        query = ConjunctiveQuery(tuple(head), tuple(atoms), name)
+        query.validate(self._schema)
+        return query
+
+    def _parse_head_var(self) -> Var:
+        token = self._peek()
+        if token.kind == "STRING":
+            raise ParseError("head terms must be variables, not constants",
+                             token.line, token.column)
+        return Var(self._eat("IDENT", "head variable").text)
+
+    def _parse_term(self) -> Term:
+        token = self._peek()
+        if token.kind == "STRING":
+            return Const(self._next().text)
+        return Var(self._eat("IDENT", "variable or constant").text)
+
+    def _parse_atom(self) -> Atom:
+        token = self._peek()
+        name = self._eat("IDENT", "class, attribute, or relation name").text
+        self._eat("LPAREN", "'('")
+        terms = [self._parse_term()]
+        while self._peek().kind == "COMMA":
+            self._next()
+            terms.append(self._parse_term())
+        self._eat("RPAREN", "')'")
+        return self._classify_atom(name, tuple(terms), token)
+
+    def _classify_atom(self, name: str, terms: tuple[Term, ...],
+                       token: QToken) -> Atom:
+        schema = self._schema
+        if len(terms) == 1:
+            if name not in schema.class_symbols:
+                raise QueryValidationError(
+                    f"class {name!r} does not occur in the schema "
+                    f"(line {token.line})")
+            return ClassAtom(name, terms[0])
+        if name in schema.relation_symbols:
+            roles = tuple(schema.relation(name).roles)
+            if len(terms) != len(roles):
+                raise QueryValidationError(
+                    f"relation {name!r} has roles {roles}, got "
+                    f"{len(terms)} terms (line {token.line})")
+            return RelationAtom(name, roles, terms)
+        if name in schema.attribute_symbols:
+            if len(terms) != 2:
+                raise QueryValidationError(
+                    f"attribute {name!r} takes (source, filler), got "
+                    f"{len(terms)} terms (line {token.line})")
+            return AttributeAtom(name, terms[0], terms[1])
+        raise QueryValidationError(
+            f"{name!r} is neither an attribute nor a relation of the "
+            f"schema (line {token.line})")
+
+
+def parse_query(source: str, schema: Schema) -> ConjunctiveQuery:
+    """Parse and validate one conjunctive query against ``schema``.
+
+    Raises :class:`~repro.core.errors.ParseError` on malformed syntax and
+    :class:`~repro.qa.ast.QueryValidationError` on unknown symbols or
+    arity mismatches — both sysexit 65.
+    """
+    return QueryParser(source, schema).parse_query()

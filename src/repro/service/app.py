@@ -279,6 +279,7 @@ class ReproService:
         "/v1/version": {"GET": "_version"},
         "/v1/satisfiable": {"POST": "_satisfiable"},
         "/v1/classify": {"POST": "_classify"},
+        "/v1/query": {"POST": "_query"},
         "/v1/batch": {"POST": "_batch"},
     }
 
@@ -723,6 +724,51 @@ class ReproService:
             "schema_fingerprint": fingerprint, "formula": key,
             "steps": outcome.steps,
             "duration_s": round(outcome.duration, 6)})
+
+    def _query(self, document: dict, deadline: Optional[float],
+               max_steps: Optional[int],
+               request_id: str) -> ServiceResponse:
+        """``POST /v1/query`` — certain answers of a conjunctive query.
+
+        Body: ``{"schema": <source>, "query": "q(x) :- Person(x)"}`` plus
+        an optional ``"database"`` document (see
+        :func:`~repro.qa.data.database_from_document`);
+        ``{"schema_ref": "name@version"}`` addresses a registry entry.
+        Answers are cached by ``(schema fingerprint, canonical query,
+        database hash)``; the schema's rewrite cache stays warm in the
+        session across databases.
+        """
+        import hashlib as _hashlib
+
+        from ..qa import parse_query
+        from ..qa.ast import canonical_query, render_query
+
+        schema_source = self._schema_source(document)
+        query_text = self._required_str(document, "query")
+        database = document.get("database")
+        if database is not None and not isinstance(database, dict):
+            raise ParseError("query 'database' must be a JSON object")
+        fingerprint, schema = self._memo_schema(schema_source)
+        query = parse_query(query_text, schema)
+        key = "cq:" + render_query(canonical_query(query))
+        if database is not None:
+            key += "|db:" + _hashlib.sha256(
+                json.dumps(database, sort_keys=True).encode("utf-8")
+            ).hexdigest()[:16]
+        cached = self.cache.get(fingerprint, key)
+        if cached is not None:
+            return self._ok(200, request_id, {
+                **cached, "cache": "hit",
+                "schema_fingerprint": fingerprint})
+        budget = (Budget(deadline, max_steps)
+                  if deadline is not None or max_steps is not None
+                  else None)
+        with use_budget(budget):
+            answer = self.session.query(schema, query, database)
+        data = answer.as_document()
+        self.cache.put(fingerprint, key, data)
+        return self._ok(200, request_id, {
+            **data, "cache": "miss", "schema_fingerprint": fingerprint})
 
     def _classify(self, document: dict, deadline: Optional[float],
                   max_steps: Optional[int],

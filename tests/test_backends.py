@@ -225,6 +225,41 @@ class TestRoundSolutions:
         assert not backend._degenerate([1e-12])  # snapped to zero, fine
 
 
+class TestAutoRouting:
+    """`auto` routes by LP column count, with the default cutoff at the
+    measured sparse/float crossover (`SPARSE_BACKEND_LIMIT`)."""
+
+    def test_default_limit_is_the_measured_crossover(self):
+        from repro.linear.backends import SPARSE_BACKEND_LIMIT
+
+        assert SPARSE_BACKEND_LIMIT == 400
+        assert AutoBackend()._limit == SPARSE_BACKEND_LIMIT
+
+    def test_routes_small_systems_to_the_sparse_core(self):
+        system = build_system(build_expansion(random_schema(5, seed=1)))
+        solution = AutoBackend(limit=10 ** 6).solve(
+            system, list(range(system.n_unknowns())))
+        assert solution.backend_used == "exact-sparse"
+        assert solution.metrics.get("lp.sparse_solves", 0) == 1
+
+    def test_routes_large_systems_to_the_float_core(self):
+        system = build_system(build_expansion(random_schema(5, seed=1)))
+        solution = AutoBackend(limit=1).solve(
+            system, list(range(system.n_unknowns())))
+        # "float" when scipy answered, "exact" via the verified fallback —
+        # either way the sparse core was bypassed.
+        assert solution.backend_used in ("float", "exact")
+        assert "lp.sparse_solves" not in solution.metrics
+
+    def test_routing_preserves_verdicts(self):
+        schema = random_schema(6, seed=3)
+        expansion = build_expansion(schema)
+        supports = {
+            acceptable_support(expansion, backend=f"auto:limit={limit}").support
+            for limit in (1, 10 ** 6)}
+        assert len(supports) == 1
+
+
 class TestBackendEquivalence:
     """Every sound backend must agree on every schema — Theorem 3.3's
     verdicts cannot depend on the arithmetic core."""

@@ -240,7 +240,7 @@ class TestLpMetrics:
                             lambda groups, rows: None)
         tracer = Tracer()
         expansion = build_expansion(parse_schema(CARD_SOURCE))
-        result = acceptable_support(expansion, backend="float",
+        result = acceptable_support(expansion, backend="float-fallback",
                                     tracer=tracer)
         assert result.backend_used == "exact"
         assert tracer.counter("lp.float_exact_fallbacks") >= 1
@@ -259,7 +259,7 @@ class TestLpMetrics:
             lambda groups, rows: [1e-7] * len(groups))
         tracer = Tracer()
         expansion = build_expansion(parse_schema(CARD_SOURCE))
-        result = acceptable_support(expansion, backend="float",
+        result = acceptable_support(expansion, backend="float-fallback",
                                     tracer=tracer)
         assert result.backend_used == "exact"
         assert tracer.counter("lp.degenerate_detections") >= 1

@@ -116,7 +116,7 @@ def test_lp_backends_agree(schema, target):
 
     expansion = build_expansion(schema)
     exact = acceptable_support(expansion, backend="exact")
-    floaty = acceptable_support(expansion, backend="float")
+    floaty = acceptable_support(expansion, backend="float-fallback")
     assert exact.support == floaty.support
 
 

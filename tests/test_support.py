@@ -163,7 +163,7 @@ class TestBackends:
     def test_exact_and_float_agree(self):
         for schema in self.small_schemas():
             exact = support_of(schema, backend="exact")
-            floaty = support_of(schema, backend="float")
+            floaty = support_of(schema, backend="float-fallback")
             assert exact.support == floaty.support
 
     def test_bad_backend_rejected(self):
